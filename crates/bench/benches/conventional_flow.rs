@@ -1,0 +1,48 @@
+//! Criterion bench: the conventional (simulation-based) generation flow
+//! of paper Fig. 1 — this is the cost the ML flow amortizes away.
+
+use ca_core::conventional_flow;
+use ca_defects::GenerateOptions;
+use ca_netlist::library::{generate_library, LibraryConfig};
+use ca_netlist::Technology;
+use ca_sim::{DetectionPolicy, Simulator, Stimulus};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_conventional(c: &mut Criterion) {
+    let lib = generate_library(&LibraryConfig::quick(Technology::C40));
+    let mut group = c.benchmark_group("conventional_flow");
+    for template in ["INV", "NAND2", "AOI21", "XOR2"] {
+        let Some(cell) = lib
+            .cells
+            .iter()
+            .find(|lc| lc.template == template && lc.drive == 1)
+            .map(|lc| lc.cell.clone())
+        else {
+            continue; // per-technology catalog subsets may drop a template
+        };
+        group.bench_with_input(
+            BenchmarkId::new("generate", template),
+            &cell,
+            |b, cell| b.iter(|| conventional_flow(cell, GenerateOptions::default())),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("golden_simulation", template),
+            &cell,
+            |b, cell| {
+                let sim = Simulator::new(cell);
+                let stimuli = Stimulus::all(cell.num_inputs());
+                b.iter(|| {
+                    stimuli
+                        .iter()
+                        .map(|s| sim.run(s).final_values().len())
+                        .sum::<usize>()
+                })
+            },
+        );
+        let _ = DetectionPolicy::default();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_conventional);
+criterion_main!(benches);

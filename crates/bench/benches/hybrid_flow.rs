@@ -1,0 +1,43 @@
+//! Criterion bench: measured per-cell generation time, ML route vs
+//! conventional route — the real-machine counterpart of the paper's
+//! §V.C wall-clock argument.
+
+use ca_bench::corpus::{build_corpus, Profile};
+use ca_core::{conventional_flow, MlFlow, PreparedCell};
+use ca_defects::GenerateOptions;
+use ca_netlist::library::generate_library;
+use ca_netlist::Technology;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_hybrid(c: &mut Criterion) {
+    let train = build_corpus(Technology::Soi28, Profile::Quick);
+    let prepared: Vec<PreparedCell> = train.iter().map(|cc| cc.prepared.clone()).collect();
+    let flow = MlFlow::train(&prepared, Profile::Quick.ml_params()).expect("trains");
+    // Pick a C40 cell the flow covers.
+    let eval_lib = generate_library(&Profile::Quick.library_config(Technology::C40));
+    let cell = eval_lib
+        .cells
+        .iter()
+        .map(|lc| lc.cell.clone())
+        .find(|cell| {
+            PreparedCell::prepare(cell.clone())
+                .map(|p| flow.covers(&p))
+                .unwrap_or(false)
+        })
+        .expect("some covered cell exists");
+    let mut group = c.benchmark_group("per_cell_generation");
+    group.sample_size(10);
+    group.bench_function("ml_route", |b| {
+        b.iter(|| {
+            let p = PreparedCell::prepare(cell.clone()).expect("valid");
+            flow.predict(&p).expect("covered")
+        })
+    });
+    group.bench_function("conventional_route", |b| {
+        b.iter(|| conventional_flow(&cell, GenerateOptions::default()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_hybrid);
+criterion_main!(benches);

@@ -1,0 +1,13 @@
+//! Experiment harness shared by the `ca-bench` binary and the Criterion
+//! benches.
+//!
+//! Every table and figure of the paper's evaluation has a regenerator
+//! here; see `DESIGN.md` for the experiment index and `EXPERIMENTS.md`
+//! for measured-vs-paper numbers.
+
+pub mod corpus;
+pub mod report;
+pub mod tables;
+
+pub use corpus::{build_corpus, Profile};
+pub use report::Grid;

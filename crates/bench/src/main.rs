@@ -1,0 +1,176 @@
+//! `ca-bench` — regenerates the paper's tables and figures.
+//!
+//! ```text
+//! ca-bench <command> [--profile quick|full] [--train TECH] [--eval TECH]
+//!
+//! commands:
+//!   fig1 fig4 fig5 fig6 table1 table2 table3   static paper examples
+//!   table4a          same-technology accuracy grid (leave-one-out, 28SOI)
+//!   table4b          cross-technology grid (train 28SOI -> eval C28)
+//!   table4c          cross-size grid (train 28SOI -> eval C40)
+//!   histogram        §V.B accuracy distribution + structural correlation
+//!   algos            §II.B classifier comparison
+//!   hybrid           §V.C hybrid flow experiment
+//!   ablation         accuracy with canonical renaming disabled
+//!   importance       random-forest feature importance per CA-matrix column
+//!   library          per-technology characterization summaries
+//!   all              everything above
+//! ```
+
+use ca_bench::corpus::Profile;
+use ca_bench::tables;
+use ca_netlist::Technology;
+use std::time::Instant;
+
+fn parse_tech(s: &str) -> Option<Technology> {
+    match s.to_ascii_uppercase().as_str() {
+        "C40" => Some(Technology::C40),
+        "28SOI" | "SOI28" => Some(Technology::Soi28),
+        "C28" => Some(Technology::C28),
+        _ => None,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut command = String::from("all");
+    let mut profile = Profile::Quick;
+    let mut train = Technology::Soi28;
+    let mut eval_b = Technology::C28;
+    let mut eval_c = Technology::C40;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--profile" => {
+                i += 1;
+                profile = args
+                    .get(i)
+                    .and_then(|s| Profile::parse(s))
+                    .unwrap_or_else(|| die("--profile expects quick|full"));
+            }
+            "--train" => {
+                i += 1;
+                train = args
+                    .get(i)
+                    .and_then(|s| parse_tech(s))
+                    .unwrap_or_else(|| die("--train expects C40|28SOI|C28"));
+            }
+            "--eval" => {
+                i += 1;
+                let t = args
+                    .get(i)
+                    .and_then(|s| parse_tech(s))
+                    .unwrap_or_else(|| die("--eval expects C40|28SOI|C28"));
+                eval_b = t;
+                eval_c = t;
+            }
+            flag if flag.starts_with('-') => die(&format!("unknown flag {flag}")),
+            cmd => command = cmd.to_string(),
+        }
+        i += 1;
+    }
+
+    let run = |name: &str| command == "all" || command == name;
+    let start = Instant::now();
+    let mut matched = false;
+    if run("fig1") {
+        matched = true;
+        println!("{}", tables::fig1());
+    }
+    if run("fig4") {
+        matched = true;
+        println!("{}", tables::fig4());
+    }
+    if run("fig5") {
+        matched = true;
+        println!("{}", tables::fig5());
+    }
+    if run("fig6") {
+        matched = true;
+        println!("{}", tables::fig6());
+    }
+    if run("table1") {
+        matched = true;
+        println!("{}", tables::table1());
+    }
+    if run("table2") {
+        matched = true;
+        println!("{}", tables::table2());
+    }
+    if run("table3") {
+        matched = true;
+        println!("{}", tables::table3());
+    }
+    if run("table4a") {
+        matched = true;
+        let grid = tables::table_iv_a(profile);
+        println!(
+            "{}",
+            grid.render(&format!(
+                "Table IV.a — same technology ({}, leave-one-out, profile {profile:?})",
+                train.name()
+            ))
+        );
+    }
+    if run("table4b") {
+        matched = true;
+        let grid = tables::table_iv_cross(train, eval_b, profile);
+        println!(
+            "{}",
+            grid.render(&format!(
+                "Table IV.b — train {} -> evaluate {} (profile {profile:?})",
+                train.name(),
+                eval_b.name()
+            ))
+        );
+    }
+    if run("table4c") {
+        matched = true;
+        let grid = tables::table_iv_cross(train, eval_c, profile);
+        println!(
+            "{}",
+            grid.render(&format!(
+                "Table IV.c — train {} -> evaluate {} (profile {profile:?})",
+                train.name(),
+                eval_c.name()
+            ))
+        );
+    }
+    if run("histogram") {
+        matched = true;
+        println!("{}", tables::accuracy_histogram(train, eval_b, profile));
+    }
+    if run("algos") {
+        matched = true;
+        println!("{}", tables::algo_comparison(profile));
+    }
+    if run("hybrid") {
+        matched = true;
+        println!("{}", tables::hybrid_experiment(profile));
+    }
+    if run("ablation") {
+        matched = true;
+        println!("{}", tables::ablation(profile));
+    }
+    if run("importance") {
+        matched = true;
+        println!("{}", tables::feature_importance(profile));
+    }
+    if run("library") {
+        matched = true;
+        for tech in Technology::ALL {
+            println!("{}", tables::library_report(tech, profile));
+        }
+    }
+    if !matched {
+        die(&format!(
+            "unknown command `{command}` (see the doc comment for the list)"
+        ));
+    }
+    eprintln!("[ca-bench] done in {:.1} s", start.elapsed().as_secs_f64());
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("ca-bench: {msg}");
+    std::process::exit(2);
+}

@@ -1,0 +1,155 @@
+//! Text rendering of the paper-style accuracy grids and tables.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Accuracy grid keyed by (transistor count, input count), mirroring the
+/// layout of the paper's Table IV.
+#[derive(Debug, Clone, Default)]
+pub struct Grid {
+    cells: BTreeMap<(usize, usize), Vec<f64>>,
+}
+
+impl Grid {
+    /// An empty grid.
+    pub fn new() -> Grid {
+        Grid::default()
+    }
+
+    /// Records one cell's accuracy under its (inputs, transistors) key.
+    pub fn record(&mut self, inputs: usize, transistors: usize, accuracy: f64) {
+        self.cells
+            .entry((transistors, inputs))
+            .or_default()
+            .push(accuracy);
+    }
+
+    /// All recorded accuracies, flattened.
+    pub fn all_accuracies(&self) -> Vec<f64> {
+        self.cells.values().flatten().copied().collect()
+    }
+
+    /// Mean accuracy over every recorded cell.
+    pub fn mean(&self) -> f64 {
+        let all = self.all_accuracies();
+        if all.is_empty() {
+            return 0.0;
+        }
+        all.iter().sum::<f64>() / all.len() as f64
+    }
+
+    /// Fraction of cells above `threshold`.
+    pub fn fraction_above(&self, threshold: f64) -> f64 {
+        let all = self.all_accuracies();
+        if all.is_empty() {
+            return 0.0;
+        }
+        all.iter().filter(|&&a| a > threshold).count() as f64 / all.len() as f64
+    }
+
+    /// Number of evaluated cells.
+    pub fn num_cells(&self) -> usize {
+        self.all_accuracies().len()
+    }
+
+    /// Renders the grid in the paper's Table IV layout: rows = transistor
+    /// counts, columns = input counts; a `*` marks groups where at least
+    /// one cell was predicted perfectly (the paper's green background).
+    pub fn render(&self, title: &str) -> String {
+        let mut inputs: Vec<usize> = self.cells.keys().map(|&(_, i)| i).collect();
+        inputs.sort_unstable();
+        inputs.dedup();
+        let mut transistor_counts: Vec<usize> = self.cells.keys().map(|&(t, _)| t).collect();
+        transistor_counts.sort_unstable();
+        transistor_counts.dedup();
+        let mut out = String::new();
+        let _ = writeln!(out, "{title}");
+        let _ = write!(out, "{:>6} |", "T \\ in");
+        for i in &inputs {
+            let _ = write!(out, "{i:>9} |");
+        }
+        let _ = writeln!(out);
+        let _ = writeln!(out, "{}", "-".repeat(8 + inputs.len() * 11));
+        for t in &transistor_counts {
+            let _ = write!(out, "{t:>6} |");
+            for i in &inputs {
+                match self.cells.get(&(*t, *i)) {
+                    Some(accs) if !accs.is_empty() => {
+                        let mean = accs.iter().sum::<f64>() / accs.len() as f64;
+                        let perfect = accs.iter().any(|&a| a >= 1.0 - 1e-12);
+                        let mark = if perfect { '*' } else { ' ' };
+                        let _ = write!(out, " {:>7.2}{} |", mean * 100.0, mark);
+                    }
+                    _ => {
+                        let _ = write!(out, "{:>10} |", "");
+                    }
+                }
+            }
+            let _ = writeln!(out);
+        }
+        let _ = writeln!(
+            out,
+            "cells: {}   mean: {:.2}%   >97%: {:.0}%   (* = group contains a 100% cell)",
+            self.num_cells(),
+            self.mean() * 100.0,
+            self.fraction_above(0.97) * 100.0
+        );
+        out
+    }
+}
+
+/// Renders a simple two-column name/value table.
+pub fn kv_table(title: &str, rows: &[(String, String)]) -> String {
+    let width = rows.iter().map(|(k, _)| k.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    for (k, v) in rows {
+        let _ = writeln!(out, "  {k:<width$}  {v}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_statistics() {
+        let mut g = Grid::new();
+        g.record(2, 4, 1.0);
+        g.record(2, 4, 0.9);
+        g.record(3, 6, 0.98);
+        assert_eq!(g.num_cells(), 3);
+        assert!((g.mean() - 0.96).abs() < 1e-9);
+        assert!((g.fraction_above(0.97) - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn render_marks_perfect_groups() {
+        let mut g = Grid::new();
+        g.record(2, 4, 1.0);
+        g.record(2, 4, 0.9);
+        g.record(3, 6, 0.5);
+        let text = g.render("demo");
+        assert!(text.contains("95.00*"));
+        assert!(text.contains("50.00 "));
+    }
+
+    #[test]
+    fn empty_grid_renders_without_panicking() {
+        let g = Grid::new();
+        let text = g.render("empty");
+        assert!(text.contains("cells: 0"));
+        assert_eq!(g.mean(), 0.0);
+        assert_eq!(g.fraction_above(0.5), 0.0);
+    }
+
+    #[test]
+    fn kv_table_aligns() {
+        let text = kv_table(
+            "t",
+            &[("a".into(), "1".into()), ("long".into(), "2".into())],
+        );
+        assert!(text.contains("a     1"));
+    }
+}

@@ -1,0 +1,912 @@
+//! Canonical, technology-independent cell description (paper §III.B/C).
+//!
+//! Two cells with the same *transistor structure* must end up with the
+//! same canonical transistor names regardless of their source library's
+//! naming and ordering. The pipeline:
+//!
+//! 1. **Branch extraction** — exit nets are the cell outputs and every net
+//!    driving a gate; transistors are grouped into connected components
+//!    through nets that are neither exits nor rails, and components with
+//!    the same (exit, rail) boundary are merged into one *branch* (the
+//!    two-terminal network between the exit and the rail).
+//! 2. **Series-parallel decomposition** — each branch is reduced to an
+//!    SP tree; the anonymized *branch equation* (`&`/`|` over `1n`/`1p`)
+//!    is rendered from it (paper Fig. 5).
+//! 3. **Branch sorting** — by (level from the output, transistor count,
+//!    anonymized equation).
+//! 4. **Transistor ordering** — series chains run exit → rail; parallel
+//!    siblings sort by equation then activity value (paper §III.C,
+//!    Table II), which resolves the "N1|N2 vs N2|N1" ambiguity.
+//! 5. **Renaming** — `N0, N1, ...` / `P0, P1, ...` in canonical order.
+//!
+//! The module also computes three hashes used by the hybrid flow's
+//! structural gate: `structure_hash` (equations only), `wiring_hash`
+//! (equations + activity values = identical structure) and `reduced_hash`
+//! (after Fig. 6 drive-merge reduction = equivalent structure).
+
+use crate::activation::{Activation, ActivityValue};
+use crate::error::CoreError;
+use ca_netlist::{Cell, MosKind, NetId, TransistorId};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::fmt::Write as _;
+
+/// A series-parallel tree over transistors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpTree {
+    /// One transistor.
+    Leaf(TransistorId),
+    /// Series composition, ordered exit → rail.
+    Series(Vec<SpTree>),
+    /// Parallel composition, canonically sorted.
+    Parallel(Vec<SpTree>),
+}
+
+impl SpTree {
+    /// Leaves in traversal order.
+    pub fn leaves(&self) -> Vec<TransistorId> {
+        let mut out = Vec::new();
+        self.collect_leaves(&mut out);
+        out
+    }
+
+    fn collect_leaves(&self, out: &mut Vec<TransistorId>) {
+        match self {
+            SpTree::Leaf(t) => out.push(*t),
+            SpTree::Series(cs) | SpTree::Parallel(cs) => {
+                for c in cs {
+                    c.collect_leaves(out);
+                }
+            }
+        }
+    }
+
+    /// Number of transistors in the subtree.
+    pub fn size(&self) -> usize {
+        match self {
+            SpTree::Leaf(_) => 1,
+            SpTree::Series(cs) | SpTree::Parallel(cs) => cs.iter().map(SpTree::size).sum(),
+        }
+    }
+}
+
+/// One branch of the canonical description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Branch {
+    /// Exit net (stage output) of the branch.
+    pub exit: NetId,
+    /// Rail the branch pulls towards (`None` for non-SP fallback groups).
+    pub rail: Option<NetId>,
+    /// Level: 1 = drives the cell output, 2 = drives level-1 gates, ...
+    pub level: u32,
+    /// Anonymized branch equation, e.g. `((1n&(1n|1n))|1n)`.
+    pub equation: String,
+    /// The SP tree (`None` when the network was not series-parallel).
+    pub tree: Option<SpTree>,
+    /// Transistors in canonical order.
+    pub transistors: Vec<TransistorId>,
+}
+
+/// The canonical view of a cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CanonicalCell {
+    branches: Vec<Branch>,
+    order: Vec<TransistorId>,
+    names: Vec<String>,
+    position: Vec<usize>,
+    structure_hash: u64,
+    wiring_hash: u64,
+    reduced_hash: u64,
+}
+
+impl CanonicalCell {
+    /// Builds the canonical description of `cell` from its activation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Unsupported`] for cells whose transistor count
+    /// cannot be canonically ordered at all (never happens for CMOS cells
+    /// built from pull-up/pull-down networks; pass-transistor groups fall
+    /// back to activity ordering instead of failing).
+    pub fn build(cell: &Cell, activation: &Activation) -> Result<CanonicalCell, CoreError> {
+        let branches = extract_branches(cell, activation)?;
+        // Canonical global order: branches are already sorted; concatenate.
+        let mut order = Vec::with_capacity(cell.num_transistors());
+        for b in &branches {
+            order.extend(b.transistors.iter().copied());
+        }
+        if order.len() != cell.num_transistors() {
+            return Err(CoreError::Unsupported(format!(
+                "cell `{}`: {} of {} transistors assigned to branches",
+                cell.name(),
+                order.len(),
+                cell.num_transistors()
+            )));
+        }
+        let mut position = vec![usize::MAX; cell.num_transistors()];
+        for (pos, t) in order.iter().enumerate() {
+            position[t.index()] = pos;
+        }
+        // Canonical names: N / P counters in canonical order.
+        let mut names = vec![String::new(); cell.num_transistors()];
+        let (mut n_idx, mut p_idx) = (0usize, 0usize);
+        for &t in &order {
+            let name = match cell.transistor(t).kind() {
+                MosKind::Nmos => {
+                    n_idx += 1;
+                    format!("N{}", n_idx - 1)
+                }
+                MosKind::Pmos => {
+                    p_idx += 1;
+                    format!("P{}", p_idx - 1)
+                }
+            };
+            names[t.index()] = name;
+        }
+        let structure_hash = hash_strings(branches.iter().map(|b| {
+            format!("L{}:{}", b.level, b.equation)
+        }));
+        let wiring_hash = hash_strings(branches.iter().map(|b| {
+            let acts: Vec<String> = b
+                .transistors
+                .iter()
+                .map(|&t| activation.activity_value(t).to_string())
+                .collect();
+            format!("L{}:{}@{}", b.level, b.equation, acts.join(","))
+        }));
+        let reduced_hash = {
+            let mut reduced: Vec<String> = branches
+                .iter()
+                .map(|b| reduced_signature(b, cell, activation))
+                .collect();
+            reduced.sort();
+            reduced.dedup();
+            hash_strings(reduced.into_iter())
+        };
+        Ok(CanonicalCell {
+            branches,
+            order,
+            names,
+            position,
+            structure_hash,
+            wiring_hash,
+            reduced_hash,
+        })
+    }
+
+    /// ABLATION SUPPORT: a degenerate "canonical" view that keeps the raw
+    /// netlist order and names. Structure hashes are derived from the
+    /// netlist text order, so nothing matches across libraries. Used by
+    /// the ablation experiment to demonstrate that the renaming step is
+    /// what makes cross-library training possible (paper §III.B).
+    pub fn netlist_order(cell: &Cell, activation: &Activation) -> CanonicalCell {
+        let order: Vec<TransistorId> = cell.transistor_ids().map(|(id, _)| id).collect();
+        let position: Vec<usize> = (0..order.len()).collect();
+        let names: Vec<String> = cell
+            .transistors()
+            .iter()
+            .map(|t| t.name().to_string())
+            .collect();
+        let signature = hash_strings(
+            cell.transistors()
+                .iter()
+                .map(|t| format!("{}:{}", t.name(), t.kind().letter())),
+        );
+        let branches = vec![Branch {
+            exit: cell.output(),
+            rail: None,
+            level: 1,
+            equation: format!("?({}t)", cell.num_transistors()),
+            tree: None,
+            transistors: order.clone(),
+        }];
+        let _ = activation;
+        CanonicalCell {
+            branches,
+            order,
+            names,
+            position,
+            structure_hash: signature,
+            wiring_hash: signature,
+            reduced_hash: signature,
+        }
+    }
+
+    /// Branches in canonical (sorted) order.
+    pub fn branches(&self) -> &[Branch] {
+        &self.branches
+    }
+
+    /// All transistors in canonical order.
+    pub fn order(&self) -> &[TransistorId] {
+        &self.order
+    }
+
+    /// Canonical position of `transistor` (column index in the CA-matrix).
+    pub fn position(&self, transistor: TransistorId) -> usize {
+        self.position[transistor.index()]
+    }
+
+    /// Canonical name (`N0`, `P3`, ...) of `transistor`.
+    pub fn name(&self, transistor: TransistorId) -> &str {
+        &self.names[transistor.index()]
+    }
+
+    /// Hash of the anonymized branch equations (gate wiring ignored).
+    pub fn structure_hash(&self) -> u64 {
+        self.structure_hash
+    }
+
+    /// Hash including activity values: equal hashes mean *identical
+    /// structure* in the paper's sense.
+    pub fn wiring_hash(&self) -> u64 {
+        self.wiring_hash
+    }
+
+    /// Hash after Fig. 6 drive-merge reduction: equal hashes mean
+    /// *equivalent structure*.
+    pub fn reduced_hash(&self) -> u64 {
+        self.reduced_hash
+    }
+}
+
+fn hash_strings(parts: impl Iterator<Item = String>) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for part in parts {
+        for b in part.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        h ^= 0xff;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+// ---------------------------------------------------------------------
+// Branch extraction
+// ---------------------------------------------------------------------
+
+fn extract_branches(cell: &Cell, activation: &Activation) -> Result<Vec<Branch>, CoreError> {
+    let n_nets = cell.nets().len();
+    let mut is_exit = vec![false; n_nets];
+    for &o in cell.outputs() {
+        is_exit[o.index()] = true;
+    }
+    for t in cell.transistors() {
+        is_exit[t.gate().index()] = true;
+    }
+    let mut is_rail = vec![false; n_nets];
+    is_rail[cell.power().index()] = true;
+    is_rail[cell.ground().index()] = true;
+    // Rails are never exits.
+    for i in 0..n_nets {
+        if is_rail[i] {
+            is_exit[i] = false;
+        }
+    }
+
+    // Union-find over transistors through interior nets.
+    let mut parent: Vec<usize> = (0..cell.num_transistors()).collect();
+    fn find(parent: &mut Vec<usize>, i: usize) -> usize {
+        if parent[i] != i {
+            let root = find(parent, parent[i]);
+            parent[i] = root;
+        }
+        parent[i]
+    }
+    let mut by_net: HashMap<usize, Vec<usize>> = HashMap::new();
+    for (id, t) in cell.transistor_ids() {
+        for net in [t.drain(), t.source()] {
+            let i = net.index();
+            if !is_exit[i] && !is_rail[i] {
+                by_net.entry(i).or_default().push(id.index());
+            }
+        }
+    }
+    for group in by_net.values() {
+        for w in group.windows(2) {
+            let (a, b) = (find(&mut parent, w[0]), find(&mut parent, w[1]));
+            if a != b {
+                parent[a] = b;
+            }
+        }
+    }
+    // Components and their boundary signatures.
+    let mut components: BTreeMap<usize, Vec<TransistorId>> = BTreeMap::new();
+    for i in 0..cell.num_transistors() {
+        let root = find(&mut parent, i);
+        components
+            .entry(root)
+            .or_default()
+            .push(TransistorId(i as u32));
+    }
+    // Merge components sharing the same (exits, rails) boundary.
+    let mut merged: BTreeMap<(Vec<usize>, Vec<usize>), Vec<TransistorId>> = BTreeMap::new();
+    for (_, ts) in components {
+        let mut exits: HashSet<usize> = HashSet::new();
+        let mut rails: HashSet<usize> = HashSet::new();
+        for &t in &ts {
+            let tr = cell.transistor(t);
+            for net in [tr.drain(), tr.source()] {
+                let i = net.index();
+                if is_exit[i] {
+                    exits.insert(i);
+                }
+                if is_rail[i] {
+                    rails.insert(i);
+                }
+            }
+        }
+        let mut exits: Vec<usize> = exits.into_iter().collect();
+        let mut rails: Vec<usize> = rails.into_iter().collect();
+        exits.sort_unstable();
+        rails.sort_unstable();
+        merged.entry((exits, rails)).or_default().extend(ts);
+    }
+
+    // Build one branch per merged group.
+    let mut branches = Vec::new();
+    for ((exits, rails), mut ts) in merged {
+        ts.sort();
+        if exits.len() == 1 && rails.len() == 1 {
+            let exit = NetId(exits[0] as u32);
+            let rail = NetId(rails[0] as u32);
+            match sp_decompose(cell, &ts, exit, rail, activation) {
+                Some(tree) => {
+                    let equation = render_equation(&tree, cell);
+                    let transistors = tree.leaves();
+                    branches.push(Branch {
+                        exit,
+                        rail: Some(rail),
+                        level: 0,
+                        equation,
+                        tree: Some(tree),
+                        transistors,
+                    });
+                }
+                None => branches.push(fallback_branch(cell, ts, exit, Some(rail), activation)),
+            }
+        } else {
+            // Pass-transistor or multi-boundary group: deterministic
+            // fallback keyed on activity.
+            let exit = exits
+                .first()
+                .map(|&i| NetId(i as u32))
+                .unwrap_or_else(|| cell.output());
+            let rail = rails.first().map(|&i| NetId(i as u32));
+            branches.push(fallback_branch(cell, ts, exit, rail, activation));
+        }
+    }
+
+    assign_levels(cell, &mut branches);
+    // Paper sorting criteria: level, transistor count, equation. Activity
+    // of the first transistor breaks remaining ties deterministically.
+    branches.sort_by(|a, b| {
+        (a.level, a.transistors.len(), &a.equation)
+            .cmp(&(b.level, b.transistors.len(), &b.equation))
+            .then_with(|| {
+                let key = |br: &Branch| {
+                    br.transistors
+                        .iter()
+                        .map(|&t| activation.activity_value(t).clone())
+                        .collect::<Vec<_>>()
+                };
+                key(a).cmp(&key(b))
+            })
+    });
+    Ok(branches)
+}
+
+fn fallback_branch(
+    cell: &Cell,
+    mut ts: Vec<TransistorId>,
+    exit: NetId,
+    rail: Option<NetId>,
+    activation: &Activation,
+) -> Branch {
+    ts.sort_by(|&a, &b| {
+        let key = |t: TransistorId| {
+            (
+                cell.transistor(t).kind().letter(),
+                activation.activity_value(t).clone(),
+            )
+        };
+        key(a).cmp(&key(b))
+    });
+    let n = ts
+        .iter()
+        .filter(|&&t| cell.transistor(t).kind() == MosKind::Nmos)
+        .count();
+    let p = ts.len() - n;
+    Branch {
+        exit,
+        rail,
+        level: 0,
+        equation: format!("?({n}n,{p}p)"),
+        tree: None,
+        transistors: ts,
+    }
+}
+
+/// Assigns levels: 1 for branches driving a cell output, `k + 1` for
+/// branches whose exit gates a level-`k` branch's transistor.
+fn assign_levels(cell: &Cell, branches: &mut [Branch]) {
+    let outputs: HashSet<usize> = cell.outputs().iter().map(|n| n.index()).collect();
+    let mut level_of_exit: HashMap<usize, u32> = HashMap::new();
+    for b in branches.iter() {
+        if outputs.contains(&b.exit.index()) {
+            level_of_exit.insert(b.exit.index(), 1);
+        }
+    }
+    // Relax until fixpoint (bounded by branch count).
+    for _ in 0..branches.len() + 1 {
+        let mut changed = false;
+        for b in branches.iter() {
+            let Some(&level) = level_of_exit.get(&b.exit.index()) else {
+                continue;
+            };
+            for &t in &b.transistors {
+                let gate = cell.transistor(t).gate().index();
+                let entry = level_of_exit.entry(gate).or_insert(u32::MAX);
+                if *entry > level + 1 {
+                    *entry = level + 1;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    for b in branches.iter_mut() {
+        b.level = level_of_exit.get(&b.exit.index()).copied().unwrap_or(99);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Series-parallel decomposition
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+struct SpEdge {
+    a: usize,
+    b: usize,
+    /// Tree oriented from `a` to `b`.
+    tree: SpTree,
+}
+
+fn flip(tree: SpTree) -> SpTree {
+    match tree {
+        SpTree::Leaf(t) => SpTree::Leaf(t),
+        SpTree::Series(mut cs) => {
+            cs.reverse();
+            SpTree::Series(cs.into_iter().map(flip).collect())
+        }
+        SpTree::Parallel(cs) => SpTree::Parallel(cs.into_iter().map(flip).collect()),
+    }
+}
+
+fn series(children: Vec<SpTree>) -> SpTree {
+    let mut flat = Vec::new();
+    for c in children {
+        match c {
+            SpTree::Series(inner) => flat.extend(inner),
+            other => flat.push(other),
+        }
+    }
+    if flat.len() == 1 {
+        flat.pop().expect("non-empty")
+    } else {
+        SpTree::Series(flat)
+    }
+}
+
+fn parallel(children: Vec<SpTree>) -> SpTree {
+    let mut flat = Vec::new();
+    for c in children {
+        match c {
+            SpTree::Parallel(inner) => flat.extend(inner),
+            other => flat.push(other),
+        }
+    }
+    if flat.len() == 1 {
+        flat.pop().expect("non-empty")
+    } else {
+        SpTree::Parallel(flat)
+    }
+}
+
+/// Reduces the two-terminal network (`exit`..`rail`) spanned by `ts` to an
+/// SP tree, or `None` when the network is not series-parallel.
+fn sp_decompose(
+    cell: &Cell,
+    ts: &[TransistorId],
+    exit: NetId,
+    rail: NetId,
+    activation: &Activation,
+) -> Option<SpTree> {
+    let mut edges: Vec<SpEdge> = ts
+        .iter()
+        .map(|&t| {
+            let tr = cell.transistor(t);
+            SpEdge {
+                a: tr.drain().index(),
+                b: tr.source().index(),
+                tree: SpTree::Leaf(t),
+            }
+        })
+        .collect();
+    let terminals = (exit.index(), rail.index());
+    loop {
+        let before = edges.len();
+        // Parallel merge: group edges by unordered endpoint pair.
+        let mut groups: BTreeMap<(usize, usize), Vec<SpEdge>> = BTreeMap::new();
+        for e in edges.drain(..) {
+            let key = (e.a.min(e.b), e.a.max(e.b));
+            groups.entry(key).or_default().push(e);
+        }
+        for ((lo, hi), group) in groups {
+            if group.len() == 1 {
+                edges.extend(group);
+            } else {
+                let children: Vec<SpTree> = group
+                    .into_iter()
+                    .map(|e| if e.a == lo { e.tree } else { flip(e.tree) })
+                    .collect();
+                edges.push(SpEdge {
+                    a: lo,
+                    b: hi,
+                    tree: parallel(children),
+                });
+            }
+        }
+        // Series merge: internal node of degree exactly 2.
+        let mut degree: HashMap<usize, Vec<usize>> = HashMap::new();
+        for (i, e) in edges.iter().enumerate() {
+            degree.entry(e.a).or_default().push(i);
+            degree.entry(e.b).or_default().push(i);
+        }
+        let mut merge_at: Option<usize> = None;
+        for (&node, incident) in &degree {
+            if node != terminals.0
+                && node != terminals.1
+                && incident.len() == 2
+                && incident[0] != incident[1]
+            {
+                merge_at = Some(node);
+                break;
+            }
+        }
+        if let Some(node) = merge_at {
+            let incident = &degree[&node];
+            let (i, j) = (incident[0].min(incident[1]), incident[0].max(incident[1]));
+            let e2 = edges.remove(j);
+            let e1 = edges.remove(i);
+            // Orient e1 (u -> node) and e2 (node -> v).
+            let (u, t1) = if e1.b == node {
+                (e1.a, e1.tree)
+            } else {
+                (e1.b, flip(e1.tree))
+            };
+            let (v, t2) = if e2.a == node {
+                (e2.b, e2.tree)
+            } else {
+                (e2.a, flip(e2.tree))
+            };
+            edges.push(SpEdge {
+                a: u,
+                b: v,
+                tree: series(vec![t1, t2]),
+            });
+        }
+        if edges.len() == 1 {
+            break;
+        }
+        if edges.len() == before && merge_at.is_none() {
+            return None; // irreducible (bridge network)
+        }
+    }
+    let e = edges.pop().expect("single edge");
+    if (e.a, e.b) == terminals {
+        Some(sort_parallel(e.tree, cell, activation))
+    } else if (e.b, e.a) == terminals {
+        Some(sort_parallel(flip(e.tree), cell, activation))
+    } else {
+        None
+    }
+}
+
+/// Sorts parallel siblings by (anonymized equation, activity values of the
+/// subtree leaves) — the paper's deterministic resolution of parallel
+/// ambiguity (§III.C).
+fn sort_parallel(tree: SpTree, cell: &Cell, activation: &Activation) -> SpTree {
+    match tree {
+        SpTree::Leaf(t) => SpTree::Leaf(t),
+        SpTree::Series(cs) => SpTree::Series(
+            cs.into_iter()
+                .map(|c| sort_parallel(c, cell, activation))
+                .collect(),
+        ),
+        SpTree::Parallel(cs) => {
+            let mut sorted: Vec<SpTree> = cs
+                .into_iter()
+                .map(|c| sort_parallel(c, cell, activation))
+                .collect();
+            sorted.sort_by(|x, y| {
+                let key = |t: &SpTree| {
+                    let eq = render_equation(t, cell);
+                    let acts: Vec<ActivityValue> = t
+                        .leaves()
+                        .iter()
+                        .map(|&l| activation.activity_value(l).clone())
+                        .collect();
+                    (eq, acts)
+                };
+                key(x).cmp(&key(y))
+            });
+            SpTree::Parallel(sorted)
+        }
+    }
+}
+
+/// Renders the anonymized equation of an SP tree (`1n`/`1p` leaves).
+pub fn render_equation(tree: &SpTree, cell: &Cell) -> String {
+    let mut out = String::new();
+    render_rec(tree, cell, &mut out);
+    out
+}
+
+fn render_rec(tree: &SpTree, cell: &Cell, out: &mut String) {
+    match tree {
+        SpTree::Leaf(t) => {
+            let _ = write!(out, "1{}", cell.transistor(*t).kind().letter());
+        }
+        SpTree::Series(cs) => {
+            out.push('(');
+            for (i, c) in cs.iter().enumerate() {
+                if i > 0 {
+                    out.push('&');
+                }
+                render_rec(c, cell, out);
+            }
+            out.push(')');
+        }
+        SpTree::Parallel(cs) => {
+            out.push('(');
+            for (i, c) in cs.iter().enumerate() {
+                if i > 0 {
+                    out.push('|');
+                }
+                render_rec(c, cell, out);
+            }
+            out.push(')');
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fig. 6 equivalence reduction
+// ---------------------------------------------------------------------
+
+/// Renders a branch signature after merging parallel subtrees that are
+/// identical up to activity values (the Fig. 6 drive configurations both
+/// collapse to the same signature).
+fn reduced_signature(branch: &Branch, cell: &Cell, activation: &Activation) -> String {
+    match &branch.tree {
+        Some(tree) => format!("L{}:{}", branch.level, reduce_rec(tree, cell, activation)),
+        None => format!("L{}:{}", branch.level, branch.equation),
+    }
+}
+
+fn reduce_rec(tree: &SpTree, cell: &Cell, activation: &Activation) -> String {
+    match tree {
+        SpTree::Leaf(t) => format!(
+            "1{}@{}",
+            cell.transistor(*t).kind().letter(),
+            activation.activity_value(*t)
+        ),
+        SpTree::Series(cs) => {
+            let parts: Vec<String> = cs.iter().map(|c| reduce_rec(c, cell, activation)).collect();
+            format!("({})", parts.join("&"))
+        }
+        SpTree::Parallel(cs) => {
+            let mut parts: Vec<String> =
+                cs.iter().map(|c| reduce_rec(c, cell, activation)).collect();
+            parts.sort();
+            parts.dedup(); // <- the drive-merge
+            if parts.len() == 1 {
+                parts.pop().expect("non-empty")
+            } else {
+                format!("({})", parts.join("|"))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ca_netlist::library::{generate_library, LibraryConfig};
+    use ca_netlist::synth::{synthesize, DriveStyle, NetlistStyle, StageExpr, StagePlan};
+    use ca_netlist::{spice, Technology};
+
+    const NAND2: &str = "\
+.SUBCKT NAND2 A B Z VDD VSS
+MPX Z A VDD VDD pch
+MPY Z B VDD VDD pch
+MN10 Z A net0 VSS nch
+MN11 net0 B VSS VSS nch
+.ENDS
+";
+
+    fn canon(cell: &Cell) -> (Activation, CanonicalCell) {
+        let act = Activation::extract(cell).unwrap();
+        let c = CanonicalCell::build(cell, &act).unwrap();
+        (act, c)
+    }
+
+    #[test]
+    fn nand2_branches_and_equations() {
+        let cell = spice::parse_cell(NAND2).unwrap();
+        let (_, c) = canon(&cell);
+        assert_eq!(c.branches().len(), 2);
+        let eqs: Vec<&str> = c.branches().iter().map(|b| b.equation.as_str()).collect();
+        assert!(eqs.contains(&"(1n&1n)"), "{eqs:?}");
+        assert!(eqs.contains(&"(1p|1p)"), "{eqs:?}");
+    }
+
+    #[test]
+    fn nand2_renaming_matches_paper_table_ii() {
+        // Paper: N10 -> N0 (top of chain), N11 -> N1, Py -> P0, Px -> P1.
+        let cell = spice::parse_cell(NAND2).unwrap();
+        let (_, c) = canon(&cell);
+        let name = |n: &str| c.name(cell.find_transistor(n).unwrap()).to_string();
+        assert_eq!(name("MN10"), "N0");
+        assert_eq!(name("MN11"), "N1");
+        assert_eq!(name("MPY"), "P0");
+        assert_eq!(name("MPX"), "P1");
+    }
+
+    #[test]
+    fn renaming_is_invariant_under_netlist_permutation() {
+        // The same NAND2 with devices renamed and reordered (and drain/
+        // source swapped on one device — SPICE symmetry) must canonize to
+        // the same names for structurally matching devices.
+        let shuffled = "\
+.SUBCKT NAND2V A B Z VDD VSS
+M3 net9 B VSS VSS nch
+M1 Z B VDD VDD pch
+M0 Z A VDD VDD pch
+M2 Z A net9 VSS nch
+.ENDS
+";
+        let a = spice::parse_cell(NAND2).unwrap();
+        let b = spice::parse_cell(shuffled).unwrap();
+        let (_, ca) = canon(&a);
+        let (_, cb) = canon(&b);
+        assert_eq!(ca.wiring_hash(), cb.wiring_hash());
+        assert_eq!(ca.structure_hash(), cb.structure_hash());
+        // Canonical positions line up by structural role: the device at
+        // position k has the same polarity and activity value in both.
+        let act_a = Activation::extract(&a).unwrap();
+        let act_b = Activation::extract(&b).unwrap();
+        for (ta, _) in a.transistor_ids() {
+            let pos = ca.position(ta);
+            // Find b's transistor at the same canonical position; it must
+            // have the same kind and activity value.
+            let tb = *cb.order().get(pos).unwrap();
+            assert_eq!(
+                a.transistor(ta).kind(),
+                b.transistor(tb).kind(),
+                "kind mismatch at position {pos}"
+            );
+            assert_eq!(
+                act_a.activity_value(ta),
+                act_b.activity_value(tb),
+                "activity mismatch at position {pos}"
+            );
+        }
+    }
+
+    #[test]
+    fn fig5_style_nested_equation() {
+        // Pull-down ((N0 & (N1 | N2)) | N3) as in Fig. 5.
+        let plan = StagePlan::single(
+            4,
+            StageExpr::Or(vec![
+                StageExpr::And(vec![
+                    StageExpr::pin(0),
+                    StageExpr::Or(vec![StageExpr::pin(1), StageExpr::pin(2)]),
+                ]),
+                StageExpr::pin(3),
+            ]),
+        )
+        .unwrap();
+        let s = synthesize("FIG5", &plan, 1, DriveStyle::SharedNets, &NetlistStyle::default())
+            .unwrap();
+        let (_, c) = canon(&s.cell);
+        let eqs: Vec<&str> = c.branches().iter().map(|b| b.equation.as_str()).collect();
+        assert!(
+            eqs.contains(&"(1n|(1n&(1n|1n)))") || eqs.contains(&"((1n&(1n|1n))|1n)"),
+            "{eqs:?}"
+        );
+    }
+
+    #[test]
+    fn levels_order_stages() {
+        // AND2 = NAND2 stage (level 2) + inverter stage (level 1).
+        let plan = StagePlan::new(
+            2,
+            vec![
+                ca_netlist::synth::Stage::new(StageExpr::And(vec![
+                    StageExpr::pin(0),
+                    StageExpr::pin(1),
+                ])),
+                ca_netlist::synth::Stage::new(StageExpr::stage(0)),
+            ],
+        )
+        .unwrap();
+        let s = synthesize("AND2", &plan, 1, DriveStyle::SharedNets, &NetlistStyle::default())
+            .unwrap();
+        let (_, c) = canon(&s.cell);
+        let mut levels: Vec<u32> = c.branches().iter().map(|b| b.level).collect();
+        levels.dedup();
+        assert_eq!(levels, vec![1, 2], "branches sorted by level");
+        // The first branches (level 1) are the output inverter.
+        assert_eq!(c.branches()[0].transistors.len(), 1);
+    }
+
+    #[test]
+    fn fig6_configurations_are_equivalent_not_identical() {
+        let plan = StagePlan::single(
+            2,
+            StageExpr::And(vec![StageExpr::pin(0), StageExpr::pin(1)]),
+        )
+        .unwrap();
+        let style = NetlistStyle::default();
+        let shared = synthesize("X2", &plan, 2, DriveStyle::SharedNets, &style).unwrap();
+        let split = synthesize("X2S", &plan, 2, DriveStyle::SplitFingers, &style).unwrap();
+        let x1 = synthesize("X1", &plan, 1, DriveStyle::SharedNets, &style).unwrap();
+        let (_, cs) = canon(&shared.cell);
+        let (_, cf) = canon(&split.cell);
+        let (_, c1) = canon(&x1.cell);
+        assert_ne!(cs.wiring_hash(), cf.wiring_hash(), "different structures");
+        assert_eq!(cs.reduced_hash(), cf.reduced_hash(), "Fig. 6 equivalence");
+        assert_eq!(cs.reduced_hash(), c1.reduced_hash(), "drive collapses");
+    }
+
+    #[test]
+    fn cross_technology_same_wiring_hash() {
+        let soi = generate_library(&LibraryConfig::quick(Technology::Soi28));
+        let c28 = generate_library(&LibraryConfig::quick(Technology::C28));
+        for template in ["NAND2", "NOR3", "AOI21"] {
+            let a = soi
+                .cells
+                .iter()
+                .find(|c| c.template == template && c.drive == 1)
+                .unwrap();
+            let b = c28
+                .cells
+                .iter()
+                .find(|c| c.template == template && c.drive == 1)
+                .unwrap();
+            let (_, ca) = canon(&a.cell);
+            let (_, cb) = canon(&b.cell);
+            assert_eq!(ca.wiring_hash(), cb.wiring_hash(), "{template}");
+        }
+    }
+
+    #[test]
+    fn canonical_positions_cover_all_transistors() {
+        let lib = generate_library(&LibraryConfig::quick(Technology::Soi28));
+        for lc in &lib.cells {
+            let (_, c) = canon(&lc.cell);
+            let mut seen = vec![false; lc.cell.num_transistors()];
+            for &t in c.order() {
+                assert!(!seen[t.index()], "duplicate in canonical order");
+                seen[t.index()] = true;
+            }
+            assert!(seen.iter().all(|&s| s), "missing transistor");
+        }
+    }
+}

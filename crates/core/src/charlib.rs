@@ -1,0 +1,176 @@
+//! Library-level characterization driver.
+//!
+//! Wraps the per-cell flows into the batch operation an EDA user actually
+//! runs: characterize (or predict) a whole standard-cell library, collect
+//! summary statistics, and export the models as `.cam` documents.
+
+use crate::cost::CostModel;
+use crate::error::CoreError;
+use crate::matrix::PreparedCell;
+use ca_defects::{to_cam, Behavior, GenerateOptions};
+use ca_netlist::library::Library;
+use std::collections::BTreeMap;
+
+/// Summary of a characterized library.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LibrarySummary {
+    /// Library technology name.
+    pub technology: String,
+    /// Number of cells characterized.
+    pub num_cells: usize,
+    /// Total defects across all cells.
+    pub total_defects: usize,
+    /// Total defect simulations run.
+    pub total_simulations: usize,
+    /// Classes by behaviour: `(static, dynamic, undetectable)`.
+    pub behavior_totals: (usize, usize, usize),
+    /// Mean per-cell defect coverage.
+    pub mean_coverage: f64,
+    /// Estimated single-license SPICE time for the same work, seconds
+    /// (from the calibrated cost model).
+    pub estimated_spice_s: f64,
+    /// Cells per (inputs, transistors) group.
+    pub group_sizes: BTreeMap<(usize, usize), usize>,
+}
+
+impl LibrarySummary {
+    /// Renders a compact text report.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "library {} — {} cells", self.technology, self.num_cells);
+        let _ = writeln!(
+            out,
+            "  defects {}   simulations {}   mean coverage {:.1}%",
+            self.total_defects,
+            self.total_simulations,
+            self.mean_coverage * 100.0
+        );
+        let (s, d, u) = self.behavior_totals;
+        let _ = writeln!(out, "  classes: {s} static, {d} dynamic, {u} undetectable");
+        let _ = writeln!(
+            out,
+            "  estimated SPICE effort: {}",
+            crate::cost::format_duration(self.estimated_spice_s)
+        );
+        let _ = writeln!(out, "  groups (inputs, transistors) -> cells:");
+        for (key, n) in &self.group_sizes {
+            let _ = writeln!(out, "    {key:?} -> {n}");
+        }
+        out
+    }
+}
+
+/// Characterizes every cell of `library` with the conventional flow.
+///
+/// # Errors
+///
+/// Propagates the first invalid-netlist error.
+pub fn characterize_library(
+    library: &Library,
+    options: GenerateOptions,
+) -> Result<(Vec<PreparedCell>, LibrarySummary), CoreError> {
+    let mut prepared = Vec::with_capacity(library.len());
+    for lc in &library.cells {
+        prepared.push(PreparedCell::characterize(lc.cell.clone(), options)?);
+    }
+    let summary = summarize(library.technology.name(), &prepared);
+    Ok((prepared, summary))
+}
+
+/// Builds the summary over already-characterized cells.
+pub fn summarize(technology: &str, prepared: &[PreparedCell]) -> LibrarySummary {
+    let cost = CostModel::paper_calibrated();
+    let mut total_defects = 0;
+    let mut total_simulations = 0;
+    let mut behavior_totals = (0, 0, 0);
+    let mut coverage_sum = 0.0;
+    let mut estimated_spice_s = 0.0;
+    let mut group_sizes: BTreeMap<(usize, usize), usize> = BTreeMap::new();
+    for p in prepared {
+        *group_sizes.entry(p.group_key()).or_default() += 1;
+        estimated_spice_s += cost.simulation_time_s(&p.cell);
+        if let Some(model) = &p.model {
+            total_defects += model.universe.len();
+            total_simulations += model.defect_simulations;
+            coverage_sum += model.coverage();
+            for class in &model.classes {
+                match class.behavior {
+                    Behavior::Static => behavior_totals.0 += 1,
+                    Behavior::Dynamic => behavior_totals.1 += 1,
+                    Behavior::Undetectable => behavior_totals.2 += 1,
+                }
+            }
+        }
+    }
+    LibrarySummary {
+        technology: technology.to_string(),
+        num_cells: prepared.len(),
+        total_defects,
+        total_simulations,
+        behavior_totals,
+        mean_coverage: if prepared.is_empty() {
+            0.0
+        } else {
+            coverage_sum / prepared.len() as f64
+        },
+        estimated_spice_s,
+        group_sizes,
+    }
+}
+
+/// Exports every characterized cell as a `.cam` document, returning
+/// `(file name, contents)` pairs (the caller decides where to write).
+pub fn export_cam(prepared: &[PreparedCell]) -> Vec<(String, String)> {
+    prepared
+        .iter()
+        .filter_map(|p| {
+            p.model
+                .as_ref()
+                .map(|m| (format!("{}.cam", p.cell.name()), to_cam(m)))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ca_defects::from_cam;
+    use ca_netlist::library::{generate_library, LibraryConfig};
+    use ca_netlist::Technology;
+
+    fn tiny_library() -> Library {
+        let mut lib = generate_library(&LibraryConfig::quick(Technology::C40));
+        lib.cells.truncate(6);
+        lib
+    }
+
+    #[test]
+    fn characterize_and_summarize() {
+        let lib = tiny_library();
+        let (prepared, summary) = characterize_library(&lib, GenerateOptions::default()).unwrap();
+        assert_eq!(prepared.len(), 6);
+        assert_eq!(summary.num_cells, 6);
+        assert!(summary.total_defects > 0);
+        assert!(summary.total_simulations > 0);
+        assert!(summary.mean_coverage > 0.4);
+        assert!(summary.estimated_spice_s > 0.0);
+        assert!(!summary.group_sizes.is_empty());
+        let text = summary.render();
+        assert!(text.contains("C40"));
+        assert!(text.contains("classes:"));
+    }
+
+    #[test]
+    fn cam_export_round_trips() {
+        let lib = tiny_library();
+        let (prepared, _) = characterize_library(&lib, GenerateOptions::default()).unwrap();
+        let exported = export_cam(&prepared);
+        assert_eq!(exported.len(), 6);
+        for (p, (name, text)) in prepared.iter().zip(&exported) {
+            assert!(name.ends_with(".cam"));
+            let parsed = from_cam(text, &p.cell).unwrap();
+            assert_eq!(&parsed, p.model.as_ref().unwrap());
+        }
+    }
+}

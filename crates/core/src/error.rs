@@ -1,0 +1,77 @@
+//! Error type of the CA-matrix and flow layers.
+
+use std::fmt;
+
+/// Errors raised while canonicalizing cells or running generation flows.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// The defect-free simulation produced a non-binary value, so the cell
+    /// cannot be characterized (broken netlist, floating output, ...).
+    GoldenNotBinary {
+        /// Cell being characterized.
+        cell: String,
+        /// Stimulus index that failed.
+        stimulus: usize,
+    },
+    /// No trained group matches the cell's (inputs, transistors) key.
+    NoMatchingGroup {
+        /// Cell that could not be dispatched.
+        cell: String,
+        /// Number of primary inputs.
+        inputs: usize,
+        /// Number of transistors.
+        transistors: usize,
+    },
+    /// The training corpus for a group was empty.
+    EmptyTrainingSet,
+    /// A cell violates a structural assumption (documented per call site).
+    Unsupported(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::GoldenNotBinary { cell, stimulus } => write!(
+                f,
+                "golden simulation of `{cell}` is not binary under stimulus {stimulus}"
+            ),
+            CoreError::NoMatchingGroup {
+                cell,
+                inputs,
+                transistors,
+            } => write!(
+                f,
+                "no trained group for `{cell}` ({inputs} inputs, {transistors} transistors)"
+            ),
+            CoreError::EmptyTrainingSet => write!(f, "training corpus is empty"),
+            CoreError::Unsupported(msg) => write!(f, "unsupported cell structure: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let err = CoreError::NoMatchingGroup {
+            cell: "X".into(),
+            inputs: 3,
+            transistors: 8,
+        };
+        assert_eq!(
+            err.to_string(),
+            "no trained group for `X` (3 inputs, 8 transistors)"
+        );
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CoreError>();
+    }
+}

@@ -1,0 +1,247 @@
+//! Cell-aware diagnosis: ranking candidate defects from tester responses.
+//!
+//! The paper's motivating application (references \[1], \[4], \[6] there):
+//! given the pass/fail signature a failing die shows on the applied cell
+//! patterns, rank the cell-internal defect classes by how well they
+//! explain the observation. A perfect match means the signature equals
+//! the class's detection row restricted to the applied patterns.
+
+use crate::model::CaModel;
+
+/// One observed pattern outcome on the tester.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Observation {
+    /// Index of the applied stimulus in the model's canonical order.
+    pub stimulus: usize,
+    /// Whether the cell output mismatched expectation (failed).
+    pub failed: bool,
+}
+
+/// A scored diagnosis candidate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Candidate {
+    /// Index of the defect class in the model.
+    pub class: usize,
+    /// Observations explained (signature bits matching the class row).
+    pub matched: usize,
+    /// Observed failures the class cannot produce (fatal for the
+    /// candidate under the single-defect assumption).
+    pub unexplained_fails: usize,
+    /// Predicted failures the tester did not see (possible with
+    /// marginal/resistive defects; penalized, not fatal).
+    pub missed_predictions: usize,
+}
+
+impl Candidate {
+    /// Whether the candidate explains the signature exactly.
+    pub fn is_perfect(&self, num_observations: usize) -> bool {
+        self.matched == num_observations
+    }
+}
+
+/// Ranks defect classes against a tester signature.
+///
+/// Candidates with unexplained failures are excluded (a single defect
+/// cannot fail a pattern its class does not detect); the rest are sorted
+/// by (matched desc, missed predictions asc, class index asc).
+pub fn diagnose(model: &CaModel, observations: &[Observation]) -> Vec<Candidate> {
+    let mut out = Vec::new();
+    for (ci, class) in model.classes.iter().enumerate() {
+        let mut matched = 0;
+        let mut unexplained_fails = 0;
+        let mut missed_predictions = 0;
+        for obs in observations {
+            let predicted = class.row.get(obs.stimulus);
+            match (obs.failed, predicted) {
+                (true, true) | (false, false) => matched += 1,
+                (true, false) => unexplained_fails += 1,
+                (false, true) => missed_predictions += 1,
+            }
+        }
+        if unexplained_fails == 0 && observations.iter().any(|o| o.failed) {
+            out.push(Candidate {
+                class: ci,
+                matched,
+                unexplained_fails,
+                missed_predictions,
+            });
+        }
+    }
+    out.sort_by(|a, b| {
+        b.matched
+            .cmp(&a.matched)
+            .then(a.missed_predictions.cmp(&b.missed_predictions))
+            .then(a.class.cmp(&b.class))
+    });
+    out
+}
+
+/// Finds a stimulus on which the two classes predict different outcomes,
+/// preferring stimuli not in `already_applied` — the adaptive-diagnosis
+/// step that refines an ambiguous candidate list.
+pub fn distinguishing_stimulus(
+    model: &CaModel,
+    class_a: usize,
+    class_b: usize,
+    already_applied: &[usize],
+) -> Option<usize> {
+    let a = &model.classes[class_a].row;
+    let b = &model.classes[class_b].row;
+    (0..a.len())
+        .filter(|&s| a.get(s) != b.get(s))
+        .find(|s| !already_applied.contains(s))
+        .or_else(|| (0..a.len()).find(|&s| a.get(s) != b.get(s)))
+}
+
+/// Builds the signature a given defect class would produce over
+/// `stimuli` — useful for tests and for simulating customer returns.
+pub fn signature_of(model: &CaModel, class: usize, stimuli: &[usize]) -> Vec<Observation> {
+    stimuli
+        .iter()
+        .map(|&s| Observation {
+            stimulus: s,
+            failed: model.classes[class].row.get(s),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::GenerateOptions;
+    use crate::patterns::select_patterns;
+    use ca_netlist::spice;
+
+    const NAND2: &str = "\
+.SUBCKT NAND2 A B Z VDD VSS
+MP0 Z A VDD VDD pch
+MP1 Z B VDD VDD pch
+MN0 Z A net0 VSS nch
+MN1 net0 B VSS VSS nch
+.ENDS
+";
+
+    fn model() -> CaModel {
+        let cell = spice::parse_cell(NAND2).unwrap();
+        CaModel::generate(&cell, GenerateOptions::default())
+    }
+
+    #[test]
+    fn injected_class_ranks_first_on_full_signature() {
+        let model = model();
+        let all: Vec<usize> = (0..model.stimuli().len()).collect();
+        for class in 0..model.classes.len() {
+            if model.classes[class].behavior == crate::Behavior::Undetectable {
+                continue;
+            }
+            let signature = signature_of(&model, class, &all);
+            let candidates = diagnose(&model, &signature);
+            assert!(!candidates.is_empty());
+            let top = &candidates[0];
+            assert!(top.is_perfect(signature.len()));
+            // The true class is among the perfect matches (equivalent
+            // classes are indistinguishable by definition, but rows are
+            // unique per class, so it is exactly first here).
+            assert_eq!(top.class, class);
+        }
+    }
+
+    #[test]
+    fn partial_signature_keeps_true_class_as_candidate() {
+        let model = model();
+        let selected = select_patterns(&model);
+        for class in 0..model.classes.len() {
+            if model.classes[class].behavior == crate::Behavior::Undetectable {
+                continue;
+            }
+            let signature = signature_of(&model, class, &selected.selected);
+            if !signature.iter().any(|o| o.failed) {
+                continue;
+            }
+            let candidates = diagnose(&model, &signature);
+            assert!(
+                candidates.iter().any(|c| c.class == class),
+                "class {class} missing from candidates"
+            );
+        }
+    }
+
+    #[test]
+    fn distinguishing_stimulus_separates_distinct_classes() {
+        let model = model();
+        for a in 0..model.classes.len() {
+            for b in (a + 1)..model.classes.len() {
+                let s = distinguishing_stimulus(&model, a, b, &[])
+                    .expect("distinct classes have distinct rows");
+                assert_ne!(model.classes[a].row.get(s), model.classes[b].row.get(s));
+            }
+        }
+    }
+
+    #[test]
+    fn adaptive_diagnosis_converges_to_the_true_class() {
+        let model = model();
+        let all: Vec<usize> = (0..model.stimuli().len()).collect();
+        for class in 0..model.classes.len() {
+            if model.classes[class].behavior == crate::Behavior::Undetectable {
+                continue;
+            }
+            // Start with a minimal pattern set; refine while ambiguous.
+            let selected = crate::patterns::select_patterns(&model);
+            let mut applied = selected.selected.clone();
+            for _ in 0..all.len() {
+                let signature = signature_of(&model, class, &applied);
+                if !signature.iter().any(|o| o.failed) {
+                    // The defect escapes this set entirely (cannot happen
+                    // for the covering set, but keep the guard).
+                    applied.push(all[applied.len() % all.len()]);
+                    continue;
+                }
+                let candidates = diagnose(&model, &signature);
+                let perfect: Vec<&Candidate> = candidates
+                    .iter()
+                    .filter(|c| c.is_perfect(signature.len()))
+                    .collect();
+                if perfect.len() <= 1 {
+                    assert_eq!(perfect[0].class, class);
+                    break;
+                }
+                let extra = distinguishing_stimulus(
+                    &model,
+                    perfect[0].class,
+                    perfect[1].class,
+                    &applied,
+                )
+                .expect("separable");
+                applied.push(extra);
+            }
+        }
+    }
+
+    #[test]
+    fn all_pass_signature_yields_no_candidates() {
+        let model = model();
+        let signature: Vec<Observation> = (0..4)
+            .map(|s| Observation {
+                stimulus: s,
+                failed: false,
+            })
+            .collect();
+        assert!(diagnose(&model, &signature).is_empty());
+    }
+
+    #[test]
+    fn unexplained_failures_disqualify() {
+        let model = model();
+        // Fail a pattern that class 0 does not detect.
+        let class0_misses = (0..model.stimuli().len())
+            .find(|&s| !model.classes[0].row.get(s))
+            .unwrap();
+        let signature = vec![Observation {
+            stimulus: class0_misses,
+            failed: true,
+        }];
+        let candidates = diagnose(&model, &signature);
+        assert!(candidates.iter().all(|c| c.class != 0));
+    }
+}

@@ -1,0 +1,361 @@
+//! Textual CA model interchange format (`.cam`).
+//!
+//! Commercial CA flows exchange models in proprietary per-vendor formats;
+//! this is our open equivalent: a line-oriented, diff-friendly text format
+//! that round-trips [`CaModel`] exactly. It exists so characterized
+//! libraries can be stored and reloaded without re-simulating (the "large
+//! database of CA models" the paper trains from).
+//!
+//! ```text
+//! CAM 1
+//! cell NAND2 inputs 2 transistors 4 sims 384
+//! defect 0 open mos 0 D
+//! defect 1 open mos 0 G
+//! defect 12 short mos 2 D S
+//! defect 23 netshort 3 7
+//! row 0 0100...
+//! row 1 0100...
+//! end
+//! ```
+
+use crate::model::CaModel;
+use crate::table::BitRow;
+use crate::universe::{Defect, DefectId, DefectKind, DefectUniverse};
+use ca_netlist::{Cell, NetId, Terminal, TransistorId};
+use ca_sim::Injection;
+use std::fmt::Write as _;
+
+/// Errors raised while parsing a `.cam` document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseCamError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseCamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cam parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseCamError {}
+
+fn terminal_letter(t: Terminal) -> char {
+    t.letter()
+}
+
+fn parse_terminal(s: &str, line: usize) -> Result<Terminal, ParseCamError> {
+    match s {
+        "D" => Ok(Terminal::Drain),
+        "G" => Ok(Terminal::Gate),
+        "S" => Ok(Terminal::Source),
+        "B" => Ok(Terminal::Bulk),
+        _ => Err(ParseCamError {
+            line,
+            message: format!("unknown terminal `{s}`"),
+        }),
+    }
+}
+
+/// Serializes a model to the `.cam` text format.
+pub fn to_cam(model: &CaModel) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "CAM 1");
+    let _ = writeln!(
+        out,
+        "cell {} inputs {} transistors {} sims {}",
+        model.cell_name, model.num_inputs, model.num_transistors, model.defect_simulations
+    );
+    for defect in model.universe.defects() {
+        match defect.injection {
+            Injection::None => {}
+            Injection::Open {
+                transistor,
+                terminal,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "defect {} open mos {} {}",
+                    defect.id.0,
+                    transistor.0,
+                    terminal_letter(terminal)
+                );
+            }
+            Injection::Short { transistor, a, b } => {
+                let _ = writeln!(
+                    out,
+                    "defect {} short mos {} {} {}",
+                    defect.id.0,
+                    transistor.0,
+                    terminal_letter(a),
+                    terminal_letter(b)
+                );
+            }
+            Injection::NetShort { a, b } => {
+                let _ = writeln!(out, "defect {} netshort {} {}", defect.id.0, a.0, b.0);
+            }
+        }
+    }
+    for (i, row) in model.rows.iter().enumerate() {
+        let bits: String = (0..row.len())
+            .map(|j| if row.get(j) { '1' } else { '0' })
+            .collect();
+        let _ = writeln!(out, "row {i} {bits}");
+    }
+    out.push_str("end\n");
+    out
+}
+
+/// Parses a `.cam` document back into a model.
+///
+/// `cell` must be the netlist the model was generated from (classes are
+/// rebuilt from the rows).
+///
+/// # Errors
+///
+/// Returns [`ParseCamError`] on any structural mismatch.
+pub fn from_cam(text: &str, cell: &Cell) -> Result<CaModel, ParseCamError> {
+    let mut defects: Vec<Defect> = Vec::new();
+    let mut rows: Vec<(usize, BitRow)> = Vec::new();
+    let mut header: Option<(String, usize, usize, usize)> = None;
+    let mut saw_end = false;
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        let err = |message: String| ParseCamError {
+            line: line_no,
+            message,
+        };
+        match tokens[0] {
+            "CAM" => {
+                if tokens.get(1) != Some(&"1") {
+                    return Err(err("unsupported CAM version".into()));
+                }
+            }
+            "cell" => {
+                if tokens.len() != 8 || tokens[2] != "inputs" || tokens[4] != "transistors" {
+                    return Err(err("malformed cell header".into()));
+                }
+                let parse = |s: &str| -> Result<usize, ParseCamError> {
+                    s.parse().map_err(|_| ParseCamError {
+                        line: line_no,
+                        message: format!("bad number `{s}`"),
+                    })
+                };
+                header = Some((
+                    tokens[1].to_string(),
+                    parse(tokens[3])?,
+                    parse(tokens[5])?,
+                    parse(tokens[7])?,
+                ));
+            }
+            "defect" => {
+                let id: u32 = tokens
+                    .get(1)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| err("bad defect id".into()))?;
+                let (kind, injection) = match tokens.get(2) {
+                    Some(&"open") => {
+                        if tokens.len() != 6 || tokens[3] != "mos" {
+                            return Err(err("malformed open defect".into()));
+                        }
+                        let t: u32 = tokens[4]
+                            .parse()
+                            .map_err(|_| err("bad transistor index".into()))?;
+                        (
+                            DefectKind::Open,
+                            Injection::Open {
+                                transistor: TransistorId(t),
+                                terminal: parse_terminal(tokens[5], line_no)?,
+                            },
+                        )
+                    }
+                    Some(&"short") => {
+                        if tokens.len() != 7 || tokens[3] != "mos" {
+                            return Err(err("malformed short defect".into()));
+                        }
+                        let t: u32 = tokens[4]
+                            .parse()
+                            .map_err(|_| err("bad transistor index".into()))?;
+                        (
+                            DefectKind::Short,
+                            Injection::Short {
+                                transistor: TransistorId(t),
+                                a: parse_terminal(tokens[5], line_no)?,
+                                b: parse_terminal(tokens[6], line_no)?,
+                            },
+                        )
+                    }
+                    Some(&"netshort") => {
+                        if tokens.len() != 5 {
+                            return Err(err("malformed net short".into()));
+                        }
+                        let a: u32 = tokens[3].parse().map_err(|_| err("bad net id".into()))?;
+                        let b: u32 = tokens[4].parse().map_err(|_| err("bad net id".into()))?;
+                        (
+                            DefectKind::Short,
+                            Injection::NetShort {
+                                a: NetId(a),
+                                b: NetId(b),
+                            },
+                        )
+                    }
+                    other => return Err(err(format!("unknown defect kind {other:?}"))),
+                };
+                if id as usize != defects.len() {
+                    return Err(err(format!(
+                        "defect ids must be dense: expected {}, got {id}",
+                        defects.len()
+                    )));
+                }
+                defects.push(Defect {
+                    id: DefectId(id),
+                    kind,
+                    injection,
+                });
+            }
+            "row" => {
+                let idx: usize = tokens
+                    .get(1)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| err("bad row index".into()))?;
+                let bits = tokens.get(2).ok_or_else(|| err("missing row bits".into()))?;
+                let mut row = BitRow::zeros(bits.len());
+                for (j, c) in bits.chars().enumerate() {
+                    match c {
+                        '0' => {}
+                        '1' => row.set(j, true),
+                        _ => return Err(err(format!("bad bit `{c}`"))),
+                    }
+                }
+                rows.push((idx, row));
+            }
+            "end" => {
+                saw_end = true;
+            }
+            other => return Err(err(format!("unknown directive `{other}`"))),
+        }
+    }
+    if !saw_end {
+        return Err(ParseCamError {
+            line: text.lines().count(),
+            message: "missing `end`".into(),
+        });
+    }
+    let (name, inputs, transistors, sims) = header.ok_or(ParseCamError {
+        line: 1,
+        message: "missing cell header".into(),
+    })?;
+    if name != cell.name() || inputs != cell.num_inputs() || transistors != cell.num_transistors()
+    {
+        return Err(ParseCamError {
+            line: 1,
+            message: format!(
+                "model is for `{name}` ({inputs} in, {transistors} T), got `{}` ({} in, {} T)",
+                cell.name(),
+                cell.num_inputs(),
+                cell.num_transistors()
+            ),
+        });
+    }
+    rows.sort_by_key(|&(i, _)| i);
+    if rows.iter().enumerate().any(|(i, &(j, _))| i != j) {
+        return Err(ParseCamError {
+            line: 1,
+            message: "row indices must be dense".into(),
+        });
+    }
+    if rows.len() != defects.len() {
+        return Err(ParseCamError {
+            line: 1,
+            message: format!("{} rows for {} defects", rows.len(), defects.len()),
+        });
+    }
+    let universe = DefectUniverse::from_defects(defects).map_err(|message| ParseCamError {
+        line: 1,
+        message,
+    })?;
+    let mut model = CaModel::from_rows(cell, universe, rows.into_iter().map(|(_, r)| r).collect());
+    model.defect_simulations = sims;
+    Ok(model)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::GenerateOptions;
+    use ca_netlist::spice;
+
+    const NAND2: &str = "\
+.SUBCKT NAND2 A B Z VDD VSS
+MP0 Z A VDD VDD pch
+MP1 Z B VDD VDD pch
+MN0 Z A net0 VSS nch
+MN1 net0 B VSS VSS nch
+.ENDS
+";
+
+    #[test]
+    fn cam_round_trip() {
+        let cell = spice::parse_cell(NAND2).unwrap();
+        let model = CaModel::generate(&cell, GenerateOptions::default());
+        let text = to_cam(&model);
+        let parsed = from_cam(&text, &cell).unwrap();
+        assert_eq!(model, parsed);
+    }
+
+    #[test]
+    fn cam_round_trip_with_net_shorts() {
+        let cell = spice::parse_cell(NAND2).unwrap();
+        let model = CaModel::generate(
+            &cell,
+            GenerateOptions {
+                inter_transistor: true,
+                ..GenerateOptions::default()
+            },
+        );
+        let text = to_cam(&model);
+        let parsed = from_cam(&text, &cell).unwrap();
+        assert_eq!(model, parsed);
+    }
+
+    #[test]
+    fn wrong_cell_rejected() {
+        let cell = spice::parse_cell(NAND2).unwrap();
+        let model = CaModel::generate(&cell, GenerateOptions::default());
+        let text = to_cam(&model);
+        let other =
+            spice::parse_cell(".SUBCKT INV A Z VDD VSS\nMP0 Z A VDD VDD pch\nMN0 Z A VSS VSS nch\n.ENDS")
+                .unwrap();
+        assert!(from_cam(&text, &other).is_err());
+    }
+
+    #[test]
+    fn malformed_documents_rejected() {
+        let cell = spice::parse_cell(NAND2).unwrap();
+        for bad in [
+            "",
+            "CAM 2\nend",
+            "CAM 1\ncell NAND2 inputs 2 transistors 4 sims 0\nrow 0 01\nend",
+            "CAM 1\ncell NAND2 inputs 2 transistors 4 sims 0\ndefect 5 open mos 0 D\nend",
+            "CAM 1\ncell NAND2 inputs 2 transistors 4 sims 0\ndefect 0 open mos 0 Q\nend",
+        ] {
+            assert!(from_cam(bad, &cell).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let cell = spice::parse_cell(NAND2).unwrap();
+        let model = CaModel::generate(&cell, GenerateOptions::default());
+        let mut text = String::from("# stored model\n\n");
+        text.push_str(&to_cam(&model));
+        assert_eq!(from_cam(&text, &cell).unwrap(), model);
+    }
+}

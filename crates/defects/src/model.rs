@@ -1,0 +1,275 @@
+//! The CA model: the end product of cell-aware characterization.
+//!
+//! A [`CaModel`] is the cell-internal fault dictionary the paper's flows
+//! produce: for each defect (class), its behaviour and the set of
+//! detecting stimuli. [`CaModel::generate`] is the library's *conventional
+//! flow* (paper Fig. 1): exhaustive defect simulation, equivalence
+//! classing, synthesis into the dictionary. The ML flow produces the same
+//! type through prediction (see `ca-core`), which is what makes
+//! paper-vs-ML accuracy comparisons direct.
+
+use crate::classes::{equivalence_classes, Behavior, DefectClass};
+use crate::table::{BitRow, DetectionTable};
+use crate::universe::{DefectId, DefectUniverse};
+use ca_netlist::Cell;
+use ca_sim::{DetectionPolicy, Stimulus};
+use serde::{Deserialize, Serialize};
+
+/// Options of CA model generation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GenerateOptions {
+    /// Detection policy for unknown responses.
+    pub policy: DetectionPolicy,
+    /// Also enumerate inter-transistor net shorts.
+    pub inter_transistor: bool,
+}
+
+/// A cell-aware model: the detection dictionary of one cell.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CaModel {
+    /// Name of the characterized cell.
+    pub cell_name: String,
+    /// Number of primary inputs (fixes the canonical stimulus order).
+    pub num_inputs: usize,
+    /// Number of transistors.
+    pub num_transistors: usize,
+    /// The defect universe the model covers.
+    pub universe: DefectUniverse,
+    /// Per-defect detection rows (aligned with the universe).
+    pub rows: Vec<BitRow>,
+    /// Equivalence classes over the universe.
+    pub classes: Vec<DefectClass>,
+    /// Simulation effort spent building the model (0 for predicted models).
+    pub defect_simulations: usize,
+}
+
+impl CaModel {
+    /// Runs the conventional (simulation-based) generation flow.
+    pub fn generate(cell: &Cell, options: GenerateOptions) -> CaModel {
+        let universe = if options.inter_transistor {
+            DefectUniverse::with_inter_transistor(cell)
+        } else {
+            DefectUniverse::intra_transistor(cell)
+        };
+        let table = DetectionTable::generate_exhaustive(cell, &universe, options.policy);
+        let classes = equivalence_classes(&universe, &table);
+        CaModel {
+            cell_name: cell.name().to_string(),
+            num_inputs: cell.num_inputs(),
+            num_transistors: cell.num_transistors(),
+            rows: table.rows().to_vec(),
+            defect_simulations: table.defect_simulations(),
+            universe,
+            classes,
+        }
+    }
+
+    /// Builds a model from externally produced rows (e.g. ML predictions).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is not aligned with `universe`.
+    pub fn from_rows(cell: &Cell, universe: DefectUniverse, rows: Vec<BitRow>) -> CaModel {
+        assert_eq!(rows.len(), universe.len(), "rows/universe mismatch");
+        let stimuli = Stimulus::all(cell.num_inputs());
+        let static_count = stimuli.iter().filter(|s| s.is_static()).count();
+        // Rebuild classes from the provided rows.
+        let classes = {
+            use std::collections::HashMap;
+            let mut by_row: HashMap<&BitRow, Vec<DefectId>> = HashMap::new();
+            for d in universe.defects() {
+                by_row.entry(&rows[d.id.index()]).or_default().push(d.id);
+            }
+            let mut classes: Vec<DefectClass> = by_row
+                .into_iter()
+                .map(|(row, mut members)| {
+                    members.sort();
+                    let static_hit = (0..static_count).any(|i| row.get(i));
+                    let behavior = if static_hit {
+                        Behavior::Static
+                    } else if row.any() {
+                        Behavior::Dynamic
+                    } else {
+                        Behavior::Undetectable
+                    };
+                    DefectClass {
+                        representative: members[0],
+                        members,
+                        behavior,
+                        row: row.clone(),
+                    }
+                })
+                .collect();
+            classes.sort_by_key(|c| c.representative);
+            classes
+        };
+        CaModel {
+            cell_name: cell.name().to_string(),
+            num_inputs: cell.num_inputs(),
+            num_transistors: cell.num_transistors(),
+            rows,
+            defect_simulations: 0,
+            universe,
+            classes,
+        }
+    }
+
+    /// The canonical stimulus list the rows are aligned with.
+    pub fn stimuli(&self) -> Vec<Stimulus> {
+        Stimulus::all(self.num_inputs)
+    }
+
+    /// Detection row of `defect`.
+    pub fn row(&self, defect: DefectId) -> &BitRow {
+        &self.rows[defect.index()]
+    }
+
+    /// Whether stimulus index `stimulus` detects `defect`.
+    pub fn detects(&self, defect: DefectId, stimulus: usize) -> bool {
+        self.rows[defect.index()].get(stimulus)
+    }
+
+    /// Fraction of defects detectable by at least one stimulus.
+    pub fn coverage(&self) -> f64 {
+        if self.rows.is_empty() {
+            return 0.0;
+        }
+        self.rows.iter().filter(|r| r.any()).count() as f64 / self.rows.len() as f64
+    }
+
+    /// Counts classes by behaviour: `(static, dynamic, undetectable)`.
+    pub fn behavior_counts(&self) -> (usize, usize, usize) {
+        let mut counts = (0, 0, 0);
+        for c in &self.classes {
+            match c.behavior {
+                Behavior::Static => counts.0 += 1,
+                Behavior::Dynamic => counts.1 += 1,
+                Behavior::Undetectable => counts.2 += 1,
+            }
+        }
+        counts
+    }
+
+    /// Bit-level agreement between two models of the same shape, in
+    /// `[0, 1]` — the paper's *prediction accuracy* when one side is
+    /// predicted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the models have different universe or stimulus sizes.
+    pub fn agreement(&self, other: &CaModel) -> f64 {
+        self.agreement_filtered(other, |_| true)
+    }
+
+    /// Like [`CaModel::agreement`], restricted to one defect category —
+    /// the paper reports opens and shorts separately (§V.A).
+    ///
+    /// # Panics
+    ///
+    /// See [`CaModel::agreement`].
+    pub fn agreement_of_kind(&self, other: &CaModel, kind: crate::DefectKind) -> f64 {
+        self.agreement_filtered(other, |d| d.kind == kind)
+    }
+
+    /// Agreement over the defects selected by `filter`.
+    ///
+    /// # Panics
+    ///
+    /// See [`CaModel::agreement`].
+    pub fn agreement_filtered(
+        &self,
+        other: &CaModel,
+        mut filter: impl FnMut(&crate::Defect) -> bool,
+    ) -> f64 {
+        assert_eq!(self.rows.len(), other.rows.len(), "universe size mismatch");
+        let mut total = 0usize;
+        let mut same = 0usize;
+        for defect in self.universe.defects() {
+            if !filter(defect) {
+                continue;
+            }
+            let a = &self.rows[defect.id.index()];
+            let b = &other.rows[defect.id.index()];
+            assert_eq!(a.len(), b.len(), "stimulus count mismatch");
+            for i in 0..a.len() {
+                total += 1;
+                if a.get(i) == b.get(i) {
+                    same += 1;
+                }
+            }
+        }
+        if total == 0 {
+            1.0
+        } else {
+            same as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ca_netlist::spice;
+
+    const NAND2: &str = "\
+.SUBCKT NAND2 A B Z VDD VSS
+MP0 Z A VDD VDD pch
+MP1 Z B VDD VDD pch
+MN0 Z A net0 VSS nch
+MN1 net0 B VSS VSS nch
+.ENDS
+";
+
+    #[test]
+    fn generate_builds_complete_model() {
+        let cell = spice::parse_cell(NAND2).unwrap();
+        let model = CaModel::generate(&cell, GenerateOptions::default());
+        assert_eq!(model.cell_name, "NAND2");
+        assert_eq!(model.num_inputs, 2);
+        assert_eq!(model.universe.len(), 24);
+        assert_eq!(model.rows.len(), 24);
+        assert!(model.defect_simulations > 0);
+        assert!((model.coverage() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn agreement_with_self_is_one() {
+        let cell = spice::parse_cell(NAND2).unwrap();
+        let model = CaModel::generate(&cell, GenerateOptions::default());
+        assert!((model.agreement(&model) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn agreement_drops_when_rows_flip() {
+        let cell = spice::parse_cell(NAND2).unwrap();
+        let model = CaModel::generate(&cell, GenerateOptions::default());
+        let mut rows = model.rows.clone();
+        let flipped = !rows[0].get(0);
+        rows[0].set(0, flipped);
+        let altered = CaModel::from_rows(&cell, model.universe.clone(), rows);
+        let total = 24.0 * 16.0;
+        let expected = (total - 1.0) / total;
+        assert!((model.agreement(&altered) - expected).abs() < 1e-12);
+        assert_eq!(altered.defect_simulations, 0);
+    }
+
+    #[test]
+    fn behavior_counts_sum_to_class_count() {
+        let cell = spice::parse_cell(NAND2).unwrap();
+        let model = CaModel::generate(&cell, GenerateOptions::default());
+        let (s, d, u) = model.behavior_counts();
+        assert_eq!(s + d + u, model.classes.len());
+        assert!(s > 0 && d > 0);
+    }
+
+    #[test]
+    fn serde_round_trip_via_debug_shape() {
+        // Serialize/deserialize through serde's derived impls using the
+        // in-memory JSON-ish representation from serde_test-free check:
+        // a simple clone-compare guards the derives compile and equality.
+        let cell = spice::parse_cell(NAND2).unwrap();
+        let model = CaModel::generate(&cell, GenerateOptions::default());
+        let copy = model.clone();
+        assert_eq!(model, copy);
+    }
+}

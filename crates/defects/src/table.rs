@@ -1,0 +1,271 @@
+//! Detection tables: the bit matrix `defect × stimulus → detected`.
+//!
+//! This is the raw product of exhaustive defect simulation (the inner loop
+//! of the conventional flow, paper Fig. 1) and the source of the training
+//! labels of the ML flow.
+
+use crate::universe::{DefectId, DefectUniverse};
+use ca_netlist::Cell;
+use ca_sim::{DetectionPolicy, Injection, Simulator, Stimulus, Value};
+use serde::{Deserialize, Serialize};
+
+/// A packed bit row (one bit per stimulus).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BitRow {
+    bits: Vec<u64>,
+    len: usize,
+}
+
+impl BitRow {
+    /// An all-zero row of `len` bits.
+    pub fn zeros(len: usize) -> BitRow {
+        BitRow {
+            bits: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the row has zero bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Gets bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        (self.bits[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Sets bit `i` to `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn set(&mut self, i: usize, value: bool) {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        let mask = 1u64 << (i % 64);
+        if value {
+            self.bits[i / 64] |= mask;
+        } else {
+            self.bits[i / 64] &= !mask;
+        }
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.bits.iter().map(|b| b.count_ones() as usize).sum()
+    }
+
+    /// Whether any bit is set.
+    pub fn any(&self) -> bool {
+        self.bits.iter().any(|&b| b != 0)
+    }
+
+    /// Indices of set bits.
+    pub fn ones(&self) -> Vec<usize> {
+        (0..self.len).filter(|&i| self.get(i)).collect()
+    }
+}
+
+/// Detection results of a full defect universe under a full stimulus set.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DetectionTable {
+    stimuli: Vec<Stimulus>,
+    rows: Vec<BitRow>,
+    policy: DetectionPolicy,
+    /// Number of defective-cell simulations performed (for the cost model).
+    defect_simulations: usize,
+}
+
+impl DetectionTable {
+    /// Simulates every defect of `universe` against `stimuli`.
+    ///
+    /// The golden responses are simulated once and shared across defects.
+    pub fn generate(
+        cell: &Cell,
+        universe: &DefectUniverse,
+        stimuli: &[Stimulus],
+        policy: DetectionPolicy,
+    ) -> DetectionTable {
+        let outputs = cell.outputs().to_vec();
+        let golden_sim = Simulator::new(cell);
+        // Golden response of every output, per stimulus.
+        let golden: Vec<Vec<Value>> = stimuli
+            .iter()
+            .map(|s| {
+                let result = golden_sim.run(s);
+                outputs.iter().map(|&o| result.final_value(o)).collect()
+            })
+            .collect();
+        let mut rows = Vec::with_capacity(universe.len());
+        let mut defect_simulations = 0;
+        for defect in universe.defects() {
+            let faulty_sim = Simulator::with_injection(cell, defect.injection);
+            let mut row = BitRow::zeros(stimuli.len());
+            for (i, stimulus) in stimuli.iter().enumerate() {
+                let result = faulty_sim.run(stimulus);
+                defect_simulations += 1;
+                let detected = outputs.iter().enumerate().any(|(oi, &o)| {
+                    policy.detects(golden[i][oi], result.final_value(o))
+                });
+                row.set(i, detected);
+            }
+            rows.push(row);
+        }
+        DetectionTable {
+            stimuli: stimuli.to_vec(),
+            rows,
+            policy,
+            defect_simulations,
+        }
+    }
+
+    /// Generates with the canonical full stimulus set
+    /// ([`Stimulus::all`]`(n)`).
+    pub fn generate_exhaustive(
+        cell: &Cell,
+        universe: &DefectUniverse,
+        policy: DetectionPolicy,
+    ) -> DetectionTable {
+        let stimuli = Stimulus::all(cell.num_inputs());
+        DetectionTable::generate(cell, universe, &stimuli, policy)
+    }
+
+    /// The stimuli the table was generated against.
+    pub fn stimuli(&self) -> &[Stimulus] {
+        &self.stimuli
+    }
+
+    /// Detection row of `defect`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `defect` is out of range.
+    pub fn row(&self, defect: DefectId) -> &BitRow {
+        &self.rows[defect.index()]
+    }
+
+    /// All rows in defect-id order.
+    pub fn rows(&self) -> &[BitRow] {
+        &self.rows
+    }
+
+    /// Whether stimulus `stimulus` detects `defect`.
+    pub fn detects(&self, defect: DefectId, stimulus: usize) -> bool {
+        self.rows[defect.index()].get(stimulus)
+    }
+
+    /// The detection policy used.
+    pub fn policy(&self) -> DetectionPolicy {
+        self.policy
+    }
+
+    /// Number of defective-cell simulations that were run.
+    pub fn defect_simulations(&self) -> usize {
+        self.defect_simulations
+    }
+
+    /// Fraction of defects detected by at least one stimulus.
+    pub fn coverage(&self) -> f64 {
+        if self.rows.is_empty() {
+            return 0.0;
+        }
+        let detected = self.rows.iter().filter(|r| r.any()).count();
+        detected as f64 / self.rows.len() as f64
+    }
+}
+
+/// Convenience: simulate a single injection against `stimuli` (used by
+/// inference comparisons).
+pub fn single_defect_row(
+    cell: &Cell,
+    injection: Injection,
+    stimuli: &[Stimulus],
+    policy: DetectionPolicy,
+) -> BitRow {
+    let flags = ca_sim::detection_row(cell, injection, stimuli, policy);
+    let mut row = BitRow::zeros(flags.len());
+    for (i, &f) in flags.iter().enumerate() {
+        row.set(i, f);
+    }
+    row
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ca_netlist::spice;
+
+    const NAND2: &str = "\
+.SUBCKT NAND2 A B Z VDD VSS
+MP0 Z A VDD VDD pch
+MP1 Z B VDD VDD pch
+MN0 Z A net0 VSS nch
+MN1 net0 B VSS VSS nch
+.ENDS
+";
+
+    #[test]
+    fn bitrow_set_get_count() {
+        let mut row = BitRow::zeros(100);
+        assert_eq!(row.len(), 100);
+        row.set(0, true);
+        row.set(64, true);
+        row.set(99, true);
+        assert!(row.get(0) && row.get(64) && row.get(99));
+        assert!(!row.get(1));
+        assert_eq!(row.count_ones(), 3);
+        assert_eq!(row.ones(), vec![0, 64, 99]);
+        row.set(64, false);
+        assert_eq!(row.count_ones(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bitrow_bounds_checked() {
+        let row = BitRow::zeros(10);
+        let _ = row.get(10);
+    }
+
+    #[test]
+    fn nand2_table_has_full_coverage() {
+        let cell = spice::parse_cell(NAND2).unwrap();
+        let universe = DefectUniverse::intra_transistor(&cell);
+        let table =
+            DetectionTable::generate_exhaustive(&cell, &universe, DetectionPolicy::default());
+        assert_eq!(table.rows().len(), 24);
+        assert_eq!(table.stimuli().len(), 16);
+        // Every intra-transistor defect of a NAND2 is detectable.
+        assert!((table.coverage() - 1.0).abs() < 1e-9, "{}", table.coverage());
+        assert_eq!(table.defect_simulations(), 24 * 16);
+    }
+
+    #[test]
+    fn table_is_deterministic() {
+        let cell = spice::parse_cell(NAND2).unwrap();
+        let universe = DefectUniverse::intra_transistor(&cell);
+        let a = DetectionTable::generate_exhaustive(&cell, &universe, DetectionPolicy::default());
+        let b = DetectionTable::generate_exhaustive(&cell, &universe, DetectionPolicy::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn single_row_matches_table() {
+        let cell = spice::parse_cell(NAND2).unwrap();
+        let universe = DefectUniverse::intra_transistor(&cell);
+        let policy = DetectionPolicy::default();
+        let table = DetectionTable::generate_exhaustive(&cell, &universe, policy);
+        let d = universe.defects()[5];
+        let row = single_defect_row(&cell, d.injection, table.stimuli(), policy);
+        assert_eq!(&row, table.row(d.id));
+    }
+}

@@ -1,0 +1,296 @@
+//! Baseline classifiers the paper compared against Random Forest (§II.B):
+//! k-nearest-neighbours, logistic regression, ridge classifier and a
+//! linear SVM. The linear models are binary (labels 0/1), which matches
+//! the CA detection task.
+
+use crate::data::Dataset;
+use crate::Classifier;
+
+/// k-nearest-neighbours with Euclidean distance (brute force).
+#[derive(Debug, Clone)]
+pub struct KNearest {
+    /// Number of neighbours consulted.
+    pub k: usize,
+    data: Option<Dataset>,
+}
+
+impl KNearest {
+    /// Creates a k-NN classifier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> KNearest {
+        assert!(k > 0, "k must be positive");
+        KNearest { k, data: None }
+    }
+}
+
+impl Classifier for KNearest {
+    fn fit(&mut self, data: &Dataset) {
+        assert!(!data.is_empty(), "cannot fit on an empty dataset");
+        self.data = Some(data.clone());
+    }
+
+    fn predict(&self, row: &[f32]) -> u32 {
+        let data = self.data.as_ref().expect("predict before fit");
+        let mut dists: Vec<(f64, u32)> = (0..data.len())
+            .map(|i| {
+                let d: f64 = data
+                    .row(i)
+                    .iter()
+                    .zip(row)
+                    .map(|(a, b)| ((a - b) as f64).powi(2))
+                    .sum();
+                (d, data.label(i))
+            })
+            .collect();
+        let k = self.k.min(dists.len());
+        dists.select_nth_unstable_by(k - 1, |a, b| {
+            a.0.partial_cmp(&b.0).expect("finite distances")
+        });
+        let mut votes = vec![0usize; data.num_classes().max(1)];
+        for &(_, label) in &dists[..k] {
+            votes[label as usize] += 1;
+        }
+        votes
+            .iter()
+            .enumerate()
+            .max_by_key(|&(i, c)| (c, std::cmp::Reverse(i)))
+            .map(|(i, _)| i as u32)
+            .unwrap_or(0)
+    }
+}
+
+/// Shared SGD machinery for the linear baselines.
+#[derive(Debug, Clone)]
+struct LinearModel {
+    weights: Vec<f64>,
+    bias: f64,
+}
+
+impl LinearModel {
+    fn zeros(num_features: usize) -> LinearModel {
+        LinearModel {
+            weights: vec![0.0; num_features],
+            bias: 0.0,
+        }
+    }
+
+    fn margin(&self, row: &[f32]) -> f64 {
+        self.bias
+            + self
+                .weights
+                .iter()
+                .zip(row)
+                .map(|(w, &x)| w * x as f64)
+                .sum::<f64>()
+    }
+}
+
+/// Which loss the SGD linear classifier optimizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinearLoss {
+    /// Log-loss (logistic regression).
+    Logistic,
+    /// Squared loss on ±1 targets with L2 penalty (ridge classifier).
+    Ridge,
+    /// Hinge loss with L2 penalty (linear SVM).
+    Hinge,
+}
+
+/// A binary linear classifier trained by seeded SGD.
+///
+/// Labels must be 0/1. Covers the paper's "Linear", "Ridge" and "SVM"
+/// baselines through [`LinearLoss`].
+#[derive(Debug, Clone)]
+pub struct LinearClassifier {
+    loss: LinearLoss,
+    /// Number of passes over the data.
+    pub epochs: usize,
+    /// Learning rate.
+    pub learning_rate: f64,
+    /// L2 regularization strength.
+    pub l2: f64,
+    /// Shuffle seed.
+    pub seed: u64,
+    model: Option<LinearModel>,
+}
+
+impl LinearClassifier {
+    /// Creates a classifier for the given loss with sensible defaults.
+    pub fn new(loss: LinearLoss) -> LinearClassifier {
+        LinearClassifier {
+            loss,
+            epochs: 120,
+            // The squared loss uses a stronger base step because it is
+            // later scaled by 1/max||x||^2 (vs 1/max||x|| for the others).
+            learning_rate: if loss == LinearLoss::Ridge { 1.0 } else { 0.5 },
+            l2: 1e-4,
+            seed: 0,
+            model: None,
+        }
+    }
+
+    /// Logistic regression baseline.
+    pub fn logistic() -> LinearClassifier {
+        LinearClassifier::new(LinearLoss::Logistic)
+    }
+
+    /// Ridge classifier baseline.
+    pub fn ridge() -> LinearClassifier {
+        LinearClassifier::new(LinearLoss::Ridge)
+    }
+
+    /// Linear SVM baseline.
+    pub fn svm() -> LinearClassifier {
+        LinearClassifier::new(LinearLoss::Hinge)
+    }
+
+    fn next_random(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+}
+
+impl Classifier for LinearClassifier {
+    fn fit(&mut self, data: &Dataset) {
+        assert!(!data.is_empty(), "cannot fit on an empty dataset");
+        assert!(
+            data.num_classes() <= 2,
+            "linear baselines are binary classifiers"
+        );
+        let mut model = LinearModel::zeros(data.num_features());
+        let mut order: Vec<usize> = (0..data.len()).collect();
+        let mut state = self.seed ^ 0xA5A5_5A5A_DEAD_BEEF;
+        // Scale the step by the largest row norm so updates contract
+        // regardless of feature scale. The squared loss has an unbounded
+        // gradient and needs the full 1/||x||^2 factor; the bounded-
+        // gradient losses only need 1/||x||.
+        let max_norm_sq = (0..data.len())
+            .map(|i| {
+                1.0 + data
+                    .row(i)
+                    .iter()
+                    .map(|&x| (x as f64).powi(2))
+                    .sum::<f64>()
+            })
+            .fold(1.0f64, f64::max);
+        let learning_rate = match self.loss {
+            LinearLoss::Ridge => self.learning_rate / max_norm_sq,
+            LinearLoss::Logistic | LinearLoss::Hinge => self.learning_rate / max_norm_sq.sqrt(),
+        };
+        for _ in 0..self.epochs {
+            // Deterministic reshuffle per epoch.
+            for i in (1..order.len()).rev() {
+                let j = (Self::next_random(&mut state) % (i as u64 + 1)) as usize;
+                order.swap(i, j);
+            }
+            for &i in &order {
+                let row = data.row(i);
+                let y = if data.label(i) == 1 { 1.0 } else { -1.0 };
+                let margin = model.margin(row);
+                // d(loss)/d(margin)
+                let grad = match self.loss {
+                    LinearLoss::Logistic => -y / (1.0 + (y * margin).exp()),
+                    LinearLoss::Ridge => margin - y,
+                    LinearLoss::Hinge => {
+                        if y * margin < 1.0 {
+                            -y
+                        } else {
+                            0.0
+                        }
+                    }
+                };
+                for (w, &x) in model.weights.iter_mut().zip(row) {
+                    *w -= learning_rate * (grad * x as f64 + self.l2 * *w);
+                }
+                model.bias -= learning_rate * grad;
+            }
+        }
+        self.model = Some(model);
+    }
+
+    fn predict(&self, row: &[f32]) -> u32 {
+        let model = self.model.as_ref().expect("predict before fit");
+        u32::from(model.margin(row) > 0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn linearly_separable() -> Dataset {
+        // Balanced classes: label = (x >= 5) on a 10x5 grid.
+        let mut d = Dataset::new(2);
+        for i in 0..50 {
+            let x = (i % 10) as f32;
+            let y = (i / 10) as f32;
+            d.push_row(&[x, y], u32::from(x >= 5.0));
+        }
+        d
+    }
+
+    fn xor_data() -> Dataset {
+        let mut d = Dataset::new(2);
+        for _ in 0..20 {
+            d.push_row(&[0.0, 0.0], 0);
+            d.push_row(&[0.0, 1.0], 1);
+            d.push_row(&[1.0, 0.0], 1);
+            d.push_row(&[1.0, 1.0], 0);
+        }
+        d
+    }
+
+    fn accuracy(c: &dyn Classifier, d: &Dataset) -> f64 {
+        (0..d.len()).filter(|&i| c.predict(d.row(i)) == d.label(i)).count() as f64 / d.len() as f64
+    }
+
+    #[test]
+    fn knn_memorizes_training_data() {
+        let data = linearly_separable();
+        let mut knn = KNearest::new(1);
+        knn.fit(&data);
+        assert!((accuracy(&knn, &data) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn knn_handles_xor() {
+        let data = xor_data();
+        let mut knn = KNearest::new(3);
+        knn.fit(&data);
+        assert!(accuracy(&knn, &data) > 0.99);
+    }
+
+    #[test]
+    fn linear_models_learn_separable_data() {
+        let data = linearly_separable();
+        for mut c in [
+            LinearClassifier::logistic(),
+            LinearClassifier::ridge(),
+            LinearClassifier::svm(),
+        ] {
+            c.fit(&data);
+            assert!(accuracy(&c, &data) > 0.85, "{:?}", c);
+        }
+    }
+
+    #[test]
+    fn linear_models_fail_on_xor() {
+        // This is exactly why the paper's pick is a tree ensemble.
+        let data = xor_data();
+        let mut c = LinearClassifier::logistic();
+        c.fit(&data);
+        assert!(accuracy(&c, &data) <= 0.75);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn knn_rejects_zero_k() {
+        let _ = KNearest::new(0);
+    }
+}

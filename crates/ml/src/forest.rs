@@ -1,0 +1,251 @@
+//! Random Forest classifier: bagged CART trees with feature subsampling.
+//!
+//! This is the classifier the paper selects after comparing k-NN, SVM,
+//! linear and ridge models (§II.B). Determinism: all randomness derives
+//! from [`ForestParams::seed`].
+
+use crate::data::Dataset;
+use crate::tree::{DecisionTree, TreeParams};
+use crate::Classifier;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Hyperparameters of a random forest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ForestParams {
+    /// Number of trees.
+    pub num_trees: usize,
+    /// Maximum depth per tree.
+    pub max_depth: usize,
+    /// Minimum samples per leaf.
+    pub min_samples_leaf: usize,
+    /// Features examined per split; `None` = `sqrt(num_features)`.
+    pub max_features: Option<usize>,
+    /// Bootstrap sample size as a fraction of the training set.
+    pub bootstrap_fraction: f64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for ForestParams {
+    fn default() -> ForestParams {
+        ForestParams {
+            num_trees: 100,
+            max_depth: 24,
+            min_samples_leaf: 1,
+            max_features: None,
+            bootstrap_fraction: 1.0,
+            seed: 0,
+        }
+    }
+}
+
+impl ForestParams {
+    /// A smaller, faster configuration for tests and quick sweeps.
+    pub fn quick() -> ForestParams {
+        ForestParams {
+            num_trees: 40,
+            max_depth: 20,
+            ..ForestParams::default()
+        }
+    }
+}
+
+/// A trained random forest.
+#[derive(Debug, Clone)]
+pub struct RandomForest {
+    params: ForestParams,
+    trees: Vec<DecisionTree>,
+    num_classes: usize,
+}
+
+impl RandomForest {
+    /// Creates an untrained forest.
+    pub fn new(params: ForestParams) -> RandomForest {
+        RandomForest {
+            params,
+            trees: Vec::new(),
+            num_classes: 0,
+        }
+    }
+
+    /// Number of trained trees.
+    pub fn num_trees(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Mean per-feature importance across trees (normalized to sum to 1,
+    /// empty before training).
+    pub fn feature_importance(&self) -> Vec<f64> {
+        if self.trees.is_empty() {
+            return Vec::new();
+        }
+        let n = self.trees[0].feature_importance().len();
+        let mut sum = vec![0.0f64; n];
+        for tree in &self.trees {
+            for (s, &v) in sum.iter_mut().zip(tree.feature_importance()) {
+                *s += v;
+            }
+        }
+        let total: f64 = sum.iter().sum();
+        if total > 0.0 {
+            for v in &mut sum {
+                *v /= total;
+            }
+        }
+        sum
+    }
+
+    /// Per-class vote fractions for `row` (sums to 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`Classifier::fit`].
+    pub fn predict_proba(&self, row: &[f32]) -> Vec<f64> {
+        assert!(!self.trees.is_empty(), "predict before fit");
+        let mut votes = vec![0usize; self.num_classes.max(1)];
+        for tree in &self.trees {
+            let label = tree.predict(row) as usize;
+            if label < votes.len() {
+                votes[label] += 1;
+            }
+        }
+        let total = self.trees.len() as f64;
+        votes.iter().map(|&v| v as f64 / total).collect()
+    }
+}
+
+impl Classifier for RandomForest {
+    fn fit(&mut self, data: &Dataset) {
+        assert!(!data.is_empty(), "cannot fit on an empty dataset");
+        self.num_classes = data.num_classes().max(1);
+        self.trees.clear();
+        let mut rng = StdRng::seed_from_u64(self.params.seed);
+        let sample_size =
+            ((data.len() as f64 * self.params.bootstrap_fraction).round() as usize).max(1);
+        let max_features = self.params.max_features.unwrap_or_else(|| {
+            // sqrt(n) is the classic forest default but starves trees when
+            // only a handful of columns are informative (as in CA-matrix
+            // groups with many all-zero defect flags); n/3 is a better
+            // floor for those.
+            let n = data.num_features();
+            ((n as f64).sqrt().round() as usize)
+                .max(n / 3)
+                .clamp(1, n)
+        });
+        for t in 0..self.params.num_trees {
+            let indices: Vec<usize> = (0..sample_size)
+                .map(|_| rng.gen_range(0..data.len()))
+                .collect();
+            let sample = data.subset(&indices);
+            let mut tree = DecisionTree::new(TreeParams {
+                max_depth: self.params.max_depth,
+                min_samples_leaf: self.params.min_samples_leaf,
+                max_features: Some(max_features),
+                seed: self.params.seed.wrapping_add(t as u64 + 1),
+            });
+            // A bootstrap sample can miss classes entirely; the tree only
+            // sees its own sample, so re-align label space via max class.
+            tree.fit(&sample);
+            self.trees.push(tree);
+        }
+    }
+
+    fn predict(&self, row: &[f32]) -> u32 {
+        let proba = self.predict_proba(row);
+        proba
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("probabilities are finite"))
+            .map(|(i, _)| i as u32)
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noisy_bands() -> Dataset {
+        // label = 1 iff feature0 >= 5, with a second noisy feature.
+        let mut d = Dataset::new(2);
+        for i in 0..200 {
+            let x = (i % 10) as f32;
+            let noise = ((i * 37) % 7) as f32;
+            d.push_row(&[x, noise], u32::from(x >= 5.0));
+        }
+        d
+    }
+
+    #[test]
+    fn learns_simple_band() {
+        let mut forest = RandomForest::new(ForestParams::quick());
+        let data = noisy_bands();
+        forest.fit(&data);
+        let correct = (0..data.len())
+            .filter(|&i| forest.predict(data.row(i)) == data.label(i))
+            .count();
+        assert!(correct as f64 / data.len() as f64 > 0.98);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let data = noisy_bands();
+        let mut a = RandomForest::new(ForestParams::quick());
+        let mut b = RandomForest::new(ForestParams::quick());
+        a.fit(&data);
+        b.fit(&data);
+        for i in 0..data.len() {
+            assert_eq!(a.predict(data.row(i)), b.predict(data.row(i)));
+        }
+    }
+
+    #[test]
+    fn proba_sums_to_one() {
+        let mut forest = RandomForest::new(ForestParams::quick());
+        let data = noisy_bands();
+        forest.fit(&data);
+        let p = forest.predict_proba(data.row(0));
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn beats_majority_baseline_on_balanced_data() {
+        let data = noisy_bands();
+        let mut forest = RandomForest::new(ForestParams::quick());
+        forest.fit(&data);
+        let majority = data.majority_label().unwrap();
+        let baseline = data
+            .labels()
+            .iter()
+            .filter(|&&l| l == majority)
+            .count() as f64
+            / data.len() as f64;
+        let accuracy = (0..data.len())
+            .filter(|&i| forest.predict(data.row(i)) == data.label(i))
+            .count() as f64
+            / data.len() as f64;
+        assert!(accuracy > baseline);
+    }
+
+    #[test]
+    fn forest_importance_is_normalized_and_informative() {
+        let data = noisy_bands();
+        let mut forest = RandomForest::new(ForestParams::quick());
+        forest.fit(&data);
+        let imp = forest.feature_importance();
+        assert_eq!(imp.len(), 2);
+        assert!((imp.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(imp[0] > imp[1], "label depends on feature 0: {imp:?}");
+    }
+
+    #[test]
+    fn trains_requested_tree_count() {
+        let mut forest = RandomForest::new(ForestParams {
+            num_trees: 7,
+            ..ForestParams::quick()
+        });
+        forest.fit(&noisy_bands());
+        assert_eq!(forest.num_trees(), 7);
+    }
+}

@@ -1,0 +1,155 @@
+//! Evaluation metrics: accuracy, confusion matrix, precision/recall/F1.
+
+use crate::data::Dataset;
+use crate::Classifier;
+
+/// Fraction of rows where `predicted == actual`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or are empty.
+pub fn accuracy(predicted: &[u32], actual: &[u32]) -> f64 {
+    assert_eq!(predicted.len(), actual.len(), "length mismatch");
+    assert!(!predicted.is_empty(), "empty prediction set");
+    let hits = predicted
+        .iter()
+        .zip(actual)
+        .filter(|(p, a)| p == a)
+        .count();
+    hits as f64 / predicted.len() as f64
+}
+
+/// Evaluates `classifier` on `data`, returning its accuracy.
+pub fn evaluate(classifier: &dyn Classifier, data: &Dataset) -> f64 {
+    let predicted = classifier.predict_batch(data);
+    accuracy(&predicted, data.labels())
+}
+
+/// A `k x k` confusion matrix (`rows = actual`, `cols = predicted`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    counts: Vec<usize>,
+    k: usize,
+}
+
+impl ConfusionMatrix {
+    /// Builds the matrix from parallel prediction/actual slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn from_predictions(predicted: &[u32], actual: &[u32]) -> ConfusionMatrix {
+        assert_eq!(predicted.len(), actual.len(), "length mismatch");
+        let k = predicted
+            .iter()
+            .chain(actual)
+            .max()
+            .map_or(1, |&m| m as usize + 1);
+        let mut counts = vec![0usize; k * k];
+        for (&p, &a) in predicted.iter().zip(actual) {
+            counts[a as usize * k + p as usize] += 1;
+        }
+        ConfusionMatrix { counts, k }
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.k
+    }
+
+    /// Count of rows with actual class `a` predicted as `p`.
+    pub fn count(&self, actual: u32, predicted: u32) -> usize {
+        self.counts[actual as usize * self.k + predicted as usize]
+    }
+
+    /// Precision of class `c`: TP / (TP + FP). `None` when nothing was
+    /// predicted as `c`.
+    pub fn precision(&self, c: u32) -> Option<f64> {
+        let tp = self.count(c, c);
+        let predicted: usize = (0..self.k).map(|a| self.count(a as u32, c)).sum();
+        if predicted == 0 {
+            None
+        } else {
+            Some(tp as f64 / predicted as f64)
+        }
+    }
+
+    /// Recall of class `c`: TP / (TP + FN). `None` when class `c` never
+    /// occurs.
+    pub fn recall(&self, c: u32) -> Option<f64> {
+        let tp = self.count(c, c);
+        let actual: usize = (0..self.k).map(|p| self.count(c, p as u32)).sum();
+        if actual == 0 {
+            None
+        } else {
+            Some(tp as f64 / actual as f64)
+        }
+    }
+
+    /// F1 score of class `c`.
+    pub fn f1(&self, c: u32) -> Option<f64> {
+        let p = self.precision(c)?;
+        let r = self.recall(c)?;
+        if p + r == 0.0 {
+            Some(0.0)
+        } else {
+            Some(2.0 * p * r / (p + r))
+        }
+    }
+
+    /// Overall accuracy.
+    pub fn accuracy(&self) -> f64 {
+        let total: usize = self.counts.iter().sum();
+        let correct: usize = (0..self.k).map(|c| self.count(c as u32, c as u32)).sum();
+        if total == 0 {
+            0.0
+        } else {
+            correct as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_counts_matches() {
+        assert!((accuracy(&[1, 0, 1], &[1, 1, 1]) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn confusion_matrix_cells() {
+        let m = ConfusionMatrix::from_predictions(&[1, 0, 1, 1], &[1, 0, 0, 1]);
+        assert_eq!(m.num_classes(), 2);
+        assert_eq!(m.count(0, 0), 1);
+        assert_eq!(m.count(0, 1), 1);
+        assert_eq!(m.count(1, 1), 2);
+        assert!((m.accuracy() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn precision_recall_f1() {
+        let m = ConfusionMatrix::from_predictions(&[1, 0, 1, 1], &[1, 0, 0, 1]);
+        assert!((m.precision(1).unwrap() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.recall(1).unwrap() - 1.0).abs() < 1e-12);
+        let f1 = m.f1(1).unwrap();
+        assert!((f1 - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_classes_return_none() {
+        let m = ConfusionMatrix::from_predictions(&[0, 0], &[0, 0]);
+        assert_eq!(m.num_classes(), 1);
+        assert_eq!(m.precision(0), Some(1.0));
+        let m2 = ConfusionMatrix::from_predictions(&[0, 0], &[0, 1]);
+        assert!(m2.precision(1).is_none());
+        assert!(m2.recall(1).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn accuracy_checks_lengths() {
+        let _ = accuracy(&[1], &[1, 2]);
+    }
+}

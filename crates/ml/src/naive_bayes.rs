@@ -1,0 +1,154 @@
+//! Gaussian Naive Bayes — one more of the "etc." baselines the paper
+//! screened before settling on the Random Forest (§II.B).
+//!
+//! Per class, each feature is modelled as an independent Gaussian; the
+//! predicted class maximizes the log-posterior. Variances are floored to
+//! keep constant features harmless.
+
+use crate::data::Dataset;
+use crate::Classifier;
+
+/// Gaussian Naive Bayes classifier.
+#[derive(Debug, Clone, Default)]
+pub struct GaussianNb {
+    /// Per class: prior, per-feature mean, per-feature variance.
+    classes: Vec<ClassStats>,
+}
+
+#[derive(Debug, Clone)]
+struct ClassStats {
+    log_prior: f64,
+    means: Vec<f64>,
+    variances: Vec<f64>,
+}
+
+const VARIANCE_FLOOR: f64 = 1e-6;
+
+impl GaussianNb {
+    /// Creates an untrained classifier.
+    pub fn new() -> GaussianNb {
+        GaussianNb::default()
+    }
+}
+
+impl Classifier for GaussianNb {
+    fn fit(&mut self, data: &Dataset) {
+        assert!(!data.is_empty(), "cannot fit on an empty dataset");
+        let k = data.num_classes().max(1);
+        let d = data.num_features();
+        let n = data.len() as f64;
+        let mut counts = vec![0usize; k];
+        let mut sums = vec![vec![0.0f64; d]; k];
+        for i in 0..data.len() {
+            let c = data.label(i) as usize;
+            counts[c] += 1;
+            for (s, &x) in sums[c].iter_mut().zip(data.row(i)) {
+                *s += x as f64;
+            }
+        }
+        let mut classes: Vec<ClassStats> = (0..k)
+            .map(|c| {
+                let m = counts[c].max(1) as f64;
+                ClassStats {
+                    log_prior: ((counts[c] as f64 + 1.0) / (n + k as f64)).ln(),
+                    means: sums[c].iter().map(|s| s / m).collect(),
+                    variances: vec![0.0; d],
+                }
+            })
+            .collect();
+        for i in 0..data.len() {
+            let c = data.label(i) as usize;
+            let stats = &mut classes[c];
+            for (v, (&x, mean)) in stats
+                .variances
+                .iter_mut()
+                .zip(data.row(i).iter().zip(&stats.means.clone()))
+            {
+                *v += (x as f64 - mean).powi(2);
+            }
+        }
+        for (c, stats) in classes.iter_mut().enumerate() {
+            let m = counts[c].max(1) as f64;
+            for v in &mut stats.variances {
+                *v = (*v / m).max(VARIANCE_FLOOR);
+            }
+        }
+        self.classes = classes;
+    }
+
+    fn predict(&self, row: &[f32]) -> u32 {
+        assert!(!self.classes.is_empty(), "predict before fit");
+        let mut best = (f64::NEG_INFINITY, 0u32);
+        for (c, stats) in self.classes.iter().enumerate() {
+            let mut log_p = stats.log_prior;
+            for ((&x, mean), variance) in row
+                .iter()
+                .zip(&stats.means)
+                .zip(&stats.variances)
+            {
+                let diff = x as f64 - mean;
+                log_p -= 0.5 * (diff * diff / variance + variance.ln());
+            }
+            if log_p > best.0 {
+                best = (log_p, c as u32);
+            }
+        }
+        best.1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn separates_gaussian_blobs() {
+        let mut d = Dataset::new(2);
+        for i in 0..60 {
+            let jitter = (i % 5) as f32 * 0.1;
+            d.push_row(&[0.0 + jitter, 0.0 - jitter], 0);
+            d.push_row(&[5.0 - jitter, 5.0 + jitter], 1);
+        }
+        let mut nb = GaussianNb::new();
+        nb.fit(&d);
+        assert_eq!(nb.predict(&[0.2, 0.1]), 0);
+        assert_eq!(nb.predict(&[4.8, 5.1]), 1);
+    }
+
+    #[test]
+    fn constant_features_are_harmless() {
+        let mut d = Dataset::new(2);
+        for i in 0..20 {
+            d.push_row(&[1.0, i as f32], u32::from(i >= 10));
+        }
+        let mut nb = GaussianNb::new();
+        nb.fit(&d);
+        assert_eq!(nb.predict(&[1.0, 2.0]), 0);
+        assert_eq!(nb.predict(&[1.0, 18.0]), 1);
+    }
+
+    #[test]
+    fn fails_on_xor_like_linear_models() {
+        let mut d = Dataset::new(2);
+        for _ in 0..10 {
+            d.push_row(&[0.0, 0.0], 0);
+            d.push_row(&[0.0, 1.0], 1);
+            d.push_row(&[1.0, 0.0], 1);
+            d.push_row(&[1.0, 1.0], 0);
+        }
+        let mut nb = GaussianNb::new();
+        nb.fit(&d);
+        let acc = (0..d.len())
+            .filter(|&i| nb.predict(d.row(i)) == d.label(i))
+            .count() as f64
+            / d.len() as f64;
+        assert!(acc <= 0.75, "NB cannot represent XOR: {acc}");
+    }
+
+    #[test]
+    #[should_panic(expected = "predict before fit")]
+    fn predict_before_fit_panics() {
+        let nb = GaussianNb::new();
+        let _ = nb.predict(&[0.0]);
+    }
+}

@@ -1,0 +1,165 @@
+//! Model validation utilities: train/test splits and k-fold
+//! cross-validation, deterministic under a seed.
+
+use crate::data::Dataset;
+use crate::metrics::accuracy;
+use crate::Classifier;
+
+fn shuffled_indices(n: usize, seed: u64) -> Vec<usize> {
+    let mut indices: Vec<usize> = (0..n).collect();
+    let mut state = seed ^ 0x5DEECE66D;
+    let mut next = move || {
+        state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    };
+    for i in (1..n).rev() {
+        let j = (next() % (i as u64 + 1)) as usize;
+        indices.swap(i, j);
+    }
+    indices
+}
+
+/// Splits `data` into `(train, test)` with `test_fraction` of the rows in
+/// the test set, after a seeded shuffle.
+///
+/// # Panics
+///
+/// Panics if `test_fraction` is not in `(0, 1)` or the dataset is empty.
+pub fn train_test_split(data: &Dataset, test_fraction: f64, seed: u64) -> (Dataset, Dataset) {
+    assert!(
+        (0.0..1.0).contains(&test_fraction) && test_fraction > 0.0,
+        "test_fraction must be in (0, 1)"
+    );
+    assert!(!data.is_empty(), "cannot split an empty dataset");
+    let indices = shuffled_indices(data.len(), seed);
+    let n_test = ((data.len() as f64 * test_fraction).round() as usize)
+        .clamp(1, data.len() - 1);
+    let test = data.subset(&indices[..n_test]);
+    let train = data.subset(&indices[n_test..]);
+    (train, test)
+}
+
+/// Result of a k-fold cross-validation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CrossValidation {
+    /// Per-fold accuracy, in fold order.
+    pub fold_accuracies: Vec<f64>,
+}
+
+impl CrossValidation {
+    /// Mean accuracy across folds.
+    pub fn mean(&self) -> f64 {
+        if self.fold_accuracies.is_empty() {
+            return 0.0;
+        }
+        self.fold_accuracies.iter().sum::<f64>() / self.fold_accuracies.len() as f64
+    }
+
+    /// Sample standard deviation across folds (0 for fewer than 2 folds).
+    pub fn std_dev(&self) -> f64 {
+        let n = self.fold_accuracies.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let mean = self.mean();
+        let var = self
+            .fold_accuracies
+            .iter()
+            .map(|a| (a - mean).powi(2))
+            .sum::<f64>()
+            / (n - 1) as f64;
+        var.sqrt()
+    }
+}
+
+/// Runs k-fold cross-validation: `make_classifier` builds a fresh model
+/// per fold.
+///
+/// # Panics
+///
+/// Panics if `k < 2` or `data` has fewer than `k` rows.
+pub fn cross_validate(
+    data: &Dataset,
+    k: usize,
+    seed: u64,
+    mut make_classifier: impl FnMut() -> Box<dyn Classifier>,
+) -> CrossValidation {
+    assert!(k >= 2, "k-fold needs k >= 2");
+    assert!(data.len() >= k, "need at least k rows");
+    let indices = shuffled_indices(data.len(), seed);
+    let mut fold_accuracies = Vec::with_capacity(k);
+    for fold in 0..k {
+        let test_idx: Vec<usize> = indices
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % k == fold)
+            .map(|(_, &x)| x)
+            .collect();
+        let train_idx: Vec<usize> = indices
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % k != fold)
+            .map(|(_, &x)| x)
+            .collect();
+        let train = data.subset(&train_idx);
+        let test = data.subset(&test_idx);
+        let mut model = make_classifier();
+        model.fit(&train);
+        let predicted = model.predict_batch(&test);
+        fold_accuracies.push(accuracy(&predicted, test.labels()));
+    }
+    CrossValidation { fold_accuracies }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::forest::{ForestParams, RandomForest};
+
+    fn band_data() -> Dataset {
+        let mut d = Dataset::new(1);
+        for i in 0..120 {
+            d.push_row(&[(i % 12) as f32], u32::from(i % 12 >= 6));
+        }
+        d
+    }
+
+    #[test]
+    fn split_partitions_rows() {
+        let data = band_data();
+        let (train, test) = train_test_split(&data, 0.25, 9);
+        assert_eq!(train.len() + test.len(), data.len());
+        assert_eq!(test.len(), 30);
+    }
+
+    #[test]
+    fn split_is_deterministic() {
+        let data = band_data();
+        let (a, _) = train_test_split(&data, 0.25, 9);
+        let (b, _) = train_test_split(&data, 0.25, 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cross_validation_on_learnable_data() {
+        let data = band_data();
+        let cv = cross_validate(&data, 4, 7, || {
+            Box::new(RandomForest::new(ForestParams::quick()))
+        });
+        assert_eq!(cv.fold_accuracies.len(), 4);
+        assert!(cv.mean() > 0.95, "mean {}", cv.mean());
+        assert!(cv.std_dev() < 0.2);
+    }
+
+    #[test]
+    #[should_panic(expected = "k-fold needs k >= 2")]
+    fn rejects_k_of_one() {
+        let data = band_data();
+        let _ = cross_validate(&data, 1, 0, || {
+            Box::new(RandomForest::new(ForestParams::quick()))
+        });
+    }
+}

@@ -1,0 +1,64 @@
+//! Error type shared by all netlist operations.
+
+use std::fmt;
+
+/// Errors raised while parsing, building or validating netlists.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetlistError {
+    /// A SPICE source line could not be parsed.
+    Parse {
+        /// 1-based line number in the input.
+        line: usize,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+    /// The netlist references a net that was never declared.
+    UnknownNet(String),
+    /// The netlist references a transistor that does not exist.
+    UnknownTransistor(String),
+    /// The cell failed a structural validation check.
+    Invalid(String),
+    /// A duplicate name was encountered where names must be unique.
+    Duplicate(String),
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            NetlistError::UnknownNet(name) => write!(f, "unknown net `{name}`"),
+            NetlistError::UnknownTransistor(name) => write!(f, "unknown transistor `{name}`"),
+            NetlistError::Invalid(msg) => write!(f, "invalid netlist: {msg}"),
+            NetlistError::Duplicate(name) => write!(f, "duplicate name `{name}`"),
+        }
+    }
+}
+
+impl std::error::Error for NetlistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let err = NetlistError::Parse {
+            line: 3,
+            message: "missing terminal".into(),
+        };
+        assert_eq!(err.to_string(), "parse error at line 3: missing terminal");
+        assert_eq!(
+            NetlistError::UnknownNet("X".into()).to_string(),
+            "unknown net `X`"
+        );
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NetlistError>();
+    }
+}

@@ -1,0 +1,275 @@
+//! Structural netlist checks ("DRC-lite").
+//!
+//! Characterization flows waste hours when fed malformed netlists; these
+//! checks catch the common damage early: floating gates, undriven nets,
+//! rail-to-rail channels, devices that can never conduct usefully, and
+//! suspicious pull-network asymmetry.
+
+use crate::model::{Cell, MosKind, NetKind};
+use std::collections::HashSet;
+use std::fmt;
+
+/// Severity of a lint finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// The cell will simulate, but something looks off.
+    Warning,
+    /// The cell is structurally broken for characterization.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Severity.
+    pub severity: Severity,
+    /// Short machine-readable rule name.
+    pub rule: &'static str,
+    /// Human-readable description referencing cell object names.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}: {}", self.severity, self.rule, self.message)
+    }
+}
+
+/// Runs all checks on `cell`, returning findings sorted errors-first.
+pub fn lint(cell: &Cell) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    check_floating_gate_nets(cell, &mut findings);
+    check_undriven_internal_nets(cell, &mut findings);
+    check_rail_to_rail_channels(cell, &mut findings);
+    check_gate_tied_to_rail(cell, &mut findings);
+    check_output_drive(cell, &mut findings);
+    check_unused_inputs(cell, &mut findings);
+    findings.sort_by_key(|f| std::cmp::Reverse(f.severity));
+    findings
+}
+
+/// Whether the cell has no error-level findings.
+pub fn is_clean(cell: &Cell) -> bool {
+    lint(cell).iter().all(|f| f.severity != Severity::Error)
+}
+
+/// A gate net that nothing drives (not a pin, not a channel terminal).
+fn check_floating_gate_nets(cell: &Cell, findings: &mut Vec<Finding>) {
+    let mut driven: HashSet<usize> = HashSet::new();
+    for t in cell.transistors() {
+        driven.insert(t.drain().index());
+        driven.insert(t.source().index());
+    }
+    for (i, net) in cell.nets().iter().enumerate() {
+        let is_pin = !matches!(net.kind(), NetKind::Internal);
+        let gates_something = cell
+            .transistors()
+            .iter()
+            .any(|t| t.gate().index() == i);
+        if gates_something && !is_pin && !driven.contains(&i) {
+            findings.push(Finding {
+                severity: Severity::Error,
+                rule: "floating-gate-net",
+                message: format!("net `{}` gates devices but is never driven", net.name()),
+            });
+        }
+    }
+}
+
+/// Internal nets with exactly one channel connection (dead ends).
+fn check_undriven_internal_nets(cell: &Cell, findings: &mut Vec<Finding>) {
+    for (i, net) in cell.nets().iter().enumerate() {
+        if net.kind() != NetKind::Internal {
+            continue;
+        }
+        let connections = cell
+            .transistors()
+            .iter()
+            .filter(|t| t.drain().index() == i || t.source().index() == i)
+            .count();
+        if connections == 1 {
+            findings.push(Finding {
+                severity: Severity::Warning,
+                rule: "dead-end-net",
+                message: format!("internal net `{}` has a single channel connection", net.name()),
+            });
+        }
+    }
+}
+
+/// A single device whose channel directly bridges VDD and VSS.
+fn check_rail_to_rail_channels(cell: &Cell, findings: &mut Vec<Finding>) {
+    let (vdd, gnd) = (cell.power(), cell.ground());
+    for t in cell.transistors() {
+        let ends = [t.drain(), t.source()];
+        if ends.contains(&vdd) && ends.contains(&gnd) {
+            findings.push(Finding {
+                severity: Severity::Error,
+                rule: "rail-to-rail-channel",
+                message: format!("device `{}` shorts the rails when conducting", t.name()),
+            });
+        }
+    }
+}
+
+/// Devices permanently off (gate tied to the rail of their own polarity's
+/// passive level) — dead logic.
+fn check_gate_tied_to_rail(cell: &Cell, findings: &mut Vec<Finding>) {
+    for t in cell.transistors() {
+        let stuck_off = match t.kind() {
+            MosKind::Nmos => t.gate() == cell.ground(),
+            MosKind::Pmos => t.gate() == cell.power(),
+        };
+        if stuck_off {
+            findings.push(Finding {
+                severity: Severity::Warning,
+                rule: "gate-tied-off",
+                message: format!("device `{}` can never conduct", t.name()),
+            });
+        }
+    }
+}
+
+/// Every output should see at least one NMOS and one PMOS pull network.
+fn check_output_drive(cell: &Cell, findings: &mut Vec<Finding>) {
+    for &out in cell.outputs() {
+        let mut kinds = HashSet::new();
+        for t in cell.transistors() {
+            if t.drain() == out || t.source() == out {
+                kinds.insert(t.kind());
+            }
+        }
+        if kinds.is_empty() {
+            findings.push(Finding {
+                severity: Severity::Error,
+                rule: "undriven-output",
+                message: format!("output `{}` has no channel connection", cell.net(out).name()),
+            });
+        } else if kinds.len() == 1 {
+            findings.push(Finding {
+                severity: Severity::Warning,
+                rule: "single-polarity-output",
+                message: format!(
+                    "output `{}` is driven by only one device polarity",
+                    cell.net(out).name()
+                ),
+            });
+        }
+    }
+}
+
+/// Input pins that gate nothing.
+fn check_unused_inputs(cell: &Cell, findings: &mut Vec<Finding>) {
+    for &pin in cell.inputs() {
+        let used = cell.transistors().iter().any(|t| t.gate() == pin);
+        if !used {
+            findings.push(Finding {
+                severity: Severity::Warning,
+                rule: "unused-input",
+                message: format!("input `{}` gates no device", cell.net(pin).name()),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spice;
+
+    const NAND2: &str = "\
+.SUBCKT NAND2 A B Z VDD VSS
+MP0 Z A VDD VDD pch
+MP1 Z B VDD VDD pch
+MN0 Z A net0 VSS nch
+MN1 net0 B VSS VSS nch
+.ENDS
+";
+
+    #[test]
+    fn clean_cell_has_no_findings() {
+        let cell = spice::parse_cell(NAND2).unwrap();
+        assert!(lint(&cell).is_empty(), "{:?}", lint(&cell));
+        assert!(is_clean(&cell));
+    }
+
+    #[test]
+    fn detects_floating_gate_net() {
+        let src = ".SUBCKT BAD A Z VDD VSS\nMP0 Z fl VDD VDD pch\nMN0 Z A VSS VSS nch\n.ENDS";
+        let cell = spice::parse_cell(src).unwrap();
+        let findings = lint(&cell);
+        assert!(findings.iter().any(|f| f.rule == "floating-gate-net"));
+        assert!(!is_clean(&cell));
+    }
+
+    #[test]
+    fn detects_rail_to_rail_channel() {
+        let src = ".SUBCKT BAD A Z VDD VSS\nMP0 Z A VDD VDD pch\nMN0 Z A VSS VSS nch\nMN1 VDD A VSS VSS nch\n.ENDS";
+        let cell = spice::parse_cell(src).unwrap();
+        assert!(lint(&cell).iter().any(|f| f.rule == "rail-to-rail-channel"));
+    }
+
+    #[test]
+    fn detects_single_polarity_output() {
+        let src = ".SUBCKT BAD A Z VDD VSS\nMN0 Z A VSS VSS nch\n.ENDS";
+        let cell = spice::parse_cell(src).unwrap();
+        let findings = lint(&cell);
+        assert!(findings
+            .iter()
+            .any(|f| f.rule == "single-polarity-output"));
+    }
+
+    #[test]
+    fn detects_unused_input_and_dead_end() {
+        let src = ".SUBCKT BAD A B Z VDD VSS\nMP0 Z A VDD VDD pch\nMN0 Z A VSS VSS nch\nMN1 dead A VSS VSS nch\n.ENDS";
+        let cell = spice::parse_cell(src).unwrap();
+        let findings = lint(&cell);
+        assert!(findings.iter().any(|f| f.rule == "unused-input"), "{findings:?}");
+        assert!(findings.iter().any(|f| f.rule == "dead-end-net"));
+    }
+
+    #[test]
+    fn detects_gate_tied_off() {
+        let src = ".SUBCKT BAD A Z VDD VSS\nMP0 Z A VDD VDD pch\nMN0 Z A VSS VSS nch\nMN1 Z VSS VSS VSS nch\n.ENDS";
+        let cell = spice::parse_cell(src).unwrap();
+        assert!(lint(&cell).iter().any(|f| f.rule == "gate-tied-off"));
+    }
+
+    #[test]
+    fn findings_sort_errors_first() {
+        let src = ".SUBCKT BAD A Z VDD VSS\nMP0 Z fl VDD VDD pch\nMN0 Z A VSS VSS nch\nMN1 dead A VSS VSS nch\n.ENDS";
+        let cell = spice::parse_cell(src).unwrap();
+        let findings = lint(&cell);
+        assert!(findings.len() >= 2);
+        assert_eq!(findings[0].severity, Severity::Error);
+    }
+
+    #[test]
+    fn whole_generated_library_is_clean() {
+        let lib = crate::library::generate_library(&crate::library::LibraryConfig::quick(
+            crate::Technology::C28,
+        ));
+        for lc in &lib.cells {
+            assert!(is_clean(&lc.cell), "{}", lc.cell.name());
+        }
+    }
+
+    #[test]
+    fn display_formats() {
+        let f = Finding {
+            severity: Severity::Warning,
+            rule: "demo",
+            message: "something".into(),
+        };
+        assert_eq!(f.to_string(), "warning: demo: something");
+    }
+}

@@ -1,0 +1,468 @@
+//! SPICE/CDL subcircuit parser.
+//!
+//! Parses a `.SUBCKT`/`.ENDS` block with MOS device lines (`M...`) into a
+//! validated [`Cell`]. Handles comments (`*`, `$`-suffixes), `+`
+//! continuation lines, case-insensitive keywords and `W=`/`L=` parameters
+//! with the usual SI suffixes.
+//!
+//! Pin roles are inferred:
+//! - rails are recognized by name (`VDD`/`VCC`/`PWR`/`VDD!` vs
+//!   `VSS`/`GND`/`0`/`VSS!`), overridable via [`ParseOptions`];
+//! - a pin connected to at least one channel terminal (drain/source) is an
+//!   output;
+//! - a pin connected only to gates is an input.
+
+use crate::error::NetlistError;
+use crate::model::{Cell, CellBuilder, MosKind, NetKind};
+use std::collections::HashMap;
+
+/// Options controlling rail recognition and device sizing defaults.
+#[derive(Debug, Clone)]
+pub struct ParseOptions {
+    /// Names (upper-cased) recognized as the power rail.
+    pub power_names: Vec<String>,
+    /// Names (upper-cased) recognized as the ground rail.
+    pub ground_names: Vec<String>,
+    /// Width used when a device carries no `W=` parameter, in nanometres.
+    pub default_width_nm: u32,
+    /// Length used when a device carries no `L=` parameter, in nanometres.
+    pub default_length_nm: u32,
+}
+
+impl Default for ParseOptions {
+    fn default() -> ParseOptions {
+        ParseOptions {
+            power_names: ["VDD", "VCC", "PWR", "VDD!", "VPWR"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+            ground_names: ["VSS", "GND", "0", "VSS!", "VGND"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+            default_width_nm: 100,
+            default_length_nm: 30,
+        }
+    }
+}
+
+/// Parses the first subcircuit found in `src` with default options.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Parse`] on malformed input and
+/// [`NetlistError::Invalid`] when the subcircuit violates cell invariants
+/// (no input pin, no rails, ...).
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let cell = ca_netlist::spice::parse_cell(
+///     ".SUBCKT INV A Z VDD VSS\nMP0 Z A VDD VDD pch\nMN0 Z A VSS VSS nch\n.ENDS",
+/// )?;
+/// assert_eq!(cell.name(), "INV");
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse_cell(src: &str) -> Result<Cell, NetlistError> {
+    parse_cell_with(src, &ParseOptions::default())
+}
+
+/// Parses the first subcircuit found in `src` with explicit options.
+///
+/// # Errors
+///
+/// See [`parse_cell`].
+pub fn parse_cell_with(src: &str, options: &ParseOptions) -> Result<Cell, NetlistError> {
+    let cells = parse_library_with(src, options)?;
+    cells.into_iter().next().ok_or_else(|| NetlistError::Parse {
+        line: 1,
+        message: "no .SUBCKT block found".into(),
+    })
+}
+
+/// Parses every subcircuit in `src` with default options.
+///
+/// # Errors
+///
+/// See [`parse_cell`].
+pub fn parse_library(src: &str) -> Result<Vec<Cell>, NetlistError> {
+    parse_library_with(src, &ParseOptions::default())
+}
+
+/// Parses every subcircuit in `src` with explicit options.
+///
+/// # Errors
+///
+/// See [`parse_cell`].
+pub fn parse_library_with(src: &str, options: &ParseOptions) -> Result<Vec<Cell>, NetlistError> {
+    let lines = logical_lines(src);
+    let mut cells = Vec::new();
+    let mut current: Option<SubcktAccum> = None;
+    for (line_no, line) in lines {
+        let upper = line.to_ascii_uppercase();
+        if upper.starts_with(".SUBCKT") {
+            if current.is_some() {
+                return Err(NetlistError::Parse {
+                    line: line_no,
+                    message: "nested .SUBCKT is not supported".into(),
+                });
+            }
+            current = Some(SubcktAccum::start(&line, line_no)?);
+        } else if upper.starts_with(".ENDS") {
+            let accum = current.take().ok_or(NetlistError::Parse {
+                line: line_no,
+                message: ".ENDS without matching .SUBCKT".into(),
+            })?;
+            cells.push(accum.finish(options)?);
+        } else if let Some(accum) = current.as_mut() {
+            accum.push_device_line(&line, line_no, options)?;
+        }
+        // Lines outside subcircuits (e.g. global statements) are ignored.
+    }
+    if current.is_some() {
+        return Err(NetlistError::Parse {
+            line: 0,
+            message: "unterminated .SUBCKT block".into(),
+        });
+    }
+    Ok(cells)
+}
+
+/// Joins `+` continuation lines and strips comments; returns
+/// `(line_number, text)` pairs for non-empty logical lines.
+fn logical_lines(src: &str) -> Vec<(usize, String)> {
+    let mut out: Vec<(usize, String)> = Vec::new();
+    for (i, raw) in src.lines().enumerate() {
+        let line_no = i + 1;
+        let mut text = raw.trim().to_string();
+        if text.is_empty() || text.starts_with('*') {
+            continue;
+        }
+        if let Some(pos) = text.find('$') {
+            text.truncate(pos);
+            text = text.trim_end().to_string();
+            if text.is_empty() {
+                continue;
+            }
+        }
+        if let Some(rest) = text.strip_prefix('+') {
+            if let Some(last) = out.last_mut() {
+                last.1.push(' ');
+                last.1.push_str(rest.trim());
+                continue;
+            }
+        }
+        out.push((line_no, text));
+    }
+    out
+}
+
+struct DeviceLine {
+    name: String,
+    drain: String,
+    gate: String,
+    source: String,
+    bulk: String,
+    kind: MosKind,
+    width_nm: u32,
+    length_nm: u32,
+}
+
+struct SubcktAccum {
+    name: String,
+    pins: Vec<String>,
+    devices: Vec<DeviceLine>,
+}
+
+impl SubcktAccum {
+    fn start(line: &str, line_no: usize) -> Result<SubcktAccum, NetlistError> {
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        if tokens.len() < 3 {
+            return Err(NetlistError::Parse {
+                line: line_no,
+                message: ".SUBCKT requires a name and at least one pin".into(),
+            });
+        }
+        Ok(SubcktAccum {
+            name: tokens[1].to_string(),
+            pins: tokens[2..].iter().map(|s| s.to_string()).collect(),
+            devices: Vec::new(),
+        })
+    }
+
+    fn push_device_line(
+        &mut self,
+        line: &str,
+        line_no: usize,
+        options: &ParseOptions,
+    ) -> Result<(), NetlistError> {
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        let head = tokens[0];
+        let first = head.chars().next().unwrap_or(' ').to_ascii_uppercase();
+        if first != 'M' && first != 'X' {
+            // Capacitors, resistors and other elements are ignored: the
+            // switch-level model does not use them.
+            return Ok(());
+        }
+        // CDL convention: `XM0 ...` wraps a MOS instance.
+        let name = head.to_string();
+        if tokens.len() < 6 {
+            return Err(NetlistError::Parse {
+                line: line_no,
+                message: format!("device `{name}` needs 4 terminals and a model"),
+            });
+        }
+        let (drain, gate, source, bulk, model) =
+            (tokens[1], tokens[2], tokens[3], tokens[4], tokens[5]);
+        let kind = classify_model(model).ok_or(NetlistError::Parse {
+            line: line_no,
+            message: format!("cannot classify MOS model `{model}` as NMOS or PMOS"),
+        })?;
+        let mut width_nm = options.default_width_nm;
+        let mut length_nm = options.default_length_nm;
+        for token in &tokens[6..] {
+            let upper = token.to_ascii_uppercase();
+            if let Some(value) = upper.strip_prefix("W=") {
+                width_nm = parse_dimension_nm(value, line_no)?;
+            } else if let Some(value) = upper.strip_prefix("L=") {
+                length_nm = parse_dimension_nm(value, line_no)?;
+            }
+        }
+        self.devices.push(DeviceLine {
+            name,
+            drain: drain.to_string(),
+            gate: gate.to_string(),
+            source: source.to_string(),
+            bulk: bulk.to_string(),
+            kind,
+            width_nm,
+            length_nm,
+        });
+        Ok(())
+    }
+
+    fn finish(self, options: &ParseOptions) -> Result<Cell, NetlistError> {
+        // Determine which pins see a channel terminal (outputs) vs gates
+        // only (inputs).
+        let mut drives_channel: HashMap<&str, bool> = HashMap::new();
+        for device in &self.devices {
+            *drives_channel.entry(device.drain.as_str()).or_default() = true;
+            *drives_channel.entry(device.source.as_str()).or_default() = true;
+            drives_channel.entry(device.gate.as_str()).or_default();
+        }
+        let mut builder = CellBuilder::new(&self.name);
+        for pin in &self.pins {
+            let upper = pin.to_ascii_uppercase();
+            let kind = if options.power_names.contains(&upper) {
+                NetKind::Power
+            } else if options.ground_names.contains(&upper) {
+                NetKind::Ground
+            } else if drives_channel.get(pin.as_str()).copied().unwrap_or(false) {
+                NetKind::Output
+            } else {
+                NetKind::Input
+            };
+            builder.add_net(pin, kind);
+        }
+        for device in &self.devices {
+            let mut net = |name: &str| {
+                let upper = name.to_ascii_uppercase();
+                let kind = if options.power_names.contains(&upper) {
+                    NetKind::Power
+                } else if options.ground_names.contains(&upper) {
+                    NetKind::Ground
+                } else {
+                    NetKind::Internal
+                };
+                builder.add_net(name, kind)
+            };
+            let d = net(&device.drain);
+            let g = net(&device.gate);
+            let s = net(&device.source);
+            let b = net(&device.bulk);
+            builder.add_transistor(
+                &device.name,
+                device.kind,
+                d,
+                g,
+                s,
+                b,
+                device.width_nm,
+                device.length_nm,
+            )?;
+        }
+        builder.build()
+    }
+}
+
+/// Classifies a SPICE model name as NMOS or PMOS.
+fn classify_model(model: &str) -> Option<MosKind> {
+    let lower = model.to_ascii_lowercase();
+    const PMOS_TAGS: [&str; 6] = ["pch", "pmos", "pfet", "pe", "p_", "ptrans"];
+    const NMOS_TAGS: [&str; 6] = ["nch", "nmos", "nfet", "ne", "n_", "ntrans"];
+    if PMOS_TAGS.iter().any(|t| lower.starts_with(t)) {
+        return Some(MosKind::Pmos);
+    }
+    if NMOS_TAGS.iter().any(|t| lower.starts_with(t)) {
+        return Some(MosKind::Nmos);
+    }
+    match lower.chars().next() {
+        Some('p') => Some(MosKind::Pmos),
+        Some('n') => Some(MosKind::Nmos),
+        _ => None,
+    }
+}
+
+/// Parses a dimension like `200N`, `0.2U`, `3E-08`, returning nanometres.
+fn parse_dimension_nm(value: &str, line_no: usize) -> Result<u32, NetlistError> {
+    let value = value.trim();
+    let (digits, scale) = match value.chars().last() {
+        Some('N') => (&value[..value.len() - 1], 1.0),
+        Some('U') => (&value[..value.len() - 1], 1e3),
+        Some('M') => (&value[..value.len() - 1], 1e6),
+        _ => (value, 1e9), // plain metres
+    };
+    let parsed: f64 = digits.parse().map_err(|_| NetlistError::Parse {
+        line: line_no,
+        message: format!("cannot parse dimension `{value}`"),
+    })?;
+    let nm = parsed * scale;
+    if !(0.0..=u32::MAX as f64).contains(&nm) {
+        return Err(NetlistError::Parse {
+            line: line_no,
+            message: format!("dimension `{value}` out of range"),
+        });
+    }
+    Ok(nm.round() as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Terminal;
+
+    const NAND2: &str = "\
+* a nand2 cell
+.SUBCKT NAND2 A B Z VDD VSS
+MP0 Z A VDD VDD pch W=300n L=30n
+MP1 Z B VDD VDD pch W=300n L=30n
+MN0 Z A net0 VSS nch W=200n L=30n
+MN1 net0 B VSS VSS nch W=200n L=30n
+.ENDS
+";
+
+    #[test]
+    fn parses_nand2() {
+        let cell = parse_cell(NAND2).unwrap();
+        assert_eq!(cell.name(), "NAND2");
+        assert_eq!(cell.num_inputs(), 2);
+        assert_eq!(cell.outputs().len(), 1);
+        assert_eq!(cell.num_transistors(), 4);
+        let mn1 = cell.find_transistor("MN1").unwrap();
+        let t = cell.transistor(mn1);
+        assert_eq!(t.kind(), MosKind::Nmos);
+        assert_eq!(cell.net(t.terminal(Terminal::Source)).name(), "VSS");
+        assert_eq!(t.width_nm(), 200);
+    }
+
+    #[test]
+    fn continuation_lines_joined() {
+        let src = "\
+.SUBCKT INV A Z VDD VSS
+MP0 Z A VDD VDD
++ pch W=300n L=30n
+MN0 Z A VSS VSS nch
+.ENDS
+";
+        let cell = parse_cell(src).unwrap();
+        assert_eq!(cell.num_transistors(), 2);
+        assert_eq!(
+            cell.transistor(cell.find_transistor("MP0").unwrap()).kind(),
+            MosKind::Pmos
+        );
+    }
+
+    #[test]
+    fn dollar_comments_stripped() {
+        let src = ".SUBCKT INV A Z VDD VSS $ pins\nMP0 Z A VDD VDD pch $ pull-up\nMN0 Z A VSS VSS nch\n.ENDS";
+        assert_eq!(parse_cell(src).unwrap().num_transistors(), 2);
+    }
+
+    #[test]
+    fn multiple_subcircuits() {
+        let two = format!("{NAND2}\n.SUBCKT INV A Z VDD VSS\nMP0 Z A VDD VDD pch\nMN0 Z A VSS VSS nch\n.ENDS\n");
+        let cells = parse_library(&two).unwrap();
+        assert_eq!(cells.len(), 2);
+        assert_eq!(cells[1].name(), "INV");
+    }
+
+    #[test]
+    fn unknown_model_rejected() {
+        let src = ".SUBCKT INV A Z VDD VSS\nMP0 Z A VDD VDD weird\n.ENDS";
+        assert!(matches!(
+            parse_cell(src),
+            Err(NetlistError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn unterminated_block_rejected() {
+        let src = ".SUBCKT INV A Z VDD VSS\nMP0 Z A VDD VDD pch";
+        assert!(matches!(parse_cell(src), Err(NetlistError::Parse { .. })));
+    }
+
+    #[test]
+    fn dimension_units() {
+        assert_eq!(parse_dimension_nm("200N", 1).unwrap(), 200);
+        assert_eq!(parse_dimension_nm("0.2U", 1).unwrap(), 200);
+        assert_eq!(parse_dimension_nm("2E-07", 1).unwrap(), 200);
+    }
+
+    #[test]
+    fn gate_only_pin_is_input_channel_pin_is_output() {
+        let cell = parse_cell(NAND2).unwrap();
+        let a = cell.find_net("A").unwrap();
+        let z = cell.find_net("Z").unwrap();
+        assert_eq!(cell.net(a).kind(), NetKind::Input);
+        assert_eq!(cell.net(z).kind(), NetKind::Output);
+    }
+
+    #[test]
+    fn rail_aliases_recognized() {
+        let src = ".SUBCKT INV A Z VPWR VGND\nMP0 Z A VPWR VPWR pch\nMN0 Z A VGND VGND nch\n.ENDS";
+        let cell = parse_cell(src).unwrap();
+        assert_eq!(cell.net(cell.power()).name(), "VPWR");
+        assert_eq!(cell.net(cell.ground()).name(), "VGND");
+    }
+
+    mod fuzz {
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// The parser returns Ok or Err but never panics, on any
+            /// printable-ASCII input.
+            #[test]
+            fn parser_never_panics(s in "[ -~\n]{0,200}") {
+                let _ = super::super::parse_cell(&s);
+            }
+
+            /// Same with a plausible .SUBCKT skeleton around fuzzed body
+            /// lines.
+            #[test]
+            fn parser_never_panics_on_subckt_bodies(body in "[ -~\n]{0,120}") {
+                let src = format!(".SUBCKT F A Z VDD VSS\n{body}\n.ENDS");
+                let _ = super::super::parse_cell(&src);
+            }
+        }
+    }
+
+    #[test]
+    fn ignores_passive_elements() {
+        let src = ".SUBCKT INV A Z VDD VSS\nMP0 Z A VDD VDD pch\nMN0 Z A VSS VSS nch\nC1 Z VSS 1f\nR1 A Z 100\n.ENDS";
+        assert_eq!(parse_cell(src).unwrap().num_transistors(), 2);
+    }
+}

@@ -1,0 +1,414 @@
+//! Steady-state phase solver.
+//!
+//! Models the cell as a conduction graph: nets are nodes; each transistor
+//! contributes a channel edge that conducts according to its gate value;
+//! shorts contribute always-conducting zero-weight edges. Value *drivers*
+//! are the two rails and the primary input pins.
+//!
+//! A phase is solved to a fixpoint: transistor conduction is derived from
+//! the current net values, then net values are recomputed from multi-source
+//! 0-1 BFS distances to 1-drivers and 0-drivers:
+//!
+//! - definite ("must") paths use only definitely-conducting edges,
+//! - possible ("may") paths additionally use unknown-conduction edges,
+//! - a net reached by must-paths to both rails is a *fight*, resolved in
+//!   favour of the strictly shorter (stronger) path — shorts have weight 0,
+//!   channels weight 1 — or [`Value::Xd`] on a tie,
+//! - a net with no may-path to any driver floats and retains its stored
+//!   charge.
+
+use crate::injection::Injection;
+use crate::values::Value;
+use ca_netlist::{Cell, MosKind, Terminal};
+
+const INF: u32 = u32::MAX;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Conduction {
+    On,
+    Off,
+    Unknown,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum EdgeKind {
+    /// Channel of transistor `t` (weight 1, conduction from gate).
+    Channel(usize),
+    /// Hard short (weight 0, always conducting).
+    Short,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Edge {
+    a: usize,
+    b: usize,
+    kind: EdgeKind,
+}
+
+/// The conduction graph of one cell with one injected defect.
+#[derive(Debug, Clone)]
+pub struct CellGraph<'c> {
+    cell: &'c Cell,
+    edges: Vec<Edge>,
+    adj: Vec<Vec<(usize, usize)>>,
+    forced_off: Vec<bool>,
+    max_iterations: usize,
+}
+
+impl<'c> CellGraph<'c> {
+    /// Builds the graph for `cell` with `injection` applied.
+    pub fn new(cell: &'c Cell, injection: Injection) -> CellGraph<'c> {
+        let n_nets = cell.nets().len();
+        let n_transistors = cell.num_transistors();
+        let mut forced_off = vec![false; n_transistors];
+        let mut edges: Vec<Edge> = Vec::with_capacity(n_transistors + 2);
+        for (id, t) in cell.transistor_ids() {
+            edges.push(Edge {
+                a: t.drain().index(),
+                b: t.source().index(),
+                kind: EdgeKind::Channel(id.index()),
+            });
+        }
+        match injection {
+            Injection::None => {}
+            Injection::Open { transistor, .. } => {
+                // Any terminal open leaves the device unable to conduct:
+                // drain/source opens break the channel edge, a floating
+                // gate is modelled as stuck-open.
+                forced_off[transistor.index()] = true;
+            }
+            Injection::Short { transistor, a, b } => {
+                let t = cell.transistor(transistor);
+                let net_of = |term: Terminal| t.terminal(term).index();
+                edges.push(Edge {
+                    a: net_of(a),
+                    b: net_of(b),
+                    kind: EdgeKind::Short,
+                });
+            }
+            Injection::NetShort { a, b } => {
+                edges.push(Edge {
+                    a: a.index(),
+                    b: b.index(),
+                    kind: EdgeKind::Short,
+                });
+            }
+        }
+        let mut adj = vec![Vec::new(); n_nets];
+        for (i, e) in edges.iter().enumerate() {
+            adj[e.a].push((i, e.b));
+            adj[e.b].push((i, e.a));
+        }
+        CellGraph {
+            cell,
+            edges,
+            adj,
+            forced_off,
+            max_iterations: 2 * n_nets + 8,
+        }
+    }
+
+    /// Solves one phase. `inputs[i]` is the level on primary input `i`;
+    /// `stored` is the charge each net holds at the start of the phase.
+    pub fn solve_phase(&self, inputs: &[bool], stored: &[Value]) -> Vec<Value> {
+        debug_assert_eq!(inputs.len(), self.cell.num_inputs());
+        debug_assert_eq!(stored.len(), self.cell.nets().len());
+        let mut values = stored.to_vec();
+        // Seed with driver levels so the first conduction pass sees them.
+        self.apply_drivers(&mut values, inputs);
+        let mut previous = values.clone();
+        for iteration in 0..self.max_iterations {
+            let conduction = self.conduction(&values);
+            let next = self.net_values(&conduction, inputs, stored);
+            if next == values {
+                return next;
+            }
+            if iteration + 1 == self.max_iterations {
+                // Oscillation: conservatively mark the unstable nets as
+                // driven-unknown.
+                let mut forced = next;
+                for (i, v) in forced.iter_mut().enumerate() {
+                    if previous[i] != values[i] {
+                        *v = Value::Xd;
+                    }
+                }
+                return forced;
+            }
+            previous = std::mem::replace(&mut values, next);
+        }
+        values
+    }
+
+    fn apply_drivers(&self, values: &mut [Value], inputs: &[bool]) {
+        values[self.cell.power().index()] = Value::One;
+        values[self.cell.ground().index()] = Value::Zero;
+        for (i, &net) in self.cell.inputs().iter().enumerate() {
+            values[net.index()] = Value::from_bool(inputs[i]);
+        }
+    }
+
+    fn conduction(&self, values: &[Value]) -> Vec<Conduction> {
+        self.cell
+            .transistor_ids()
+            .map(|(id, t)| {
+                if self.forced_off[id.index()] {
+                    return Conduction::Off;
+                }
+                let gate = values[t.gate().index()];
+                match (t.kind(), gate) {
+                    (MosKind::Nmos, Value::One) | (MosKind::Pmos, Value::Zero) => Conduction::On,
+                    (MosKind::Nmos, Value::Zero) | (MosKind::Pmos, Value::One) => Conduction::Off,
+                    _ => Conduction::Unknown,
+                }
+            })
+            .collect()
+    }
+
+    /// 0-1 BFS from all driver nets of `level`, using edges admitted by
+    /// `admit_unknown`.
+    fn distances(
+        &self,
+        conduction: &[Conduction],
+        inputs: &[bool],
+        level: bool,
+        admit_unknown: bool,
+    ) -> Vec<u32> {
+        let n = self.adj.len();
+        let mut dist = vec![INF; n];
+        let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<(u32, usize)>> =
+            std::collections::BinaryHeap::new();
+        // Graded strength model: rails are the strongest drivers (0),
+        // primary inputs are driven through the previous stage's devices
+        // (1), every conducting channel adds 2, hard shorts add 0. A hard
+        // short to a rail therefore beats an input driver, which in turn
+        // beats any transistor path.
+        let rail = if level {
+            self.cell.power()
+        } else {
+            self.cell.ground()
+        };
+        dist[rail.index()] = 0;
+        heap.push(std::cmp::Reverse((0, rail.index())));
+        for (i, &net) in self.cell.inputs().iter().enumerate() {
+            if inputs[i] == level && dist[net.index()] > 1 {
+                dist[net.index()] = 1;
+                heap.push(std::cmp::Reverse((1, net.index())));
+            }
+        }
+        while let Some(std::cmp::Reverse((du, u))) = heap.pop() {
+            if du > dist[u] {
+                continue;
+            }
+            for &(edge_idx, v) in &self.adj[u] {
+                let edge = self.edges[edge_idx];
+                let weight = match edge.kind {
+                    EdgeKind::Short => 0,
+                    EdgeKind::Channel(t) => match conduction[t] {
+                        Conduction::On => 2,
+                        Conduction::Unknown if admit_unknown => 2,
+                        _ => continue,
+                    },
+                };
+                let candidate = du.saturating_add(weight);
+                if candidate < dist[v] {
+                    dist[v] = candidate;
+                    heap.push(std::cmp::Reverse((candidate, v)));
+                }
+            }
+        }
+        dist
+    }
+
+    fn net_values(
+        &self,
+        conduction: &[Conduction],
+        inputs: &[bool],
+        stored: &[Value],
+    ) -> Vec<Value> {
+        let must1 = self.distances(conduction, inputs, true, false);
+        let must0 = self.distances(conduction, inputs, false, false);
+        let may1 = self.distances(conduction, inputs, true, true);
+        let may0 = self.distances(conduction, inputs, false, true);
+        (0..self.adj.len())
+            .map(|n| {
+                let (m1, m0) = (must1[n] != INF, must0[n] != INF);
+                let (y1, y0) = (may1[n] != INF, may0[n] != INF);
+                if !y1 && !y0 {
+                    // Fully isolated: the node keeps its charge.
+                    stored[n]
+                } else if !m1 && !m0 {
+                    // Possibly driven, possibly floating: unknown charge.
+                    Value::Xf
+                } else {
+                    // A side wins when its definite drive is strictly
+                    // stronger than everything the opposite side might
+                    // muster (its *may* distance).
+                    let win1 = m1 && must1[n] < may0[n];
+                    let win0 = m0 && must0[n] < may1[n];
+                    match (win1, win0) {
+                        (true, false) => Value::One,
+                        (false, true) => Value::Zero,
+                        _ => Value::Xd,
+                    }
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ca_netlist::spice;
+
+    const NAND2: &str = "\
+.SUBCKT NAND2 A B Z VDD VSS
+MP0 Z A VDD VDD pch
+MP1 Z B VDD VDD pch
+MN0 Z A net0 VSS nch
+MN1 net0 B VSS VSS nch
+.ENDS
+";
+
+    fn fresh(cell: &Cell) -> Vec<Value> {
+        vec![Value::Xf; cell.nets().len()]
+    }
+
+    #[test]
+    fn nand2_truth_table() {
+        let cell = spice::parse_cell(NAND2).unwrap();
+        let graph = CellGraph::new(&cell, Injection::None);
+        let z = cell.output().index();
+        for (a, b, expected) in [
+            (false, false, Value::One),
+            (false, true, Value::One),
+            (true, false, Value::One),
+            (true, true, Value::Zero),
+        ] {
+            let values = graph.solve_phase(&[a, b], &fresh(&cell));
+            assert_eq!(values[z], expected, "a={a} b={b}");
+        }
+    }
+
+    #[test]
+    fn open_floats_output_statically() {
+        let cell = spice::parse_cell(NAND2).unwrap();
+        let mn0 = cell.find_transistor("MN0").unwrap();
+        let graph = CellGraph::new(
+            &cell,
+            Injection::Open {
+                transistor: mn0,
+                terminal: Terminal::Drain,
+            },
+        );
+        let values = graph.solve_phase(&[true, true], &fresh(&cell));
+        assert_eq!(values[cell.output().index()], Value::Xf);
+    }
+
+    #[test]
+    fn open_retains_previous_charge() {
+        let cell = spice::parse_cell(NAND2).unwrap();
+        let mn0 = cell.find_transistor("MN0").unwrap();
+        let graph = CellGraph::new(
+            &cell,
+            Injection::Open {
+                transistor: mn0,
+                terminal: Terminal::Drain,
+            },
+        );
+        // Phase 1: AB=01 drives Z to 1 through MP0.
+        let phase1 = graph.solve_phase(&[false, true], &fresh(&cell));
+        assert_eq!(phase1[cell.output().index()], Value::One);
+        // Phase 2: AB=11 floats Z (pull-down broken), so it keeps the 1.
+        let stored: Vec<Value> = phase1.iter().map(|v| v.retained()).collect();
+        let phase2 = graph.solve_phase(&[true, true], &stored);
+        assert_eq!(phase2[cell.output().index()], Value::One);
+    }
+
+    #[test]
+    fn drain_source_short_wins_fight() {
+        let cell = spice::parse_cell(NAND2).unwrap();
+        let mp1 = cell.find_transistor("MP1").unwrap();
+        let graph = CellGraph::new(
+            &cell,
+            Injection::Short {
+                transistor: mp1,
+                a: Terminal::Drain,
+                b: Terminal::Source,
+            },
+        );
+        // AB=11: golden pulls Z low (weight 2), the short offers VDD at
+        // weight 0 — the short wins the fight.
+        let values = graph.solve_phase(&[true, true], &fresh(&cell));
+        assert_eq!(values[cell.output().index()], Value::One);
+    }
+
+    #[test]
+    fn balanced_fight_is_driven_x() {
+        let cell = spice::parse_cell(NAND2).unwrap();
+        let mn0 = cell.find_transistor("MN0").unwrap();
+        // Short MN0 drain-source: bridges Z to net0 at weight 0.
+        let graph = CellGraph::new(
+            &cell,
+            Injection::Short {
+                transistor: mn0,
+                a: Terminal::Drain,
+                b: Terminal::Source,
+            },
+        );
+        // AB=01: pull-up through MP0 (weight 1) vs pull-down short+MN1
+        // (weight 0+1=1): balanced fight.
+        let values = graph.solve_phase(&[false, true], &fresh(&cell));
+        assert_eq!(values[cell.output().index()], Value::Xd);
+    }
+
+    #[test]
+    fn gate_short_propagates_input() {
+        let cell = spice::parse_cell(NAND2).unwrap();
+        let mp0 = cell.find_transistor("MP0").unwrap();
+        // MP0 gate-drain short bridges input A to output Z at weight 0.
+        let graph = CellGraph::new(
+            &cell,
+            Injection::Short {
+                transistor: mp0,
+                a: Terminal::Gate,
+                b: Terminal::Drain,
+            },
+        );
+        // AB=01: golden Z=1. With the short, A=0 reaches Z through the
+        // defect at strength 1 (input driver) + 0 (short), beating MP0's
+        // pull-up at strength 2 (one channel): Z is dragged to 0.
+        let values = graph.solve_phase(&[false, true], &fresh(&cell));
+        assert_eq!(values[cell.output().index()], Value::Zero);
+    }
+
+    #[test]
+    fn feedback_loop_terminates_with_unknown() {
+        // Z gates its own pull-down: with the pull-up off this is a
+        // self-inverting loop — the solver must terminate and report an
+        // unknown rather than oscillate forever.
+        let src = "\
+.SUBCKT OSC A Z VDD VSS
+MP0 Z A VDD VDD pch
+MN0 Z Z VSS VSS nch
+.ENDS
+";
+        let cell = spice::parse_cell(src).unwrap();
+        let graph = CellGraph::new(&cell, Injection::None);
+        let values = graph.solve_phase(&[true], &fresh(&cell));
+        assert!(
+            values[cell.output().index()].is_x(),
+            "got {}",
+            values[cell.output().index()]
+        );
+    }
+
+    #[test]
+    fn rails_hold_their_levels() {
+        let cell = spice::parse_cell(NAND2).unwrap();
+        let graph = CellGraph::new(&cell, Injection::None);
+        let values = graph.solve_phase(&[false, false], &fresh(&cell));
+        assert_eq!(values[cell.power().index()], Value::One);
+        assert_eq!(values[cell.ground().index()], Value::Zero);
+    }
+}

@@ -1,0 +1,60 @@
+//! Cross-technology CA model prediction (the paper's headline result).
+//!
+//! Trains the ML flow on the synthetic 28SOI library and predicts CA
+//! models for C28 cells — no defect simulation on the C28 side beyond the
+//! single defect-free golden run each new cell needs anyway.
+//!
+//! Run with: `cargo run --release --example cross_technology`
+
+use cell_aware::core::{MlFlow, MlFlowParams, PreparedCell};
+use cell_aware::defects::GenerateOptions;
+use cell_aware::netlist::library::{generate_library, LibraryConfig};
+use cell_aware::netlist::Technology;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Characterize the training library the conventional way.
+    let train_lib = generate_library(&LibraryConfig::quick(Technology::Soi28));
+    println!(
+        "characterizing {} cells of {} ...",
+        train_lib.len(),
+        train_lib.technology
+    );
+    let corpus: Vec<PreparedCell> = train_lib
+        .cells
+        .iter()
+        .map(|lc| PreparedCell::characterize(lc.cell.clone(), GenerateOptions::default()))
+        .collect::<Result<_, _>>()?;
+
+    // 2. Train one random forest per (inputs, transistors) group.
+    let flow = MlFlow::train(&corpus, MlFlowParams::quick())?;
+    println!("trained {} groups: {:?}", flow.group_keys().len(), flow.group_keys());
+
+    // 3. Predict CA models for the other technology and score them
+    //    against the conventional flow's ground truth.
+    let eval_lib = generate_library(&LibraryConfig::quick(Technology::C28));
+    let mut evaluated = 0;
+    let mut above_97 = 0;
+    println!("\ncell                        accuracy");
+    for lc in &eval_lib.cells {
+        let prepared =
+            PreparedCell::characterize(lc.cell.clone(), GenerateOptions::default())?;
+        if !flow.covers(&prepared) {
+            continue;
+        }
+        let predicted = flow.predict(&prepared)?;
+        let accuracy = prepared.accuracy_of(&predicted);
+        evaluated += 1;
+        if accuracy > 0.97 {
+            above_97 += 1;
+        }
+        if evaluated <= 15 {
+            println!("{:<28}{:>7.2}%", prepared.cell.name(), accuracy * 100.0);
+        }
+    }
+    println!(
+        "\n{evaluated} cells evaluated; accuracy > 97% for {:.0}% of them \
+         (paper §V.A.2: 68% on C28)",
+        100.0 * above_97 as f64 / evaluated.max(1) as f64
+    );
+    Ok(())
+}

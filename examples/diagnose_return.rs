@@ -1,0 +1,123 @@
+//! Cell-aware diagnosis of a simulated customer return.
+//!
+//! The paper's motivating application: a die fails on the tester; the CA
+//! model turns its per-pattern pass/fail signature into a ranked list of
+//! cell-internal defect candidates. Here we inject a secret defect, apply
+//! the CA pattern set, and let the diagnosis recover it.
+//!
+//! Run with: `cargo run --example diagnose_return`
+
+use cell_aware::defects::diagnosis::distinguishing_stimulus;
+use cell_aware::defects::{diagnose, select_patterns, CaModel, GenerateOptions, Observation};
+use cell_aware::netlist::{spice, Terminal};
+use cell_aware::sim::{DetectionPolicy, Injection, Simulator};
+
+const NAND2: &str = "\
+.SUBCKT NAND2 A B Z VDD VSS
+MPX Z A VDD VDD pch
+MPY Z B VDD VDD pch
+MN10 Z A net0 VSS nch
+MN11 net0 B VSS VSS nch
+.ENDS
+";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cell = spice::parse_cell(NAND2)?;
+    let model = CaModel::generate(&cell, GenerateOptions::default());
+    let patterns = select_patterns(&model);
+    println!(
+        "CA model: {} classes; pattern set: {} of {} stimuli cover all detectable classes",
+        model.classes.len(),
+        patterns.selected.len(),
+        model.stimuli().len()
+    );
+
+    // The "silicon": a die with a secret defect — MN10 source open.
+    let secret = Injection::Open {
+        transistor: cell.find_transistor("MN10").ok_or("missing MN10")?,
+        terminal: Terminal::Source,
+    };
+    let golden = Simulator::new(&cell);
+    let faulty = Simulator::with_injection(&cell, secret);
+    let policy = DetectionPolicy::default();
+    let stimuli = model.stimuli();
+
+    // Tester run: apply the CA pattern set, record pass/fail.
+    let observations: Vec<Observation> = patterns
+        .selected
+        .iter()
+        .map(|&s| {
+            let g = golden.run(&stimuli[s]).final_value(cell.output());
+            let f = faulty.run(&stimuli[s]).final_value(cell.output());
+            Observation {
+                stimulus: s,
+                failed: policy.detects(g, f),
+            }
+        })
+        .collect();
+    println!("\ntester signature:");
+    for obs in &observations {
+        println!(
+            "  pattern {:<4} -> {}",
+            stimuli[obs.stimulus].to_string(),
+            if obs.failed { "FAIL" } else { "pass" }
+        );
+    }
+
+    // Adaptive diagnosis: while several classes explain the signature
+    // perfectly, apply a distinguishing pattern and re-test.
+    let mut observations = observations;
+    let mut applied: Vec<usize> = observations.iter().map(|o| o.stimulus).collect();
+    loop {
+        let candidates = diagnose(&model, &observations);
+        let perfect: Vec<_> = candidates
+            .iter()
+            .filter(|c| c.is_perfect(observations.len()))
+            .collect();
+        println!("\ncandidates ({} perfect):", perfect.len());
+        for c in candidates.iter().take(4) {
+            let class = &model.classes[c.class];
+            let members: Vec<String> = class
+                .members
+                .iter()
+                .take(3)
+                .map(|&d| model.universe.defect(d).label(&cell))
+                .collect();
+            println!(
+                "  class {:<3} matched {}/{} ({}): {} ...",
+                c.class,
+                c.matched,
+                observations.len(),
+                class.behavior,
+                members.join(", ")
+            );
+        }
+        if perfect.len() <= 1 {
+            let top = perfect.first().ok_or("no candidate explains the signature")?;
+            let hit = model.classes[top.class]
+                .members
+                .iter()
+                .any(|&d| model.universe.defect(d).injection == secret);
+            println!(
+                "\nunique diagnosis after {} patterns — secret defect {} the diagnosed class",
+                applied.len(),
+                if hit { "IS IN" } else { "is NOT in" }
+            );
+            break;
+        }
+        let extra = distinguishing_stimulus(&model, perfect[0].class, perfect[1].class, &applied)
+            .ok_or("ambiguous classes are inseparable")?;
+        let g = golden.run(&stimuli[extra]).final_value(cell.output());
+        let f = faulty.run(&stimuli[extra]).final_value(cell.output());
+        println!(
+            "  -> ambiguous; applying distinguishing pattern {}",
+            stimuli[extra]
+        );
+        observations.push(Observation {
+            stimulus: extra,
+            failed: policy.detects(g, f),
+        });
+        applied.push(extra);
+    }
+    Ok(())
+}

@@ -1,0 +1,25 @@
+//! Facade crate for the `cell-aware` workspace.
+//!
+//! Re-exports every sub-crate so examples and downstream users can depend
+//! on a single package. See the README for the architecture overview and
+//! DESIGN.md for the paper-to-module map.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use cell_aware::netlist::spice;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let cell = spice::parse_cell(
+//!     ".SUBCKT INV A Z VDD VSS\nMP0 Z A VDD VDD pch\nMN0 Z A VSS VSS nch\n.ENDS",
+//! )?;
+//! assert_eq!(cell.num_inputs(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use ca_core as core;
+pub use ca_defects as defects;
+pub use ca_ml as ml;
+pub use ca_netlist as netlist;
+pub use ca_sim as sim;

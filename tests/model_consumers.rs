@@ -1,0 +1,95 @@
+//! Integration: downstream consumers (pattern selection, diagnosis, CAM
+//! persistence) work identically on simulated and ML-predicted models.
+
+use cell_aware::core::{MlFlow, MlFlowParams, PreparedCell};
+use cell_aware::defects::{
+    diagnose, from_cam, select_patterns, to_cam, GenerateOptions, Observation,
+};
+use cell_aware::netlist::library::{generate_library, LibraryConfig};
+use cell_aware::netlist::Technology;
+
+fn characterized(tech: Technology, take: usize) -> Vec<PreparedCell> {
+    generate_library(&LibraryConfig::quick(tech))
+        .cells
+        .into_iter()
+        .take(take)
+        .map(|lc| PreparedCell::characterize(lc.cell, GenerateOptions::default()).expect("valid"))
+        .collect()
+}
+
+#[test]
+fn predicted_models_feed_pattern_selection() {
+    let corpus = characterized(Technology::Soi28, 10);
+    let flow = MlFlow::train(&corpus, MlFlowParams::quick()).expect("trains");
+    let target = &corpus[1];
+    let predicted = flow.predict(target).expect("covered");
+    let truth = target.model.as_ref().expect("characterized");
+    let set_predicted = select_patterns(&predicted);
+    let set_truth = select_patterns(truth);
+    // Both cover their own detectable classes completely...
+    assert!((set_predicted.class_coverage() - 1.0).abs() < 1e-12);
+    assert!((set_truth.class_coverage() - 1.0).abs() < 1e-12);
+    // ...and when the prediction is accurate, the predicted pattern set
+    // achieves high real coverage: apply it against the truth model.
+    let covered = truth
+        .classes
+        .iter()
+        .filter(|c| {
+            set_predicted
+                .selected
+                .iter()
+                .any(|&s| c.row.get(s))
+        })
+        .count();
+    let detectable = truth
+        .classes
+        .iter()
+        .filter(|c| c.behavior != cell_aware::defects::Behavior::Undetectable)
+        .count();
+    assert!(
+        covered as f64 >= 0.8 * detectable as f64,
+        "covered {covered}/{detectable}"
+    );
+}
+
+#[test]
+fn predicted_models_support_diagnosis() {
+    let corpus = characterized(Technology::Soi28, 10);
+    let flow = MlFlow::train(&corpus, MlFlowParams::quick()).expect("trains");
+    let target = &corpus[2];
+    let predicted = flow.predict(target).expect("covered");
+    // Simulate a failing die using the TRUTH model, diagnose with the
+    // PREDICTED model.
+    let truth = target.model.as_ref().expect("characterized");
+    let class = truth
+        .classes
+        .iter()
+        .position(|c| c.behavior != cell_aware::defects::Behavior::Undetectable)
+        .expect("detectable class exists");
+    let all: Vec<usize> = (0..truth.stimuli().len()).collect();
+    let signature: Vec<Observation> = all
+        .iter()
+        .map(|&s| Observation {
+            stimulus: s,
+            failed: truth.classes[class].row.get(s),
+        })
+        .collect();
+    let candidates = diagnose(&predicted, &signature);
+    assert!(
+        !candidates.is_empty(),
+        "an accurate predicted model explains the signature"
+    );
+}
+
+#[test]
+fn cam_persistence_preserves_predicted_models() {
+    let corpus = characterized(Technology::Soi28, 6);
+    let flow = MlFlow::train(&corpus, MlFlowParams::quick()).expect("trains");
+    let target = &corpus[0];
+    let predicted = flow.predict(target).expect("covered");
+    let text = to_cam(&predicted);
+    let reloaded = from_cam(&text, &target.cell).expect("round-trips");
+    assert_eq!(predicted, reloaded);
+    // Predicted models record zero simulation effort.
+    assert_eq!(reloaded.defect_simulations, 0);
+}

@@ -1,0 +1,74 @@
+//! Multi-output cells: the conventional flow observes every output pin;
+//! the single-response CA-matrix encoding rejects them explicitly.
+
+use cell_aware::core::{CoreError, PreparedCell};
+use cell_aware::defects::{CaModel, GenerateOptions};
+use cell_aware::netlist::spice;
+use cell_aware::sim::{Simulator, Stimulus, Value};
+
+/// A dual-output cell: ZN = NAND2(A,B), ZR = NOR2(A,B).
+const DUAL: &str = "\
+.SUBCKT DUAL A B ZN ZR VDD VSS
+MP0 ZN A VDD VDD pch
+MP1 ZN B VDD VDD pch
+MN0 ZN A net0 VSS nch
+MN1 net0 B VSS VSS nch
+MP2 mid A VDD VDD pch
+MP3 ZR B mid VDD pch
+MN2 ZR A VSS VSS nch
+MN3 ZR B VSS VSS nch
+.ENDS
+";
+
+#[test]
+fn golden_simulation_drives_both_outputs() {
+    let cell = spice::parse_cell(DUAL).unwrap();
+    assert_eq!(cell.outputs().len(), 2);
+    let zn = cell.find_net("ZN").unwrap();
+    let zr = cell.find_net("ZR").unwrap();
+    let sim = Simulator::new(&cell);
+    for p in 0..4u32 {
+        let result = sim.run(&Stimulus::static_pattern(2, p));
+        let a = p & 1 == 1;
+        let b = p & 2 == 2;
+        assert_eq!(result.final_value(zn), Value::from_bool(!(a && b)), "ZN p={p}");
+        assert_eq!(result.final_value(zr), Value::from_bool(!(a || b)), "ZR p={p}");
+    }
+}
+
+#[test]
+fn conventional_flow_observes_every_output() {
+    let cell = spice::parse_cell(DUAL).unwrap();
+    let model = CaModel::generate(&cell, GenerateOptions::default());
+    // Defects on the NOR half are invisible on ZN; full observation must
+    // still detect them.
+    assert!(
+        model.coverage() > 0.95,
+        "coverage {} — NOR-half defects must be observed on ZR",
+        model.coverage()
+    );
+    // Cross-check one specific NOR-half defect: MN2 drain open.
+    let mn2 = cell.find_transistor("MN2").unwrap();
+    let defect = model
+        .universe
+        .defects()
+        .iter()
+        .find(|d| {
+            matches!(
+                d.injection,
+                cell_aware::sim::Injection::Open { transistor, .. } if transistor == mn2
+            )
+        })
+        .unwrap();
+    assert!(model.row(defect.id).any(), "MN2 open detected via ZR");
+}
+
+#[test]
+fn ml_encoding_rejects_multi_output_cells() {
+    let cell = spice::parse_cell(DUAL).unwrap();
+    let err = PreparedCell::prepare(cell).unwrap_err();
+    assert!(
+        matches!(err, CoreError::Unsupported(_)),
+        "expected Unsupported, got {err}"
+    );
+}
