@@ -1,14 +1,14 @@
-//! Criterion bench: CA-matrix creation (paper Fig. 3 pipeline) — golden
+//! Micro-bench: CA-matrix creation (paper Fig. 3 pipeline) — golden
 //! activation extraction, canonicalization and row encoding.
 
+use ca_bench::microbench::BenchGroup;
 use ca_core::{Activation, CanonicalCell, PreparedCell};
 use ca_netlist::library::{generate_library, LibraryConfig};
 use ca_netlist::Technology;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-fn bench_camatrix(c: &mut Criterion) {
+fn main() {
     let lib = generate_library(&LibraryConfig::quick(Technology::Soi28));
-    let mut group = c.benchmark_group("camatrix_creation");
+    let mut group = BenchGroup::new("camatrix_creation");
     for template in ["INV", "NAND2", "AOI21"] {
         let cell = lib
             .cells
@@ -16,36 +16,23 @@ fn bench_camatrix(c: &mut Criterion) {
             .find(|lc| lc.template == template && lc.drive == 1)
             .map(|lc| lc.cell.clone())
             .expect("catalog template exists");
-        group.bench_with_input(
-            BenchmarkId::new("activation_extract", template),
-            &cell,
-            |b, cell| b.iter(|| Activation::extract(cell).expect("valid")),
-        );
+        group.bench(&format!("activation_extract/{template}"), || {
+            Activation::extract(&cell).expect("valid")
+        });
         let activation = Activation::extract(&cell).expect("valid");
-        group.bench_with_input(
-            BenchmarkId::new("canonical_build", template),
-            &cell,
-            |b, cell| b.iter(|| CanonicalCell::build(cell, &activation).expect("canonizable")),
-        );
+        group.bench(&format!("canonical_build/{template}"), || {
+            CanonicalCell::build(&cell, &activation).expect("canonizable")
+        });
         let prepared = PreparedCell::prepare(cell.clone()).expect("valid");
-        group.bench_with_input(
-            BenchmarkId::new("encode_all_rows", template),
-            &prepared,
-            |b, prepared| {
-                b.iter(|| {
-                    let mut count = 0usize;
-                    for d in prepared.universe.defects() {
-                        for s in 0..prepared.activation.stimuli().len() {
-                            count += prepared.encode_row(s, d.injection).len();
-                        }
-                    }
-                    count
-                })
-            },
-        );
+        group.bench(&format!("encode_all_rows/{template}"), || {
+            let mut count = 0usize;
+            for d in prepared.universe.defects() {
+                for s in 0..prepared.activation.stimuli().len() {
+                    count += prepared.encode_row(s, d.injection).len();
+                }
+            }
+            count
+        });
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_camatrix);
-criterion_main!(benches);

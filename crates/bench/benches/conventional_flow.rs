@@ -1,16 +1,16 @@
-//! Criterion bench: the conventional (simulation-based) generation flow
+//! Micro-bench: the conventional (simulation-based) generation flow
 //! of paper Fig. 1 — this is the cost the ML flow amortizes away.
 
+use ca_bench::microbench::BenchGroup;
 use ca_core::conventional_flow;
 use ca_defects::GenerateOptions;
 use ca_netlist::library::{generate_library, LibraryConfig};
 use ca_netlist::Technology;
-use ca_sim::{DetectionPolicy, Simulator, Stimulus};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ca_sim::{Simulator, Stimulus};
 
-fn bench_conventional(c: &mut Criterion) {
+fn main() {
     let lib = generate_library(&LibraryConfig::quick(Technology::C40));
-    let mut group = c.benchmark_group("conventional_flow");
+    let mut group = BenchGroup::new("conventional_flow");
     for template in ["INV", "NAND2", "AOI21", "XOR2"] {
         let Some(cell) = lib
             .cells
@@ -20,29 +20,17 @@ fn bench_conventional(c: &mut Criterion) {
         else {
             continue; // per-technology catalog subsets may drop a template
         };
-        group.bench_with_input(
-            BenchmarkId::new("generate", template),
-            &cell,
-            |b, cell| b.iter(|| conventional_flow(cell, GenerateOptions::default())),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("golden_simulation", template),
-            &cell,
-            |b, cell| {
-                let sim = Simulator::new(cell);
-                let stimuli = Stimulus::all(cell.num_inputs());
-                b.iter(|| {
-                    stimuli
-                        .iter()
-                        .map(|s| sim.run(s).final_values().len())
-                        .sum::<usize>()
-                })
-            },
-        );
-        let _ = DetectionPolicy::default();
+        group.bench(&format!("generate/{template}"), || {
+            conventional_flow(&cell, GenerateOptions::default())
+        });
+        let sim = Simulator::new(&cell);
+        let stimuli = Stimulus::all(cell.num_inputs());
+        group.bench(&format!("golden_simulation/{template}"), || {
+            stimuli
+                .iter()
+                .map(|s| sim.run(s).final_values().len())
+                .sum::<usize>()
+        });
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_conventional);
-criterion_main!(benches);

@@ -1,15 +1,15 @@
-//! Criterion bench: measured per-cell generation time, ML route vs
+//! Micro-bench: measured per-cell generation time, ML route vs
 //! conventional route — the real-machine counterpart of the paper's
 //! §V.C wall-clock argument.
 
 use ca_bench::corpus::{build_corpus, Profile};
+use ca_bench::microbench::BenchGroup;
 use ca_core::{conventional_flow, MlFlow, PreparedCell};
 use ca_defects::GenerateOptions;
 use ca_netlist::library::generate_library;
 use ca_netlist::Technology;
-use criterion::{criterion_group, criterion_main, Criterion};
 
-fn bench_hybrid(c: &mut Criterion) {
+fn main() {
     let train = build_corpus(Technology::Soi28, Profile::Quick);
     let prepared: Vec<PreparedCell> = train.iter().map(|cc| cc.prepared.clone()).collect();
     let flow = MlFlow::train(&prepared, Profile::Quick.ml_params()).expect("trains");
@@ -25,19 +25,14 @@ fn bench_hybrid(c: &mut Criterion) {
                 .unwrap_or(false)
         })
         .expect("some covered cell exists");
-    let mut group = c.benchmark_group("per_cell_generation");
-    group.sample_size(10);
-    group.bench_function("ml_route", |b| {
-        b.iter(|| {
-            let p = PreparedCell::prepare(cell.clone()).expect("valid");
-            flow.predict(&p).expect("covered")
-        })
+    let mut group = BenchGroup::new("per_cell_generation");
+    group.sample_size(5);
+    group.bench("ml_route", || {
+        let p = PreparedCell::prepare(cell.clone()).expect("valid");
+        flow.predict(&p).expect("covered")
     });
-    group.bench_function("conventional_route", |b| {
-        b.iter(|| conventional_flow(&cell, GenerateOptions::default()))
+    group.bench("conventional_route", || {
+        conventional_flow(&cell, GenerateOptions::default())
     });
     group.finish();
 }
-
-criterion_group!(benches, bench_hybrid);
-criterion_main!(benches);

@@ -1,18 +1,21 @@
-//! Criterion bench: one leave-one-out evaluation step of Table IV.a —
+//! Micro-bench: one leave-one-out evaluation step of Table IV.a —
 //! train a group forest and predict the held-out cell's full CA model.
 
 use ca_bench::corpus::{build_corpus, Profile};
+use ca_bench::microbench::BenchGroup;
 use ca_core::{train_group_forest, PreparedCell};
 use ca_ml::Classifier;
 use ca_netlist::Technology;
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::collections::BTreeMap;
 
-fn bench_table_iv_step(c: &mut Criterion) {
+fn main() {
     let corpus = build_corpus(Technology::Soi28, Profile::Quick);
     let mut by_key: BTreeMap<(usize, usize), Vec<&PreparedCell>> = BTreeMap::new();
     for cc in corpus.iter() {
-        by_key.entry(cc.prepared.group_key()).or_default().push(&cc.prepared);
+        by_key
+            .entry(cc.prepared.group_key())
+            .or_default()
+            .push(&cc.prepared);
     }
     // A mid-size group keeps the bench representative but affordable.
     let (key, cells) = by_key
@@ -21,22 +24,14 @@ fn bench_table_iv_step(c: &mut Criterion) {
         .min_by_key(|&((inputs, transistors), _)| (inputs, transistors))
         .expect("a group with >= 3 cells exists");
     let params = Profile::Quick.ml_params();
-    let mut group = c.benchmark_group("table_iv_loo_step");
-    group.sample_size(10);
-    group.bench_function(
-        format!("group_{}in_{}t", key.0, key.1),
-        |b| {
-            b.iter(|| {
-                let train: Vec<&PreparedCell> = cells[1..].to_vec();
-                let (forest, _) = train_group_forest(&train, &params).expect("trains");
-                let target = cells[0];
-                let predicted = target.predict_model(|row| forest.predict(row) == 1);
-                target.accuracy_of(&predicted)
-            })
-        },
-    );
+    let mut group = BenchGroup::new("table_iv_loo_step");
+    group.sample_size(5);
+    group.bench(&format!("group_{}in_{}t", key.0, key.1), || {
+        let train: Vec<&PreparedCell> = cells[1..].to_vec();
+        let (forest, _) = train_group_forest(&train, &params).expect("trains");
+        let target = cells[0];
+        let predicted = target.predict_model(|row| forest.predict(row) == 1);
+        target.accuracy_of(&predicted)
+    });
     group.finish();
 }
-
-criterion_group!(benches, bench_table_iv_step);
-criterion_main!(benches);

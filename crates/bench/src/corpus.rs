@@ -1,10 +1,16 @@
 //! Corpus construction: synthetic libraries characterized end-to-end.
 
+// A corpus build fans out over worker threads and runs for minutes; a
+// stray unwrap must not be able to abort the whole experiment run.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 use ca_core::{MlFlowParams, PreparedCell};
 use ca_defects::GenerateOptions;
 use ca_ml::ForestParams;
-use ca_netlist::library::{generate_library, LibraryConfig};
+use ca_netlist::library::{generate_library, LibraryCell, LibraryConfig};
 use ca_netlist::Technology;
+use std::ops::Deref;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Experiment scale.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -44,7 +50,11 @@ impl Profile {
         // The training technology keeps a smaller catalog slice than the
         // evaluated ones, so a realistic share of evaluated cells has no
         // known structure (the paper's ~50% simulated fraction in §V.C).
-        let keep = if tech == Technology::Soi28 { 0.65 } else { 0.90 };
+        let keep = if tech == Technology::Soi28 {
+            0.65
+        } else {
+            0.90
+        };
         match self {
             Profile::Quick => LibraryConfig {
                 max_inputs: 3,
@@ -111,19 +121,105 @@ pub struct CorpusCell {
     pub template: String,
 }
 
+/// A library cell the corpus build could not characterize.
+#[derive(Debug, Clone)]
+pub struct SkippedCell {
+    /// Cell name.
+    pub name: String,
+    /// Catalog template name.
+    pub template: String,
+    /// Why the cell was skipped (error message or panic text).
+    pub reason: String,
+}
+
+/// Result of a corpus build: the characterized cells plus whatever had
+/// to be skipped. Derefs to the cell slice, so experiment code that
+/// only needs the healthy cells can iterate/index it directly.
+#[derive(Debug, Default)]
+pub struct CorpusBuild {
+    /// Successfully characterized cells.
+    pub cells: Vec<CorpusCell>,
+    /// Cells that failed characterization, with reasons.
+    pub skipped: Vec<SkippedCell>,
+}
+
+impl Deref for CorpusBuild {
+    type Target = [CorpusCell];
+
+    fn deref(&self) -> &[CorpusCell] {
+        &self.cells
+    }
+}
+
+impl CorpusBuild {
+    /// One warning line per skipped cell (empty when nothing skipped).
+    pub fn skip_report(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for s in &self.skipped {
+            let _ = writeln!(out, "skipped {} ({}): {}", s.name, s.template, s.reason);
+        }
+        out
+    }
+}
+
+/// Characterizes `cells`, isolating per-cell failures: an error or a
+/// panic skips that cell (with its reason recorded) instead of aborting
+/// the batch.
+pub fn characterize_cells(cells: &[LibraryCell]) -> CorpusBuild {
+    let mut build = CorpusBuild::default();
+    for lc in cells {
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            PreparedCell::characterize(lc.cell.clone(), GenerateOptions::default())
+        }));
+        match outcome {
+            Ok(Ok(prepared)) => build.cells.push(CorpusCell {
+                prepared,
+                template: lc.template.clone(),
+            }),
+            Ok(Err(e)) => build.skipped.push(SkippedCell {
+                name: lc.cell.name().to_string(),
+                template: lc.template.clone(),
+                reason: e.to_string(),
+            }),
+            Err(payload) => {
+                let message = payload
+                    .downcast_ref::<&'static str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".to_string());
+                build.skipped.push(SkippedCell {
+                    name: lc.cell.name().to_string(),
+                    template: lc.template.clone(),
+                    reason: format!("panic: {message}"),
+                });
+            }
+        }
+    }
+    build
+}
+
 /// Generates and characterizes the full synthetic library of `tech`.
 ///
 /// Every cell is run through the conventional flow (ground truth), so the
 /// corpus can both train and evaluate. Results are memoized per
 /// (technology, profile) so `ca-bench all` characterizes each library
-/// once.
-pub fn build_corpus(tech: Technology, profile: Profile) -> std::sync::Arc<Vec<CorpusCell>> {
+/// once. Cells that fail (or panic) are collected in
+/// [`CorpusBuild::skipped`] rather than aborting the build.
+pub fn build_corpus(tech: Technology, profile: Profile) -> std::sync::Arc<CorpusBuild> {
     use std::collections::HashMap;
     use std::sync::{Arc, Mutex, OnceLock};
-    type Cache = Mutex<HashMap<(Technology, Profile), Arc<Vec<CorpusCell>>>>;
+    type Cache = Mutex<HashMap<(Technology, Profile), Arc<CorpusBuild>>>;
     static CACHE: OnceLock<Cache> = OnceLock::new();
     let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
-    if let Some(hit) = cache.lock().expect("cache lock").get(&(tech, profile)) {
+    // A worker that panicked while holding the lock poisons it; the map
+    // itself is still consistent (entries are inserted atomically), so
+    // recover the guard instead of propagating the poison forever.
+    if let Some(hit) = cache
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+        .get(&(tech, profile))
+    {
         return Arc::clone(hit);
     }
     let lib = generate_library(&profile.library_config(tech));
@@ -135,39 +231,33 @@ pub fn build_corpus(tech: Technology, profile: Profile) -> std::sync::Arc<Vec<Co
         .clamp(1, 8);
     let cells: Vec<_> = lib.cells.into_iter().collect();
     let chunk_size = cells.len().div_ceil(threads).max(1);
-    let corpus: Vec<CorpusCell> = std::thread::scope(|scope| {
+    let mut corpus = CorpusBuild::default();
+    std::thread::scope(|scope| {
         let handles: Vec<_> = cells
             .chunks(chunk_size)
-            .map(|chunk| {
-                scope.spawn(move || {
-                    chunk
-                        .iter()
-                        .map(|lc| {
-                            let prepared = PreparedCell::characterize(
-                                lc.cell.clone(),
-                                GenerateOptions::default(),
-                            )
-                            .unwrap_or_else(|e| {
-                                panic!("characterization of a synthesized cell cannot fail: {e}")
-                            });
-                            CorpusCell {
-                                prepared,
-                                template: lc.template.clone(),
-                            }
-                        })
-                        .collect::<Vec<_>>()
-                })
-            })
+            .map(|chunk| (chunk, scope.spawn(move || characterize_cells(chunk))))
             .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("characterization thread panicked"))
-            .collect()
+        for (chunk, handle) in handles {
+            match handle.join() {
+                Ok(part) => {
+                    corpus.cells.extend(part.cells);
+                    corpus.skipped.extend(part.skipped);
+                }
+                // Per-cell panics are caught inside the worker; reaching
+                // this arm means the worker died outside the guarded
+                // region. Skip its whole chunk, keep the rest.
+                Err(_) => corpus.skipped.extend(chunk.iter().map(|lc| SkippedCell {
+                    name: lc.cell.name().to_string(),
+                    template: lc.template.clone(),
+                    reason: "worker thread panicked".to_string(),
+                })),
+            }
+        }
     });
     let corpus = Arc::new(corpus);
     cache
         .lock()
-        .expect("cache lock")
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
         .insert((tech, profile), Arc::clone(&corpus));
     corpus
 }
@@ -175,6 +265,7 @@ pub fn build_corpus(tech: Technology, profile: Profile) -> std::sync::Arc<Vec<Co
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ca_netlist::corrupt::salt_library;
 
     #[test]
     fn profile_parsing() {
@@ -195,9 +286,30 @@ mod tests {
         let corpus = build_corpus(Technology::Soi28, Profile::Quick);
         assert!(corpus.len() >= 30, "got {}", corpus.len());
         assert!(corpus.iter().all(|c| c.prepared.model.is_some()));
+        // Synthesized libraries are well-formed: nothing is skipped.
+        assert!(corpus.skipped.is_empty(), "{}", corpus.skip_report());
         // More than one group key exists.
         let keys: std::collections::HashSet<_> =
             corpus.iter().map(|c| c.prepared.group_key()).collect();
         assert!(keys.len() > 3);
+    }
+
+    #[test]
+    fn corrupted_cells_are_skipped_not_fatal() {
+        let mut lib = generate_library(&LibraryConfig::quick(Technology::C28));
+        lib.cells.truncate(12);
+        let salted = salt_library(&mut lib, 4, 99);
+        assert_eq!(salted.len(), 4);
+        let build = characterize_cells(&lib.cells);
+        assert_eq!(build.cells.len() + build.skipped.len(), 12);
+        assert_eq!(build.skipped.len(), salted.len(), "{}", build.skip_report());
+        for s in &salted {
+            assert!(
+                build.skipped.iter().any(|k| k.name == s.cell),
+                "{} not skipped",
+                s.cell
+            );
+        }
+        assert!(build.skip_report().lines().count() == 4);
     }
 }

@@ -1,13 +1,14 @@
-//! Experiment harness shared by the `ca-bench` binary and the Criterion
-//! benches.
+//! Experiment harness shared by the `ca-bench` binary and the wall-clock
+//! micro-benches.
 //!
 //! Every table and figure of the paper's evaluation has a regenerator
 //! here; see `DESIGN.md` for the experiment index and `EXPERIMENTS.md`
 //! for measured-vs-paper numbers.
 
 pub mod corpus;
+pub mod microbench;
 pub mod report;
 pub mod tables;
 
-pub use corpus::{build_corpus, Profile};
+pub use corpus::{build_corpus, CorpusBuild, Profile, SkippedCell};
 pub use report::Grid;

@@ -227,8 +227,7 @@ pub fn algo_comparison(profile: Profile) -> String {
 /// generation-time estimates and the reduction numbers.
 pub fn hybrid_experiment(profile: Profile) -> String {
     let train = build_corpus(Technology::Soi28, profile);
-    let eval_lib =
-        ca_netlist::library::generate_library(&profile.library_config(Technology::C40));
+    let eval_lib = ca_netlist::library::generate_library(&profile.library_config(Technology::C40));
     let prepared: Vec<PreparedCell> = train.iter().map(|c| c.prepared.clone()).collect();
     let cost = CostModel::paper_calibrated();
 
@@ -291,15 +290,27 @@ pub fn hybrid_experiment(profile: Profile) -> String {
         ),
         (
             "identical structure".into(),
-            format!("{} ({:.0}%)  [paper: 118 (29%)]", static_counts.0, pct(static_counts.0)),
+            format!(
+                "{} ({:.0}%)  [paper: 118 (29%)]",
+                static_counts.0,
+                pct(static_counts.0)
+            ),
         ),
         (
             "equivalent structure".into(),
-            format!("{} ({:.0}%)  [paper: 87 (21%)]", static_counts.1, pct(static_counts.1)),
+            format!(
+                "{} ({:.0}%)  [paper: 87 (21%)]",
+                static_counts.1,
+                pct(static_counts.1)
+            ),
         ),
         (
             "new structure (simulate)".into(),
-            format!("{} ({:.0}%)  [paper: 204 (50%)]", static_counts.2, pct(static_counts.2)),
+            format!(
+                "{} ({:.0}%)  [paper: 204 (50%)]",
+                static_counts.2,
+                pct(static_counts.2)
+            ),
         ),
         (
             "hybrid generation time".into(),
@@ -439,11 +450,8 @@ pub fn feature_importance(profile: Profile) -> String {
     let (forest, _) = train_group_forest(&train, &params).expect("trains");
     let importance = forest.feature_importance();
     let names = cells[0].prepared.layout().column_names();
-    let mut ranked: Vec<(f64, String)> = importance
-        .iter()
-        .zip(names)
-        .map(|(&v, n)| (v, n))
-        .collect();
+    let mut ranked: Vec<(f64, String)> =
+        importance.iter().zip(names).map(|(&v, n)| (v, n)).collect();
     ranked.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite"));
     let rows: Vec<(String, String)> = ranked
         .into_iter()
@@ -466,7 +474,10 @@ pub fn fig4() -> String {
     let activation = Activation::extract(&cell).expect("valid cell");
     let canonical = CanonicalCell::build(&cell, &activation).expect("canonizable");
     let mut out = String::new();
-    let _ = writeln!(out, "Fig. 4b — partial CA-matrix of NAND2 (canonical names)");
+    let _ = writeln!(
+        out,
+        "Fig. 4b — partial CA-matrix of NAND2 (canonical names)"
+    );
     let order = canonical.order().to_vec();
     let _ = write!(out, "{:>3} {:>3} | {:>3} |", "A", "B", "Z");
     for &t in &order {
@@ -572,8 +583,7 @@ pub fn table3() -> String {
     let names = layout.column_names();
     let defect_cols: Vec<usize> = (0..layout.num_transistors)
         .flat_map(|k| {
-            [Terminal::Drain, Terminal::Gate, Terminal::Source]
-                .map(|t| layout.defect_col(k, t))
+            [Terminal::Drain, Terminal::Gate, Terminal::Source].map(|t| layout.defect_col(k, t))
         })
         .collect();
     let mut out = String::new();
@@ -594,7 +604,10 @@ pub fn table3() -> String {
         (net_short, "net0-A inter-transistor short"),
     ] {
         let row = prepared.encode_row(0, injection);
-        let cells: Vec<String> = defect_cols.iter().map(|&c| format!("{:.0}", row[c])).collect();
+        let cells: Vec<String> = defect_cols
+            .iter()
+            .map(|&c| format!("{:.0}", row[c]))
+            .collect();
         let _ = writeln!(out, "  {}   ({tag})", cells.join(" "));
     }
     out
@@ -629,7 +642,10 @@ pub fn fig5() -> String {
     let activation = Activation::extract(&s.cell).expect("valid cell");
     let canonical = CanonicalCell::build(&s.cell, &activation).expect("canonizable");
     let mut out = String::new();
-    let _ = writeln!(out, "Fig. 5 — branch equations (sorted: level, size, equation)");
+    let _ = writeln!(
+        out,
+        "Fig. 5 — branch equations (sorted: level, size, equation)"
+    );
     for b in canonical.branches() {
         let _ = writeln!(
             out,
@@ -701,7 +717,10 @@ pub fn fig1() -> String {
     kv_table(
         "Fig. 1 — conventional CA model generation (NAND2)",
         &[
-            ("defects simulated".into(), format!("{}", model.universe.len())),
+            (
+                "defects simulated".into(),
+                format!("{}", model.universe.len()),
+            ),
             (
                 "defect simulations".into(),
                 format!("{}", model.defect_simulations),

@@ -27,7 +27,7 @@
 use crate::activation::{Activation, ActivityValue};
 use crate::error::CoreError;
 use ca_netlist::{Cell, MosKind, NetId, TransistorId};
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt::Write as _;
 
 /// A series-parallel tree over transistors.
@@ -142,9 +142,11 @@ impl CanonicalCell {
             };
             names[t.index()] = name;
         }
-        let structure_hash = hash_strings(branches.iter().map(|b| {
-            format!("L{}:{}", b.level, b.equation)
-        }));
+        let structure_hash = hash_strings(
+            branches
+                .iter()
+                .map(|b| format!("L{}:{}", b.level, b.equation)),
+        );
         let wiring_hash = hash_strings(branches.iter().map(|b| {
             let acts: Vec<String> = b
                 .transistors
@@ -294,7 +296,7 @@ fn extract_branches(cell: &Cell, activation: &Activation) -> Result<Vec<Branch>,
         }
         parent[i]
     }
-    let mut by_net: HashMap<usize, Vec<usize>> = HashMap::new();
+    let mut by_net: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
     for (id, t) in cell.transistor_ids() {
         for net in [t.drain(), t.source()] {
             let i = net.index();
@@ -323,8 +325,8 @@ fn extract_branches(cell: &Cell, activation: &Activation) -> Result<Vec<Branch>,
     // Merge components sharing the same (exits, rails) boundary.
     let mut merged: BTreeMap<(Vec<usize>, Vec<usize>), Vec<TransistorId>> = BTreeMap::new();
     for (_, ts) in components {
-        let mut exits: HashSet<usize> = HashSet::new();
-        let mut rails: HashSet<usize> = HashSet::new();
+        let mut exits: BTreeSet<usize> = BTreeSet::new();
+        let mut rails: BTreeSet<usize> = BTreeSet::new();
         for &t in &ts {
             let tr = cell.transistor(t);
             for net in [tr.drain(), tr.source()] {
@@ -431,8 +433,8 @@ fn fallback_branch(
 /// Assigns levels: 1 for branches driving a cell output, `k + 1` for
 /// branches whose exit gates a level-`k` branch's transistor.
 fn assign_levels(cell: &Cell, branches: &mut [Branch]) {
-    let outputs: HashSet<usize> = cell.outputs().iter().map(|n| n.index()).collect();
-    let mut level_of_exit: HashMap<usize, u32> = HashMap::new();
+    let outputs: BTreeSet<usize> = cell.outputs().iter().map(|n| n.index()).collect();
+    let mut level_of_exit: BTreeMap<usize, u32> = BTreeMap::new();
     for b in branches.iter() {
         if outputs.contains(&b.exit.index()) {
             level_of_exit.insert(b.exit.index(), 1);
@@ -561,7 +563,10 @@ fn sp_decompose(
             }
         }
         // Series merge: internal node of degree exactly 2.
-        let mut degree: HashMap<usize, Vec<usize>> = HashMap::new();
+        // Ordered map: the merge node choice below must be deterministic,
+        // or canonical names of activity-tied parallel stacks flip between
+        // calls (HashMap iteration order is per-instance random).
+        let mut degree: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
         for (i, e) in edges.iter().enumerate() {
             degree.entry(e.a).or_default().push(i);
             degree.entry(e.b).or_default().push(i);
@@ -822,8 +827,14 @@ M2 Z A net9 VSS nch
             ]),
         )
         .unwrap();
-        let s = synthesize("FIG5", &plan, 1, DriveStyle::SharedNets, &NetlistStyle::default())
-            .unwrap();
+        let s = synthesize(
+            "FIG5",
+            &plan,
+            1,
+            DriveStyle::SharedNets,
+            &NetlistStyle::default(),
+        )
+        .unwrap();
         let (_, c) = canon(&s.cell);
         let eqs: Vec<&str> = c.branches().iter().map(|b| b.equation.as_str()).collect();
         assert!(
@@ -846,8 +857,14 @@ M2 Z A net9 VSS nch
             ],
         )
         .unwrap();
-        let s = synthesize("AND2", &plan, 1, DriveStyle::SharedNets, &NetlistStyle::default())
-            .unwrap();
+        let s = synthesize(
+            "AND2",
+            &plan,
+            1,
+            DriveStyle::SharedNets,
+            &NetlistStyle::default(),
+        )
+        .unwrap();
         let (_, c) = canon(&s.cell);
         let mut levels: Vec<u32> = c.branches().iter().map(|b| b.level).collect();
         levels.dedup();

@@ -4,6 +4,10 @@
 //! runs: characterize (or predict) a whole standard-cell library, collect
 //! summary statistics, and export the models as `.cam` documents.
 
+// Library-batch code runs unattended for hours; a stray unwrap here
+// aborts a whole characterization run.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 use crate::cost::CostModel;
 use crate::error::CoreError;
 use crate::matrix::PreparedCell;
@@ -24,8 +28,13 @@ pub struct LibrarySummary {
     pub total_simulations: usize,
     /// Classes by behaviour: `(static, dynamic, undetectable)`.
     pub behavior_totals: (usize, usize, usize),
-    /// Mean per-cell defect coverage.
+    /// Mean defect coverage over the cells that carry a model (cells
+    /// without one — e.g. prepare-only corpora — do not dilute the mean).
     pub mean_coverage: f64,
+    /// Cells whose model was produced under a reduced budget.
+    pub degraded: usize,
+    /// Cells a robust run quarantined (0 for plain characterization).
+    pub quarantined: usize,
     /// Estimated single-license SPICE time for the same work, seconds
     /// (from the calibrated cost model).
     pub estimated_spice_s: f64,
@@ -38,7 +47,11 @@ impl LibrarySummary {
     pub fn render(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
-        let _ = writeln!(out, "library {} — {} cells", self.technology, self.num_cells);
+        let _ = writeln!(
+            out,
+            "library {} — {} cells",
+            self.technology, self.num_cells
+        );
         let _ = writeln!(
             out,
             "  defects {}   simulations {}   mean coverage {:.1}%",
@@ -48,6 +61,13 @@ impl LibrarySummary {
         );
         let (s, d, u) = self.behavior_totals;
         let _ = writeln!(out, "  classes: {s} static, {d} dynamic, {u} undetectable");
+        if self.degraded > 0 || self.quarantined > 0 {
+            let _ = writeln!(
+                out,
+                "  robustness: {} degraded, {} quarantined",
+                self.degraded, self.quarantined
+            );
+        }
         let _ = writeln!(
             out,
             "  estimated SPICE effort: {}",
@@ -85,6 +105,8 @@ pub fn summarize(technology: &str, prepared: &[PreparedCell]) -> LibrarySummary 
     let mut total_simulations = 0;
     let mut behavior_totals = (0, 0, 0);
     let mut coverage_sum = 0.0;
+    let mut cells_with_model = 0usize;
+    let mut degraded = 0usize;
     let mut estimated_spice_s = 0.0;
     let mut group_sizes: BTreeMap<(usize, usize), usize> = BTreeMap::new();
     for p in prepared {
@@ -94,6 +116,8 @@ pub fn summarize(technology: &str, prepared: &[PreparedCell]) -> LibrarySummary 
             total_defects += model.universe.len();
             total_simulations += model.defect_simulations;
             coverage_sum += model.coverage();
+            cells_with_model += 1;
+            degraded += usize::from(model.degraded);
             for class in &model.classes {
                 match class.behavior {
                     Behavior::Static => behavior_totals.0 += 1,
@@ -109,11 +133,16 @@ pub fn summarize(technology: &str, prepared: &[PreparedCell]) -> LibrarySummary 
         total_defects,
         total_simulations,
         behavior_totals,
-        mean_coverage: if prepared.is_empty() {
+        // Average over the cells that actually have a model: dividing by
+        // the full cell count silently under-reports coverage as soon as
+        // any cell is prepare-only or quarantined.
+        mean_coverage: if cells_with_model == 0 {
             0.0
         } else {
-            coverage_sum / prepared.len() as f64
+            coverage_sum / cells_with_model as f64
         },
+        degraded,
+        quarantined: 0,
         estimated_spice_s,
         group_sizes,
     }
@@ -121,12 +150,24 @@ pub fn summarize(technology: &str, prepared: &[PreparedCell]) -> LibrarySummary 
 
 /// Exports every characterized cell as a `.cam` document, returning
 /// `(file name, contents)` pairs (the caller decides where to write).
+///
+/// Models produced under a reduced budget
+/// ([degraded](ca_defects::CaModel::degraded)) are skipped: an ATPG
+/// consumer cannot tell an incomplete dictionary from a complete one.
+/// Use [`export_cam_with`] to opt them in.
 pub fn export_cam(prepared: &[PreparedCell]) -> Vec<(String, String)> {
+    export_cam_with(prepared, false)
+}
+
+/// Like [`export_cam`], optionally including degraded models (they are
+/// still marked with the `degraded` directive inside the document).
+pub fn export_cam_with(prepared: &[PreparedCell], include_degraded: bool) -> Vec<(String, String)> {
     prepared
         .iter()
         .filter_map(|p| {
             p.model
                 .as_ref()
+                .filter(|m| include_degraded || !m.degraded)
                 .map(|m| (format!("{}.cam", p.cell.name()), to_cam(m)))
         })
         .collect()
@@ -159,6 +200,55 @@ mod tests {
         let text = summary.render();
         assert!(text.contains("C40"));
         assert!(text.contains("classes:"));
+    }
+
+    #[test]
+    fn mean_coverage_ignores_model_less_cells() {
+        let lib = tiny_library();
+        let (mut prepared, full) = characterize_library(&lib, GenerateOptions::default()).unwrap();
+        // Strip the models of half the cells: the mean over the rest
+        // must not change (the old code divided by the total count).
+        for p in prepared.iter_mut().skip(3) {
+            p.model = None;
+        }
+        let partial = summarize("C40", &prepared);
+        let expected = prepared
+            .iter()
+            .filter_map(|p| p.model.as_ref())
+            .map(|m| m.coverage())
+            .sum::<f64>()
+            / 3.0;
+        assert!((partial.mean_coverage - expected).abs() < 1e-12);
+        assert!(partial.mean_coverage > 0.0);
+        // Sanity: the full summary used every cell.
+        assert!(full.mean_coverage > 0.4);
+    }
+
+    #[test]
+    fn export_skips_degraded_models_unless_opted_in() {
+        use ca_sim::SimBudget;
+        let lib = tiny_library();
+        let (mut prepared, _) = characterize_library(&lib, GenerateOptions::default()).unwrap();
+        // Re-characterize one cell under a truncating budget.
+        let budget = SimBudget {
+            max_defects: Some(4),
+            ..SimBudget::unlimited()
+        };
+        prepared[0] = crate::matrix::PreparedCell::characterize_budgeted(
+            lib.cells[0].cell.clone(),
+            GenerateOptions::default(),
+            &budget,
+        )
+        .unwrap();
+        assert!(prepared[0].model.as_ref().unwrap().degraded);
+        let summary = summarize("C40", &prepared);
+        assert_eq!(summary.degraded, 1);
+        assert_eq!(export_cam(&prepared).len(), prepared.len() - 1);
+        let full = export_cam_with(&prepared, true);
+        assert_eq!(full.len(), prepared.len());
+        assert!(full.iter().any(|(name, text)| name
+            == &format!("{}.cam", lib.cells[0].cell.name())
+            && text.contains("degraded")));
     }
 
     #[test]

@@ -9,10 +9,10 @@
 //! The ML side can also be measured for real on this machine.
 
 use ca_netlist::Cell;
-use serde::{Deserialize, Serialize};
 
 /// Seconds-per-unit constants of the generation-time model.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CostModel {
     /// Fixed SPICE setup time per cell (netlist extraction, licensing).
     pub spice_setup_s: f64,

@@ -27,6 +27,31 @@ pub enum CoreError {
     EmptyTrainingSet,
     /// A cell violates a structural assumption (documented per call site).
     Unsupported(String),
+    /// The switch-level solver oscillated on the defect-free cell: the
+    /// named nets never reached a fixpoint (e.g. an unintended feedback
+    /// loop in the netlist).
+    SolverDiverged {
+        /// Cell being simulated.
+        cell: String,
+        /// Names of the nets that kept toggling.
+        nets: Vec<String>,
+    },
+    /// A simulation budget ran out before characterization finished.
+    BudgetExceeded {
+        /// Cell being characterized.
+        cell: String,
+        /// Which budget axis was exhausted (e.g. "wall clock").
+        resource: String,
+    },
+    /// Preparing the cell (golden simulation + canonicalization) failed
+    /// or panicked; the message preserves whatever diagnostic was
+    /// available.
+    PrepareFailed {
+        /// Cell being prepared.
+        cell: String,
+        /// Underlying diagnostic.
+        source: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -46,6 +71,22 @@ impl fmt::Display for CoreError {
             ),
             CoreError::EmptyTrainingSet => write!(f, "training corpus is empty"),
             CoreError::Unsupported(msg) => write!(f, "unsupported cell structure: {msg}"),
+            CoreError::SolverDiverged { cell, nets } => {
+                write!(
+                    f,
+                    "solver oscillated on `{cell}` (nets: {})",
+                    nets.join(", ")
+                )
+            }
+            CoreError::BudgetExceeded { cell, resource } => {
+                write!(
+                    f,
+                    "budget exceeded while characterizing `{cell}`: {resource}"
+                )
+            }
+            CoreError::PrepareFailed { cell, source } => {
+                write!(f, "preparing `{cell}` failed: {source}")
+            }
         }
     }
 }
@@ -67,6 +108,31 @@ mod tests {
             err.to_string(),
             "no trained group for `X` (3 inputs, 8 transistors)"
         );
+    }
+
+    #[test]
+    fn robustness_display_messages() {
+        let err = CoreError::SolverDiverged {
+            cell: "OSC".into(),
+            nets: vec!["osc".into(), "oscfoot".into()],
+        };
+        assert_eq!(
+            err.to_string(),
+            "solver oscillated on `OSC` (nets: osc, oscfoot)"
+        );
+        let err = CoreError::BudgetExceeded {
+            cell: "NAND2".into(),
+            resource: "wall clock".into(),
+        };
+        assert_eq!(
+            err.to_string(),
+            "budget exceeded while characterizing `NAND2`: wall clock"
+        );
+        let err = CoreError::PrepareFailed {
+            cell: "BAD".into(),
+            source: "boom".into(),
+        };
+        assert_eq!(err.to_string(), "preparing `BAD` failed: boom");
     }
 
     #[test]

@@ -60,8 +60,11 @@ pub fn train_group_forest(
     cells: &[&PreparedCell],
     params: &MlFlowParams,
 ) -> Result<(RandomForest, Dataset), CoreError> {
-    let mut characterized: Vec<&PreparedCell> =
-        cells.iter().copied().filter(|c| c.model.is_some()).collect();
+    let mut characterized: Vec<&PreparedCell> = cells
+        .iter()
+        .copied()
+        .filter(|c| c.model.is_some())
+        .collect();
     characterized.sort_by(|a, b| a.cell.name().cmp(b.cell.name()));
     let first = characterized.first().ok_or(CoreError::EmptyTrainingSet)?;
     let layout = first.layout();
@@ -136,7 +139,10 @@ impl MlFlow {
     pub fn train(corpus: &[PreparedCell], params: MlFlowParams) -> Result<MlFlow, CoreError> {
         let mut by_key: BTreeMap<(usize, usize), Vec<&PreparedCell>> = BTreeMap::new();
         for prepared in corpus.iter().filter(|c| c.model.is_some()) {
-            by_key.entry(prepared.group_key()).or_default().push(prepared);
+            by_key
+                .entry(prepared.group_key())
+                .or_default()
+                .push(prepared);
         }
         if by_key.is_empty() {
             return Err(CoreError::EmptyTrainingSet);
@@ -178,14 +184,14 @@ impl MlFlow {
     /// Returns [`CoreError::NoMatchingGroup`] when no forest matches the
     /// cell's (inputs, transistors) key.
     pub fn predict(&self, prepared: &PreparedCell) -> Result<CaModel, CoreError> {
-        let group = self
-            .groups
-            .get(&prepared.group_key())
-            .ok_or_else(|| CoreError::NoMatchingGroup {
-                cell: prepared.cell.name().to_string(),
-                inputs: prepared.cell.num_inputs(),
-                transistors: prepared.cell.num_transistors(),
-            })?;
+        let group =
+            self.groups
+                .get(&prepared.group_key())
+                .ok_or_else(|| CoreError::NoMatchingGroup {
+                    cell: prepared.cell.name().to_string(),
+                    inputs: prepared.cell.num_inputs(),
+                    transistors: prepared.cell.num_transistors(),
+                })?;
         Ok(prepared.predict_model(|row| group.forest.predict(row) == 1))
     }
 
@@ -511,13 +517,20 @@ impl HybridFlow {
             };
             return Ok((predicted, outcome));
         }
-        // Conventional route + feedback.
+        // Conventional route + feedback. The structure index is updated
+        // only after the whole route (including reinforcement) succeeds:
+        // registering the structure first would make a later failure
+        // poison the index, routing future look-alike cells to an ML
+        // group that was never trained on this structure.
         let model = conventional_flow(&prepared.cell, self.options.generate);
-        self.index.insert(&prepared.canonical);
         if self.options.reinforce {
+            let canonical = prepared.canonical.clone();
             let mut characterized = prepared;
             characterized.model = Some(model.clone());
             self.ml.reinforce(&characterized)?;
+            self.index.insert(&canonical);
+        } else {
+            self.index.insert(&prepared.canonical);
         }
         let outcome = CellOutcome {
             name: model.cell_name.clone(),
@@ -546,6 +559,74 @@ impl HybridFlow {
             report.outcomes.push(outcome);
         }
         Ok((models, report))
+    }
+
+    /// Like [`HybridFlow::run`], but a failing cell is quarantined
+    /// instead of aborting the batch: each cell is lint-gated first and
+    /// its generation is panic-isolated, so a quarantined cell never
+    /// reaches the structure index or the training set.
+    pub fn run_robust(
+        &mut self,
+        cells: impl IntoIterator<Item = Cell>,
+    ) -> (Vec<CaModel>, HybridReport, crate::robust::Quarantine) {
+        use crate::robust::{FailurePhase, Quarantine, QuarantineEntry};
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        let mut models = Vec::new();
+        let mut report = HybridReport::default();
+        let mut quarantine = Quarantine::default();
+        for cell in cells {
+            let started = std::time::Instant::now();
+            let name = cell.name().to_string();
+            if let Some(finding) = ca_netlist::lint::lint(&cell)
+                .into_iter()
+                .find(|f| f.severity == ca_netlist::lint::Severity::Error)
+            {
+                quarantine.entries.push(QuarantineEntry {
+                    cell: name,
+                    phase: FailurePhase::Lint,
+                    reason: finding.to_string(),
+                    elapsed: started.elapsed(),
+                    retries: 0,
+                });
+                continue;
+            }
+            match catch_unwind(AssertUnwindSafe(|| self.generate(cell))) {
+                Ok(Ok((model, outcome))) => {
+                    models.push(model);
+                    report.outcomes.push(outcome);
+                }
+                Ok(Err(err)) => {
+                    let phase = match &err {
+                        CoreError::SolverDiverged { .. } | CoreError::BudgetExceeded { .. } => {
+                            FailurePhase::Characterize
+                        }
+                        _ => FailurePhase::Prepare,
+                    };
+                    quarantine.entries.push(QuarantineEntry {
+                        cell: name,
+                        phase,
+                        reason: err.to_string(),
+                        elapsed: started.elapsed(),
+                        retries: 0,
+                    });
+                }
+                Err(payload) => {
+                    let message = payload
+                        .downcast_ref::<&'static str>()
+                        .map(|s| (*s).to_string())
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "non-string panic payload".to_string());
+                    quarantine.entries.push(QuarantineEntry {
+                        cell: name,
+                        phase: FailurePhase::Prepare,
+                        reason: format!("panic: {message}"),
+                        elapsed: started.elapsed(),
+                        retries: 0,
+                    });
+                }
+            }
+        }
+        (models, report, quarantine)
     }
 }
 
@@ -671,6 +752,56 @@ mod tests {
             assert!(report.reduction() > 0.0);
             assert!(report.ml_reduction() > 0.9);
         }
+    }
+
+    #[test]
+    fn robust_hybrid_run_quarantines_bad_cells_and_continues() {
+        use ca_netlist::corrupt::{corrupt_cell, Corruption};
+        let corpus = quick_corpus(Technology::Soi28, 6);
+        let mut hybrid = HybridFlow::new(
+            &corpus,
+            MlFlowParams::quick(),
+            CostModel::paper_calibrated(),
+            HybridOptions::default(),
+        )
+        .unwrap();
+        let c28 = generate_library(&LibraryConfig::quick(Technology::C28));
+        let mut cells: Vec<Cell> = c28.cells.iter().take(4).map(|c| c.cell.clone()).collect();
+        // One structurally broken cell (caught by the lint gate) and one
+        // multi-output cell (caught inside generation).
+        cells[1] = corrupt_cell(&cells[1], Corruption::DanglingGate, 3).unwrap();
+        // Not every cell has an internal net to promote; take the first
+        // library cell that does.
+        cells[2] = c28
+            .cells
+            .iter()
+            .find_map(|lc| corrupt_cell(&lc.cell, Corruption::MultiOutput, 3).ok())
+            .unwrap();
+        let (models, report, quarantine) = hybrid.run_robust(cells);
+        assert_eq!(models.len(), 2);
+        assert_eq!(report.outcomes.len(), 2);
+        assert_eq!(quarantine.len(), 2);
+        assert_eq!(
+            quarantine.entries[0].phase,
+            crate::robust::FailurePhase::Lint
+        );
+        assert!(quarantine.entries[0].reason.contains("floating-gate-net"));
+        assert_eq!(
+            quarantine.entries[1].phase,
+            crate::robust::FailurePhase::Prepare
+        );
+        assert!(quarantine.entries[1].reason.contains("single-output"));
+        // The surviving flow still works after the failures.
+        let more: Vec<Cell> = c28
+            .cells
+            .iter()
+            .skip(4)
+            .take(2)
+            .map(|c| c.cell.clone())
+            .collect();
+        let (more_models, _, more_quarantine) = hybrid.run_robust(more);
+        assert_eq!(more_models.len(), 2);
+        assert!(more_quarantine.is_empty());
     }
 
     #[test]

@@ -47,10 +47,11 @@ pub mod cost;
 pub mod error;
 pub mod flow;
 pub mod matrix;
+pub mod robust;
 
 pub use activation::{Activation, ActivityValue};
 pub use canonical::{Branch, CanonicalCell, SpTree};
-pub use charlib::{characterize_library, export_cam, summarize, LibrarySummary};
+pub use charlib::{characterize_library, export_cam, export_cam_with, summarize, LibrarySummary};
 pub use cost::{format_duration, CostModel};
 pub use error::CoreError;
 pub use flow::{
@@ -58,3 +59,7 @@ pub use flow::{
     MlFlow, MlFlowParams, Route, StructuralMatch, StructureIndex,
 };
 pub use matrix::{MatrixLayout, PreparedCell};
+pub use robust::{
+    characterize_library_robust, FailurePhase, FaultPolicy, Quarantine, QuarantineEntry,
+    RobustOutcome,
+};

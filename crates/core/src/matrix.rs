@@ -19,9 +19,9 @@ use crate::activation::Activation;
 use crate::canonical::CanonicalCell;
 use crate::error::CoreError;
 use ca_defects::{BitRow, CaModel, DefectKind, DefectUniverse, GenerateOptions};
-use ca_netlist::{Cell, Terminal};
-use ca_sim::Injection;
 use ca_ml::Dataset;
+use ca_netlist::{Cell, Terminal};
+use ca_sim::{Injection, SimBudget, SimError};
 
 /// Fixed column layout of a cell group's CA-matrix.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -116,6 +116,43 @@ impl PreparedCell {
     pub fn characterize(cell: Cell, options: GenerateOptions) -> Result<PreparedCell, CoreError> {
         let mut prepared = PreparedCell::prepare(cell)?;
         prepared.model = Some(CaModel::generate(&prepared.cell, options));
+        Ok(prepared)
+    }
+
+    /// Like [`PreparedCell::characterize`], but runs the conventional
+    /// flow under a [`SimBudget`]: oscillation and exhausted budgets
+    /// become errors instead of silently X-forced values.
+    ///
+    /// Truncating budgets (`max_stimuli` / `max_defects`) produce a
+    /// [degraded](CaModel::degraded) model; the prepared cell's universe
+    /// is aligned with the (possibly truncated) model universe. Degraded
+    /// cells must not be used as ML training cells — their detection
+    /// rows cover fewer stimuli than the activation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::SolverDiverged`] when the golden cell
+    /// oscillates, [`CoreError::BudgetExceeded`] when the wall clock or
+    /// iteration budget runs out, and the usual prepare errors.
+    pub fn characterize_budgeted(
+        cell: Cell,
+        options: GenerateOptions,
+        budget: &SimBudget,
+    ) -> Result<PreparedCell, CoreError> {
+        let name = cell.name().to_string();
+        let model = CaModel::generate_budgeted(&cell, options, budget).map_err(|e| match e {
+            SimError::Oscillated { nets } => CoreError::SolverDiverged {
+                cell: name.clone(),
+                nets,
+            },
+            SimError::BudgetExceeded { resource } => CoreError::BudgetExceeded {
+                cell: name.clone(),
+                resource: resource.to_string(),
+            },
+        })?;
+        let mut prepared = PreparedCell::prepare(cell)?;
+        prepared.universe = model.universe.clone();
+        prepared.model = Some(model);
         Ok(prepared)
     }
 
@@ -420,5 +457,35 @@ MN11 net0 B VSS VSS nch
     fn defect_counts_split() {
         let p = prepared();
         assert_eq!(p.defect_counts(), (12, 12));
+    }
+
+    #[test]
+    fn budgeted_characterization_matches_unlimited() {
+        let cell = spice::parse_cell(NAND2).unwrap();
+        let p = PreparedCell::characterize_budgeted(
+            cell,
+            GenerateOptions::default(),
+            &SimBudget::unlimited(),
+        )
+        .unwrap();
+        let q = prepared();
+        assert_eq!(p.model.as_ref().unwrap(), q.model.as_ref().unwrap());
+        assert!(!p.model.as_ref().unwrap().degraded);
+    }
+
+    #[test]
+    fn budgeted_characterization_truncates_universe() {
+        let cell = spice::parse_cell(NAND2).unwrap();
+        let budget = SimBudget {
+            max_defects: Some(10),
+            ..SimBudget::unlimited()
+        };
+        let p =
+            PreparedCell::characterize_budgeted(cell, GenerateOptions::default(), &budget).unwrap();
+        let model = p.model.as_ref().unwrap();
+        assert!(model.degraded);
+        assert_eq!(model.universe.len(), 10);
+        // The prepared universe is aligned with the truncated model.
+        assert_eq!(p.universe.len(), 10);
     }
 }

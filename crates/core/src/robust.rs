@@ -1,0 +1,496 @@
+//! Fault-tolerant library characterization: per-cell isolation, solver
+//! budgets, and quarantine reports.
+//!
+//! [`characterize_library`](crate::charlib::characterize_library) aborts
+//! the whole batch on the first broken cell. Real libraries contain
+//! damage — hand-edited netlists, extraction artifacts, unintended
+//! feedback loops — and a nightly characterization run must degrade per
+//! cell, not per library. [`characterize_library_robust`] runs every
+//! cell through a guarded pipeline:
+//!
+//! 1. **Lint** — structural pre-flight ([`ca_netlist::lint`]); any
+//!    error-level finding quarantines the cell before a single
+//!    simulation is spent.
+//! 2. **Golden** — the defect-free cell is simulated with oscillation
+//!    detection ([`Simulator::try_run`]); divergence becomes
+//!    [`CoreError::SolverDiverged`] instead of silent X-forcing.
+//! 3. **Prepare + Characterize** — canonicalization and budgeted model
+//!    generation, wrapped in [`std::panic::catch_unwind`] so even a
+//!    panicking cell only loses itself.
+//!
+//! Failures are collected into a [`Quarantine`] report; the
+//! [`FaultPolicy`] decides whether to abort, skip, or retry with a
+//! reduced budget (halved defect universe, static-only stimuli) so a
+//! partially characterized — *degraded* — model still exports.
+
+// This module exists to keep broken cells from taking down a batch;
+// it must not itself abort on a stray unwrap.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+use crate::error::CoreError;
+use crate::matrix::PreparedCell;
+use ca_defects::GenerateOptions;
+use ca_netlist::library::Library;
+use ca_netlist::lint::{lint, Severity};
+use ca_netlist::Cell;
+use ca_sim::{Injection, SimBudget, SimError, Simulator, Stimulus};
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::{Duration, Instant};
+
+/// What to do when a cell fails characterization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultPolicy {
+    /// Abort the batch on the first failure (legacy behaviour).
+    FailFast,
+    /// Quarantine the cell and continue with the rest of the library.
+    SkipAndReport,
+    /// Like `SkipAndReport`, but budget-exhausted cells are retried up
+    /// to `n` times with a progressively reduced budget: the defect
+    /// universe is halved per attempt, stimuli are truncated to the
+    /// statics, and the wall-clock/iteration limits are lifted. A retry
+    /// that succeeds yields a [degraded](ca_defects::CaModel::degraded)
+    /// model.
+    RetryWithReducedBudget(u32),
+}
+
+/// Pipeline stage at which a quarantined cell failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FailurePhase {
+    /// Structural lint pre-flight.
+    Lint,
+    /// Defect-free (golden) sanity simulation.
+    Golden,
+    /// Activation extraction / canonicalization.
+    Prepare,
+    /// Budgeted model generation.
+    Characterize,
+}
+
+impl fmt::Display for FailurePhase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FailurePhase::Lint => write!(f, "lint"),
+            FailurePhase::Golden => write!(f, "golden"),
+            FailurePhase::Prepare => write!(f, "prepare"),
+            FailurePhase::Characterize => write!(f, "characterize"),
+        }
+    }
+}
+
+/// One quarantined cell.
+#[derive(Debug, Clone)]
+pub struct QuarantineEntry {
+    /// Cell name.
+    pub cell: String,
+    /// Stage that failed (after any retries).
+    pub phase: FailurePhase,
+    /// Human-readable failure reason.
+    pub reason: String,
+    /// Wall-clock time spent on the cell, retries included.
+    pub elapsed: Duration,
+    /// Number of reduced-budget retries that were attempted.
+    pub retries: u32,
+}
+
+/// Report of every cell a robust run could not characterize.
+#[derive(Debug, Clone, Default)]
+pub struct Quarantine {
+    /// Entries in library order.
+    pub entries: Vec<QuarantineEntry>,
+}
+
+impl Quarantine {
+    /// Number of quarantined cells.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether every cell characterized cleanly.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The entry for `cell`, if it was quarantined.
+    pub fn entry(&self, cell: &str) -> Option<&QuarantineEntry> {
+        self.entries.iter().find(|e| e.cell == cell)
+    }
+
+    /// Renders a compact text report, one line per cell.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "quarantine: {} cell(s)", self.len());
+        for e in &self.entries {
+            let _ = writeln!(
+                out,
+                "  {} [{}] {} ({} ms, {} retries)",
+                e.cell,
+                e.phase,
+                e.reason,
+                e.elapsed.as_millis(),
+                e.retries
+            );
+        }
+        out
+    }
+}
+
+/// Result of [`characterize_library_robust`].
+#[derive(Debug)]
+pub struct RobustOutcome {
+    /// Successfully characterized cells (possibly with degraded models).
+    pub prepared: Vec<PreparedCell>,
+    /// Cells that failed, with per-cell diagnosis.
+    pub quarantine: Quarantine,
+}
+
+impl RobustOutcome {
+    /// Cells whose model was produced under a reduced budget.
+    pub fn degraded_count(&self) -> usize {
+        self.prepared
+            .iter()
+            .filter(|p| p.model.as_ref().is_some_and(|m| m.degraded))
+            .count()
+    }
+}
+
+/// Characterizes every cell of `library` under `budget`, isolating
+/// per-cell failures according to `policy`.
+///
+/// The invariant callers rely on: `prepared.len() + quarantine.len() ==
+/// library.len()` (under [`FaultPolicy::SkipAndReport`] and
+/// [`FaultPolicy::RetryWithReducedBudget`]).
+///
+/// # Errors
+///
+/// Only [`FaultPolicy::FailFast`] returns an error — the first per-cell
+/// failure, like [`characterize_library`](crate::characterize_library).
+pub fn characterize_library_robust(
+    library: &Library,
+    options: GenerateOptions,
+    budget: &SimBudget,
+    policy: FaultPolicy,
+) -> Result<RobustOutcome, CoreError> {
+    let mut prepared = Vec::with_capacity(library.len());
+    let mut quarantine = Quarantine::default();
+    for lc in &library.cells {
+        let started = Instant::now();
+        let mut retries = 0u32;
+        let mut outcome = characterize_cell_guarded(&lc.cell, options, budget);
+        if let FaultPolicy::RetryWithReducedBudget(max_retries) = policy {
+            while retries < max_retries {
+                match &outcome {
+                    Err((_, CoreError::BudgetExceeded { .. })) => {
+                        retries += 1;
+                        let reduced = reduced_budget(budget, &lc.cell, retries);
+                        outcome = characterize_cell_guarded(&lc.cell, options, &reduced);
+                    }
+                    _ => break,
+                }
+            }
+        }
+        match outcome {
+            Ok(p) => prepared.push(p),
+            Err((phase, err)) => {
+                if policy == FaultPolicy::FailFast {
+                    return Err(err);
+                }
+                quarantine.entries.push(QuarantineEntry {
+                    cell: lc.cell.name().to_string(),
+                    phase,
+                    reason: err.to_string(),
+                    elapsed: started.elapsed(),
+                    retries,
+                });
+            }
+        }
+    }
+    Ok(RobustOutcome {
+        prepared,
+        quarantine,
+    })
+}
+
+/// The budget of retry `attempt` (1-based): truncate the defect universe
+/// by half per attempt, keep only the static stimuli, and lift the
+/// wall-clock/iteration limits so the reduced work can finish.
+fn reduced_budget(budget: &SimBudget, cell: &Cell, attempt: u32) -> SimBudget {
+    let full_universe = cell.num_transistors() * 6;
+    let ceiling = budget
+        .max_defects
+        .map_or(full_universe, |d| d.min(full_universe));
+    SimBudget {
+        max_solver_iterations: None,
+        max_stimuli: Some(1usize << cell.num_inputs()),
+        max_defects: Some((ceiling >> attempt).max(1)),
+        wall_clock: None,
+    }
+}
+
+/// Runs one cell through lint → golden → prepare/characterize, tagging
+/// any failure with the phase it happened in.
+fn characterize_cell_guarded(
+    cell: &Cell,
+    options: GenerateOptions,
+    budget: &SimBudget,
+) -> Result<PreparedCell, (FailurePhase, CoreError)> {
+    let name = cell.name().to_string();
+    // 1. Structural pre-flight: quarantine broken netlists before any
+    // simulation effort is spent on them.
+    if let Some(finding) = lint(cell)
+        .into_iter()
+        .find(|f| f.severity == Severity::Error)
+    {
+        return Err((
+            FailurePhase::Lint,
+            CoreError::PrepareFailed {
+                cell: name,
+                source: finding.to_string(),
+            },
+        ));
+    }
+    // 2. Golden sanity: the defect-free cell must converge under every
+    // stimulus. `try_run` surfaces oscillation and iteration exhaustion
+    // that `run` would silently X-force.
+    let sim = Simulator::with_budget(cell, Injection::None, budget);
+    let clock = budget.start();
+    for stimulus in Stimulus::all(cell.num_inputs()) {
+        if clock.expired() {
+            return Err((
+                FailurePhase::Golden,
+                CoreError::BudgetExceeded {
+                    cell: name,
+                    resource: "wall clock".to_string(),
+                },
+            ));
+        }
+        if let Err(e) = sim.try_run(&stimulus) {
+            let err = match e {
+                SimError::Oscillated { nets } => CoreError::SolverDiverged { cell: name, nets },
+                SimError::BudgetExceeded { resource } => CoreError::BudgetExceeded {
+                    cell: name,
+                    resource: resource.to_string(),
+                },
+            };
+            return Err((FailurePhase::Golden, err));
+        }
+    }
+    // 3+4. Prepare and characterize, panic-isolated: a defective cell
+    // must only lose itself, never the batch.
+    match isolated(&name, || {
+        PreparedCell::characterize_budgeted(cell.clone(), options, budget)
+    }) {
+        Ok(p) => Ok(p),
+        Err(err) => {
+            let phase = match &err {
+                CoreError::SolverDiverged { .. } | CoreError::BudgetExceeded { .. } => {
+                    FailurePhase::Characterize
+                }
+                _ => FailurePhase::Prepare,
+            };
+            Err((phase, err))
+        }
+    }
+}
+
+/// Runs `f` under [`catch_unwind`], converting a panic into
+/// [`CoreError::PrepareFailed`] with the panic message preserved.
+fn isolated<T>(cell_name: &str, f: impl FnOnce() -> Result<T, CoreError>) -> Result<T, CoreError> {
+    match catch_unwind(AssertUnwindSafe(f)) {
+        Ok(result) => result,
+        Err(payload) => {
+            let message = payload
+                .downcast_ref::<&'static str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            Err(CoreError::PrepareFailed {
+                cell: cell_name.to_string(),
+                source: format!("panic: {message}"),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ca_netlist::corrupt::{corrupt_cell, Corruption};
+    use ca_netlist::library::{generate_library, LibraryConfig};
+    use ca_netlist::{spice, Technology};
+
+    const NAND2: &str = "\
+.SUBCKT NAND2 A B Z VDD VSS
+MP0 Z A VDD VDD pch
+MP1 Z B VDD VDD pch
+MN0 Z A net0 VSS nch
+MN1 net0 B VSS VSS nch
+.ENDS
+";
+
+    fn tiny_library() -> Library {
+        let mut lib = generate_library(&LibraryConfig::quick(Technology::C40));
+        lib.cells.truncate(5);
+        lib
+    }
+
+    #[test]
+    fn clean_library_has_empty_quarantine() {
+        let lib = tiny_library();
+        let outcome = characterize_library_robust(
+            &lib,
+            GenerateOptions::default(),
+            &SimBudget::unlimited(),
+            FaultPolicy::SkipAndReport,
+        )
+        .unwrap();
+        assert_eq!(outcome.prepared.len(), lib.len());
+        assert!(outcome.quarantine.is_empty());
+        assert_eq!(outcome.degraded_count(), 0);
+    }
+
+    #[test]
+    fn lint_failure_is_quarantined_without_simulation() {
+        let mut lib = tiny_library();
+        lib.cells[1].cell =
+            corrupt_cell(&lib.cells[1].cell, Corruption::FloatingOutput, 3).unwrap();
+        let outcome = characterize_library_robust(
+            &lib,
+            GenerateOptions::default(),
+            &SimBudget::unlimited(),
+            FaultPolicy::SkipAndReport,
+        )
+        .unwrap();
+        assert_eq!(outcome.prepared.len(), lib.len() - 1);
+        assert_eq!(outcome.quarantine.len(), 1);
+        let entry = &outcome.quarantine.entries[0];
+        assert_eq!(entry.phase, FailurePhase::Lint);
+        assert!(entry.reason.contains("undriven-output"), "{}", entry.reason);
+    }
+
+    #[test]
+    fn oscillator_is_diagnosed_by_the_golden_phase() {
+        let cell = spice::parse_cell(NAND2).unwrap();
+        let bad = corrupt_cell(&cell, Corruption::OscillatorLoop, 5).unwrap();
+        let err =
+            characterize_cell_guarded(&bad, GenerateOptions::default(), &SimBudget::unlimited())
+                .unwrap_err();
+        assert_eq!(err.0, FailurePhase::Golden);
+        assert!(
+            matches!(err.1, CoreError::SolverDiverged { .. }),
+            "{:?}",
+            err.1
+        );
+    }
+
+    #[test]
+    fn fail_fast_propagates_the_first_error() {
+        let mut lib = tiny_library();
+        lib.cells[0].cell = corrupt_cell(&lib.cells[0].cell, Corruption::DanglingGate, 9).unwrap();
+        let err = characterize_library_robust(
+            &lib,
+            GenerateOptions::default(),
+            &SimBudget::unlimited(),
+            FaultPolicy::FailFast,
+        )
+        .unwrap_err();
+        assert!(matches!(err, CoreError::PrepareFailed { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn retry_recovers_wall_clock_exhaustion_with_a_degraded_model() {
+        let lib = tiny_library();
+        // A zero wall clock fails every cell up front; one retry lifts
+        // the clock and truncates the work, so every cell comes back
+        // degraded instead of quarantined.
+        let strangled = SimBudget {
+            wall_clock: Some(Duration::ZERO),
+            ..SimBudget::unlimited()
+        };
+        let skip = characterize_library_robust(
+            &lib,
+            GenerateOptions::default(),
+            &strangled,
+            FaultPolicy::SkipAndReport,
+        )
+        .unwrap();
+        assert_eq!(skip.quarantine.len(), lib.len());
+        assert!(skip
+            .quarantine
+            .entries
+            .iter()
+            .all(|e| e.phase == FailurePhase::Golden && e.reason.contains("wall clock")));
+        let retried = characterize_library_robust(
+            &lib,
+            GenerateOptions::default(),
+            &strangled,
+            FaultPolicy::RetryWithReducedBudget(1),
+        )
+        .unwrap();
+        assert!(
+            retried.quarantine.is_empty(),
+            "{}",
+            retried.quarantine.render()
+        );
+        assert_eq!(retried.prepared.len(), lib.len());
+        assert_eq!(retried.degraded_count(), lib.len());
+        for p in &retried.prepared {
+            let model = p.model.as_ref().unwrap();
+            assert!(model.degraded);
+            // Static-only retry: no dynamic detection classes.
+            assert!(model
+                .classes
+                .iter()
+                .all(|c| c.behavior != ca_defects::Behavior::Dynamic));
+        }
+    }
+
+    #[test]
+    fn retries_do_not_help_structural_failures() {
+        let mut lib = tiny_library();
+        lib.cells[2].cell =
+            corrupt_cell(&lib.cells[2].cell, Corruption::ZeroTransistor, 11).unwrap();
+        let outcome = characterize_library_robust(
+            &lib,
+            GenerateOptions::default(),
+            &SimBudget::unlimited(),
+            FaultPolicy::RetryWithReducedBudget(3),
+        )
+        .unwrap();
+        assert_eq!(outcome.quarantine.len(), 1);
+        let entry = &outcome.quarantine.entries[0];
+        assert_eq!(entry.retries, 0);
+        assert!(entry.reason.contains("no-transistors"), "{}", entry.reason);
+    }
+
+    #[test]
+    fn panics_are_converted_to_prepare_failed() {
+        let err = isolated::<()>("X", || panic!("boom")).unwrap_err();
+        match err {
+            CoreError::PrepareFailed { cell, source } => {
+                assert_eq!(cell, "X");
+                assert!(source.contains("boom"), "{source}");
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn quarantine_report_renders() {
+        let q = Quarantine {
+            entries: vec![QuarantineEntry {
+                cell: "BAD".into(),
+                phase: FailurePhase::Lint,
+                reason: "error: no-transistors: cell `BAD` contains no transistors".into(),
+                elapsed: Duration::from_millis(2),
+                retries: 1,
+            }],
+        };
+        let text = q.render();
+        assert!(text.contains("quarantine: 1 cell(s)"));
+        assert!(text.contains("BAD [lint]"));
+        assert_eq!(q.entry("BAD").unwrap().retries, 1);
+        assert!(q.entry("GOOD").is_none());
+    }
+}

@@ -8,12 +8,12 @@
 
 use crate::table::{BitRow, DetectionTable};
 use crate::universe::{DefectId, DefectUniverse};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
 
 /// Detection behaviour of a defect class.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Behavior {
     /// Detected by at least one static (single-pattern) stimulus.
     Static,
@@ -34,7 +34,8 @@ impl fmt::Display for Behavior {
 }
 
 /// A group of boundary-equivalent defects.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct DefectClass {
     /// Representative defect (lowest id in the class).
     pub representative: DefectId,
@@ -58,10 +59,7 @@ impl DefectClass {
 ///
 /// Classes are ordered by their representative's id, so the result is
 /// deterministic and independent of hashing.
-pub fn equivalence_classes(
-    universe: &DefectUniverse,
-    table: &DetectionTable,
-) -> Vec<DefectClass> {
+pub fn equivalence_classes(universe: &DefectUniverse, table: &DetectionTable) -> Vec<DefectClass> {
     let static_count = table.stimuli().iter().filter(|s| s.is_static()).count();
     let mut by_row: HashMap<&BitRow, Vec<DefectId>> = HashMap::new();
     for defect in universe.defects() {
@@ -119,11 +117,8 @@ MN1 net0 B VSS VSS nch
     fn nand2_classes() -> (DefectUniverse, Vec<DefectClass>) {
         let cell = spice::parse_cell(NAND2).unwrap();
         let universe = DefectUniverse::intra_transistor(&cell);
-        let table = DetectionTable::generate_exhaustive(
-            &cell,
-            &universe,
-            DetectionPolicy::default(),
-        );
+        let table =
+            DetectionTable::generate_exhaustive(&cell, &universe, DetectionPolicy::default());
         let classes = equivalence_classes(&universe, &table);
         (universe, classes)
     }

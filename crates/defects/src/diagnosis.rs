@@ -206,13 +206,9 @@ MN1 net0 B VSS VSS nch
                     assert_eq!(perfect[0].class, class);
                     break;
                 }
-                let extra = distinguishing_stimulus(
-                    &model,
-                    perfect[0].class,
-                    perfect[1].class,
-                    &applied,
-                )
-                .expect("separable");
+                let extra =
+                    distinguishing_stimulus(&model, perfect[0].class, perfect[1].class, &applied)
+                        .expect("separable");
                 applied.push(extra);
             }
         }

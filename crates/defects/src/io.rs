@@ -9,6 +9,7 @@
 //! ```text
 //! CAM 1
 //! cell NAND2 inputs 2 transistors 4 sims 384
+//! degraded            (only present for budget-truncated models)
 //! defect 0 open mos 0 D
 //! defect 1 open mos 0 G
 //! defect 12 short mos 2 D S
@@ -68,6 +69,9 @@ pub fn to_cam(model: &CaModel) -> String {
         "cell {} inputs {} transistors {} sims {}",
         model.cell_name, model.num_inputs, model.num_transistors, model.defect_simulations
     );
+    if model.degraded {
+        let _ = writeln!(out, "degraded");
+    }
     for defect in model.universe.defects() {
         match defect.injection {
             Injection::None => {}
@@ -120,6 +124,7 @@ pub fn from_cam(text: &str, cell: &Cell) -> Result<CaModel, ParseCamError> {
     let mut defects: Vec<Defect> = Vec::new();
     let mut rows: Vec<(usize, BitRow)> = Vec::new();
     let mut header: Option<(String, usize, usize, usize)> = None;
+    let mut degraded = false;
     let mut saw_end = false;
     for (i, raw) in text.lines().enumerate() {
         let line_no = i + 1;
@@ -225,7 +230,9 @@ pub fn from_cam(text: &str, cell: &Cell) -> Result<CaModel, ParseCamError> {
                     .get(1)
                     .and_then(|s| s.parse().ok())
                     .ok_or_else(|| err("bad row index".into()))?;
-                let bits = tokens.get(2).ok_or_else(|| err("missing row bits".into()))?;
+                let bits = tokens
+                    .get(2)
+                    .ok_or_else(|| err("missing row bits".into()))?;
                 let mut row = BitRow::zeros(bits.len());
                 for (j, c) in bits.chars().enumerate() {
                     match c {
@@ -235,6 +242,12 @@ pub fn from_cam(text: &str, cell: &Cell) -> Result<CaModel, ParseCamError> {
                     }
                 }
                 rows.push((idx, row));
+            }
+            "degraded" => {
+                if tokens.len() != 1 {
+                    return Err(err("malformed degraded directive".into()));
+                }
+                degraded = true;
             }
             "end" => {
                 saw_end = true;
@@ -252,8 +265,7 @@ pub fn from_cam(text: &str, cell: &Cell) -> Result<CaModel, ParseCamError> {
         line: 1,
         message: "missing cell header".into(),
     })?;
-    if name != cell.name() || inputs != cell.num_inputs() || transistors != cell.num_transistors()
-    {
+    if name != cell.name() || inputs != cell.num_inputs() || transistors != cell.num_transistors() {
         return Err(ParseCamError {
             line: 1,
             message: format!(
@@ -277,12 +289,11 @@ pub fn from_cam(text: &str, cell: &Cell) -> Result<CaModel, ParseCamError> {
             message: format!("{} rows for {} defects", rows.len(), defects.len()),
         });
     }
-    let universe = DefectUniverse::from_defects(defects).map_err(|message| ParseCamError {
-        line: 1,
-        message,
-    })?;
+    let universe = DefectUniverse::from_defects(defects)
+        .map_err(|message| ParseCamError { line: 1, message })?;
     let mut model = CaModel::from_rows(cell, universe, rows.into_iter().map(|(_, r)| r).collect());
     model.defect_simulations = sims;
+    model.degraded = degraded;
     Ok(model)
 }
 
@@ -326,13 +337,31 @@ MN1 net0 B VSS VSS nch
     }
 
     #[test]
+    fn degraded_flag_round_trips() {
+        let cell = spice::parse_cell(NAND2).unwrap();
+        let budget = ca_sim::SimBudget {
+            max_stimuli: Some(4),
+            ..ca_sim::SimBudget::unlimited()
+        };
+        let model = CaModel::generate_budgeted(&cell, GenerateOptions::default(), &budget)
+            .expect("truncation succeeds");
+        assert!(model.degraded);
+        let text = to_cam(&model);
+        assert!(text.lines().any(|l| l == "degraded"), "{text}");
+        let parsed = from_cam(&text, &cell).unwrap();
+        assert!(parsed.degraded);
+        assert_eq!(parsed.rows, model.rows);
+    }
+
+    #[test]
     fn wrong_cell_rejected() {
         let cell = spice::parse_cell(NAND2).unwrap();
         let model = CaModel::generate(&cell, GenerateOptions::default());
         let text = to_cam(&model);
-        let other =
-            spice::parse_cell(".SUBCKT INV A Z VDD VSS\nMP0 Z A VDD VDD pch\nMN0 Z A VSS VSS nch\n.ENDS")
-                .unwrap();
+        let other = spice::parse_cell(
+            ".SUBCKT INV A Z VDD VSS\nMP0 Z A VDD VDD pch\nMN0 Z A VSS VSS nch\n.ENDS",
+        )
+        .unwrap();
         assert!(from_cam(&text, &other).is_err());
     }
 

@@ -42,5 +42,5 @@ pub use diagnosis::{diagnose, Candidate, Observation};
 pub use io::{from_cam, to_cam, ParseCamError};
 pub use model::{CaModel, GenerateOptions};
 pub use patterns::{select_patterns, PatternSet};
-pub use table::{single_defect_row, BitRow, DetectionTable};
+pub use table::{single_defect_row, BitRow, BudgetedTable, DetectionTable};
 pub use universe::{Defect, DefectId, DefectKind, DefectUniverse};

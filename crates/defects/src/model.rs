@@ -12,11 +12,11 @@ use crate::classes::{equivalence_classes, Behavior, DefectClass};
 use crate::table::{BitRow, DetectionTable};
 use crate::universe::{DefectId, DefectUniverse};
 use ca_netlist::Cell;
-use ca_sim::{DetectionPolicy, Stimulus};
-use serde::{Deserialize, Serialize};
+use ca_sim::{DetectionPolicy, SimBudget, SimError, Stimulus};
 
 /// Options of CA model generation.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct GenerateOptions {
     /// Detection policy for unknown responses.
     pub policy: DetectionPolicy,
@@ -25,7 +25,8 @@ pub struct GenerateOptions {
 }
 
 /// A cell-aware model: the detection dictionary of one cell.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CaModel {
     /// Name of the characterized cell.
     pub cell_name: String,
@@ -41,6 +42,11 @@ pub struct CaModel {
     pub classes: Vec<DefectClass>,
     /// Simulation effort spent building the model (0 for predicted models).
     pub defect_simulations: usize,
+    /// Whether the model was produced under a reduced budget (truncated
+    /// stimuli, truncated defect universe, or a characterization retry).
+    /// Degraded models are valid but incomplete; library export skips
+    /// them unless explicitly included.
+    pub degraded: bool,
 }
 
 impl CaModel {
@@ -61,7 +67,41 @@ impl CaModel {
             defect_simulations: table.defect_simulations(),
             universe,
             classes,
+            degraded: false,
         }
+    }
+
+    /// Runs the conventional flow under a [`SimBudget`].
+    ///
+    /// Truncating budgets (`max_stimuli`, `max_defects`) yield a valid
+    /// but [`degraded`](CaModel::degraded) model covering the truncated
+    /// work; an oscillating golden cell or an expired wall clock is an
+    /// error.
+    pub fn generate_budgeted(
+        cell: &Cell,
+        options: GenerateOptions,
+        budget: &SimBudget,
+    ) -> Result<CaModel, SimError> {
+        let universe = if options.inter_transistor {
+            DefectUniverse::with_inter_transistor(cell)
+        } else {
+            DefectUniverse::intra_transistor(cell)
+        };
+        let stimuli = Stimulus::all(cell.num_inputs());
+        let budgeted =
+            DetectionTable::generate_budgeted(cell, &universe, &stimuli, options.policy, budget)?;
+        let universe = universe.truncated(budgeted.defects_covered);
+        let classes = equivalence_classes(&universe, &budgeted.table);
+        Ok(CaModel {
+            cell_name: cell.name().to_string(),
+            num_inputs: cell.num_inputs(),
+            num_transistors: cell.num_transistors(),
+            rows: budgeted.table.rows().to_vec(),
+            defect_simulations: budgeted.table.defect_simulations(),
+            universe,
+            classes,
+            degraded: budgeted.degraded,
+        })
     }
 
     /// Builds a model from externally produced rows (e.g. ML predictions).
@@ -84,7 +124,9 @@ impl CaModel {
                 .into_iter()
                 .map(|(row, mut members)| {
                     members.sort();
-                    let static_hit = (0..static_count).any(|i| row.get(i));
+                    // Degraded rows may cover fewer stimuli than the
+                    // canonical set; classify over what is present.
+                    let static_hit = (0..static_count.min(row.len())).any(|i| row.get(i));
                     let behavior = if static_hit {
                         Behavior::Static
                     } else if row.any() {
@@ -111,6 +153,7 @@ impl CaModel {
             defect_simulations: 0,
             universe,
             classes,
+            degraded: false,
         }
     }
 
@@ -230,6 +273,48 @@ MN1 net0 B VSS VSS nch
         assert_eq!(model.rows.len(), 24);
         assert!(model.defect_simulations > 0);
         assert!((model.coverage() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn budgeted_generation_unlimited_matches_plain() {
+        let cell = spice::parse_cell(NAND2).unwrap();
+        let plain = CaModel::generate(&cell, GenerateOptions::default());
+        let budgeted =
+            CaModel::generate_budgeted(&cell, GenerateOptions::default(), &SimBudget::unlimited())
+                .expect("NAND2 characterizes");
+        assert_eq!(plain, budgeted);
+        assert!(!budgeted.degraded);
+    }
+
+    #[test]
+    fn budgeted_generation_truncates_and_marks_degraded() {
+        let cell = spice::parse_cell(NAND2).unwrap();
+        let budget = SimBudget {
+            max_stimuli: Some(4), // statics only for a 2-input cell
+            max_defects: Some(12),
+            ..SimBudget::unlimited()
+        };
+        let model = CaModel::generate_budgeted(&cell, GenerateOptions::default(), &budget)
+            .expect("truncation is not an error");
+        assert!(model.degraded);
+        assert_eq!(model.universe.len(), 12);
+        assert_eq!(model.rows.len(), 12);
+        assert!(model.rows.iter().all(|r| r.len() == 4));
+        // Static-only characterization sees no dynamic classes.
+        let (_, dynamic, _) = model.behavior_counts();
+        assert_eq!(dynamic, 0);
+    }
+
+    #[test]
+    fn budgeted_generation_propagates_wall_clock_exhaustion() {
+        let cell = spice::parse_cell(NAND2).unwrap();
+        let budget = SimBudget {
+            wall_clock: Some(std::time::Duration::ZERO),
+            ..SimBudget::unlimited()
+        };
+        let err = CaModel::generate_budgeted(&cell, GenerateOptions::default(), &budget)
+            .expect_err("zero deadline cannot finish");
+        assert!(matches!(err, SimError::BudgetExceeded { .. }));
     }
 
     #[test]

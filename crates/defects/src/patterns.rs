@@ -60,10 +60,7 @@ pub fn select_patterns(model: &CaModel) -> PatternSet {
         let mut best: Option<(usize, usize, bool)> = None; // (count, stim, is_static)
         #[allow(clippy::needless_range_loop)] // s is a stimulus id, not a position
         for s in 0..n_stimuli {
-            let count = uncovered
-                .iter()
-                .filter(|&&c| classes[c].row.get(s))
-                .count();
+            let count = uncovered.iter().filter(|&&c| classes[c].row.get(s)).count();
             if count == 0 {
                 continue;
             }

@@ -6,11 +6,11 @@
 
 use crate::universe::{DefectId, DefectUniverse};
 use ca_netlist::Cell;
-use ca_sim::{DetectionPolicy, Injection, Simulator, Stimulus, Value};
-use serde::{Deserialize, Serialize};
+use ca_sim::{DetectionPolicy, Injection, SimBudget, SimError, Simulator, Stimulus, Value};
 
 /// A packed bit row (one bit per stimulus).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct BitRow {
     bits: Vec<u64>,
     len: usize,
@@ -77,7 +77,8 @@ impl BitRow {
 }
 
 /// Detection results of a full defect universe under a full stimulus set.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct DetectionTable {
     stimuli: Vec<Stimulus>,
     rows: Vec<BitRow>,
@@ -114,9 +115,10 @@ impl DetectionTable {
             for (i, stimulus) in stimuli.iter().enumerate() {
                 let result = faulty_sim.run(stimulus);
                 defect_simulations += 1;
-                let detected = outputs.iter().enumerate().any(|(oi, &o)| {
-                    policy.detects(golden[i][oi], result.final_value(o))
-                });
+                let detected = outputs
+                    .iter()
+                    .enumerate()
+                    .any(|(oi, &o)| policy.detects(golden[i][oi], result.final_value(o)));
                 row.set(i, detected);
             }
             rows.push(row);
@@ -127,6 +129,79 @@ impl DetectionTable {
             policy,
             defect_simulations,
         }
+    }
+
+    /// Like [`DetectionTable::generate`], but under a [`SimBudget`].
+    ///
+    /// Semantics:
+    ///
+    /// - golden simulation must converge: an oscillating defect-free
+    ///   cell is an error ([`SimError::Oscillated`]), because its truth
+    ///   table is meaningless;
+    /// - faulty simulation keeps the conservative X-forcing of
+    ///   [`Simulator::run`] — an injected defect may legitimately create
+    ///   a ring;
+    /// - `max_stimuli` / `max_defects` truncate the work and mark the
+    ///   result degraded;
+    /// - the wall-clock deadline is checked *between* defect-simulation
+    ///   stimuli (never mid-solve); expiry is
+    ///   [`SimError::BudgetExceeded`].
+    ///
+    /// On success, the table covers `universe.truncated(degraded
+    /// defect count)` — callers align their universe with
+    /// [`BudgetedTable::defects_covered`].
+    pub fn generate_budgeted(
+        cell: &Cell,
+        universe: &DefectUniverse,
+        stimuli: &[Stimulus],
+        policy: DetectionPolicy,
+        budget: &SimBudget,
+    ) -> Result<BudgetedTable, SimError> {
+        let n_stimuli = budget.clamp_stimuli(stimuli.len());
+        let n_defects = budget.clamp_defects(universe.len());
+        let degraded = n_stimuli < stimuli.len() || n_defects < universe.len();
+        let stimuli = &stimuli[..n_stimuli];
+        let clock = budget.start();
+        let outputs = cell.outputs().to_vec();
+        let golden_sim = Simulator::with_budget(cell, Injection::None, budget);
+        let golden: Vec<Vec<Value>> = stimuli
+            .iter()
+            .map(|s| {
+                let result = golden_sim.try_run(s)?;
+                Ok(outputs.iter().map(|&o| result.final_value(o)).collect())
+            })
+            .collect::<Result<_, SimError>>()?;
+        let mut rows = Vec::with_capacity(n_defects);
+        let mut defect_simulations = 0;
+        for defect in &universe.defects()[..n_defects] {
+            let faulty_sim = Simulator::with_budget(cell, defect.injection, budget);
+            let mut row = BitRow::zeros(stimuli.len());
+            for (i, stimulus) in stimuli.iter().enumerate() {
+                if clock.expired() {
+                    return Err(SimError::BudgetExceeded {
+                        resource: "wall clock",
+                    });
+                }
+                let result = faulty_sim.run(stimulus);
+                defect_simulations += 1;
+                let detected = outputs
+                    .iter()
+                    .enumerate()
+                    .any(|(oi, &o)| policy.detects(golden[i][oi], result.final_value(o)));
+                row.set(i, detected);
+            }
+            rows.push(row);
+        }
+        Ok(BudgetedTable {
+            table: DetectionTable {
+                stimuli: stimuli.to_vec(),
+                rows,
+                policy,
+                defect_simulations,
+            },
+            degraded,
+            defects_covered: n_defects,
+        })
     }
 
     /// Generates with the canonical full stimulus set
@@ -182,6 +257,20 @@ impl DetectionTable {
         let detected = self.rows.iter().filter(|r| r.any()).count();
         detected as f64 / self.rows.len() as f64
     }
+}
+
+/// A [`DetectionTable`] generated under a [`SimBudget`], with the
+/// truncation bookkeeping budgeted callers need.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BudgetedTable {
+    /// The generated table (rows cover the first
+    /// [`defects_covered`](BudgetedTable::defects_covered) defects).
+    pub table: DetectionTable,
+    /// Whether any budget axis truncated the work (fewer stimuli or
+    /// defects than requested).
+    pub degraded: bool,
+    /// Number of leading universe defects the rows cover.
+    pub defects_covered: usize,
 }
 
 /// Convenience: simulate a single injection against `stimuli` (used by
@@ -245,7 +334,11 @@ MN1 net0 B VSS VSS nch
         assert_eq!(table.rows().len(), 24);
         assert_eq!(table.stimuli().len(), 16);
         // Every intra-transistor defect of a NAND2 is detectable.
-        assert!((table.coverage() - 1.0).abs() < 1e-9, "{}", table.coverage());
+        assert!(
+            (table.coverage() - 1.0).abs() < 1e-9,
+            "{}",
+            table.coverage()
+        );
         assert_eq!(table.defect_simulations(), 24 * 16);
     }
 
@@ -256,6 +349,75 @@ MN1 net0 B VSS VSS nch
         let a = DetectionTable::generate_exhaustive(&cell, &universe, DetectionPolicy::default());
         let b = DetectionTable::generate_exhaustive(&cell, &universe, DetectionPolicy::default());
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn unlimited_budget_matches_unbudgeted_generation() {
+        let cell = spice::parse_cell(NAND2).unwrap();
+        let universe = DefectUniverse::intra_transistor(&cell);
+        let policy = DetectionPolicy::default();
+        let stimuli = Stimulus::all(2);
+        let plain = DetectionTable::generate(&cell, &universe, &stimuli, policy);
+        let budgeted = DetectionTable::generate_budgeted(
+            &cell,
+            &universe,
+            &stimuli,
+            policy,
+            &SimBudget::unlimited(),
+        )
+        .expect("NAND2 characterizes");
+        assert!(!budgeted.degraded);
+        assert_eq!(budgeted.defects_covered, universe.len());
+        assert_eq!(budgeted.table, plain);
+    }
+
+    #[test]
+    fn stimulus_and_defect_caps_truncate_and_degrade() {
+        let cell = spice::parse_cell(NAND2).unwrap();
+        let universe = DefectUniverse::intra_transistor(&cell);
+        let stimuli = Stimulus::all(2);
+        let budget = SimBudget {
+            max_stimuli: Some(4),
+            max_defects: Some(10),
+            ..SimBudget::unlimited()
+        };
+        let b = DetectionTable::generate_budgeted(
+            &cell,
+            &universe,
+            &stimuli,
+            DetectionPolicy::default(),
+            &budget,
+        )
+        .expect("truncation is not an error");
+        assert!(b.degraded);
+        assert_eq!(b.defects_covered, 10);
+        assert_eq!(b.table.rows().len(), 10);
+        assert_eq!(b.table.stimuli().len(), 4);
+        assert_eq!(b.table.defect_simulations(), 40);
+    }
+
+    #[test]
+    fn expired_wall_clock_is_budget_exceeded() {
+        let cell = spice::parse_cell(NAND2).unwrap();
+        let universe = DefectUniverse::intra_transistor(&cell);
+        let budget = SimBudget {
+            wall_clock: Some(std::time::Duration::ZERO),
+            ..SimBudget::unlimited()
+        };
+        let err = DetectionTable::generate_budgeted(
+            &cell,
+            &universe,
+            &Stimulus::all(2),
+            DetectionPolicy::default(),
+            &budget,
+        )
+        .expect_err("zero deadline expires before the first stimulus");
+        assert_eq!(
+            err,
+            SimError::BudgetExceeded {
+                resource: "wall clock"
+            }
+        );
     }
 
     #[test]

@@ -8,11 +8,11 @@
 
 use ca_netlist::{Cell, NetKind, Terminal, TransistorId};
 use ca_sim::Injection;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Index of a defect within its [`DefectUniverse`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct DefectId(pub u32);
 
 impl DefectId {
@@ -29,7 +29,8 @@ impl fmt::Display for DefectId {
 }
 
 /// Coarse defect category (the paper's "defect type" column).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum DefectKind {
     /// Resistive/full open.
     Open,
@@ -47,7 +48,8 @@ impl fmt::Display for DefectKind {
 }
 
 /// One potential defect of a cell.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Defect {
     /// Position in the universe.
     pub id: DefectId,
@@ -77,7 +79,8 @@ impl Defect {
 }
 
 /// The complete list of defects considered for one cell.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct DefectUniverse {
     defects: Vec<Defect>,
 }
@@ -161,6 +164,15 @@ impl DefectUniverse {
             }
         }
         Ok(DefectUniverse { defects })
+    }
+
+    /// A copy keeping only the first `n` defects (ids stay dense). Used
+    /// by budgeted generation, where `max_defects` truncates the
+    /// universe a degraded model covers.
+    pub fn truncated(&self, n: usize) -> DefectUniverse {
+        DefectUniverse {
+            defects: self.defects[..n.min(self.defects.len())].to_vec(),
+        }
     }
 
     /// All defects in id order.

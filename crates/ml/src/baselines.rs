@@ -5,6 +5,7 @@
 
 use crate::data::Dataset;
 use crate::Classifier;
+use ca_rng::{Rng, SplitMix64};
 
 /// k-nearest-neighbours with Euclidean distance (brute force).
 #[derive(Debug, Clone)]
@@ -146,14 +147,6 @@ impl LinearClassifier {
     pub fn svm() -> LinearClassifier {
         LinearClassifier::new(LinearLoss::Hinge)
     }
-
-    fn next_random(state: &mut u64) -> u64 {
-        *state = state.wrapping_add(0x9E3779B97F4A7C15);
-        let mut z = *state;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
-        z ^ (z >> 31)
-    }
 }
 
 impl Classifier for LinearClassifier {
@@ -165,19 +158,13 @@ impl Classifier for LinearClassifier {
         );
         let mut model = LinearModel::zeros(data.num_features());
         let mut order: Vec<usize> = (0..data.len()).collect();
-        let mut state = self.seed ^ 0xA5A5_5A5A_DEAD_BEEF;
+        let mut state = SplitMix64::new(self.seed ^ 0xA5A5_5A5A_DEAD_BEEF);
         // Scale the step by the largest row norm so updates contract
         // regardless of feature scale. The squared loss has an unbounded
         // gradient and needs the full 1/||x||^2 factor; the bounded-
         // gradient losses only need 1/||x||.
         let max_norm_sq = (0..data.len())
-            .map(|i| {
-                1.0 + data
-                    .row(i)
-                    .iter()
-                    .map(|&x| (x as f64).powi(2))
-                    .sum::<f64>()
-            })
+            .map(|i| 1.0 + data.row(i).iter().map(|&x| (x as f64).powi(2)).sum::<f64>())
             .fold(1.0f64, f64::max);
         let learning_rate = match self.loss {
             LinearLoss::Ridge => self.learning_rate / max_norm_sq,
@@ -185,10 +172,7 @@ impl Classifier for LinearClassifier {
         };
         for _ in 0..self.epochs {
             // Deterministic reshuffle per epoch.
-            for i in (1..order.len()).rev() {
-                let j = (Self::next_random(&mut state) % (i as u64 + 1)) as usize;
-                order.swap(i, j);
-            }
+            state.shuffle(&mut order);
             for &i in &order {
                 let row = data.row(i);
                 let y = if data.label(i) == 1 { 1.0 } else { -1.0 };
@@ -247,7 +231,10 @@ mod tests {
     }
 
     fn accuracy(c: &dyn Classifier, d: &Dataset) -> f64 {
-        (0..d.len()).filter(|&i| c.predict(d.row(i)) == d.label(i)).count() as f64 / d.len() as f64
+        (0..d.len())
+            .filter(|&i| c.predict(d.row(i)) == d.label(i))
+            .count() as f64
+            / d.len() as f64
     }
 
     #[test]

@@ -7,8 +7,7 @@
 use crate::data::Dataset;
 use crate::tree::{DecisionTree, TreeParams};
 use crate::Classifier;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ca_rng::{Rng, Xoshiro256StarStar};
 
 /// Hyperparameters of a random forest.
 #[derive(Debug, Clone, PartialEq)]
@@ -120,7 +119,7 @@ impl Classifier for RandomForest {
         assert!(!data.is_empty(), "cannot fit on an empty dataset");
         self.num_classes = data.num_classes().max(1);
         self.trees.clear();
-        let mut rng = StdRng::seed_from_u64(self.params.seed);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(self.params.seed);
         let sample_size =
             ((data.len() as f64 * self.params.bootstrap_fraction).round() as usize).max(1);
         let max_features = self.params.max_features.unwrap_or_else(|| {
@@ -129,13 +128,11 @@ impl Classifier for RandomForest {
             // groups with many all-zero defect flags); n/3 is a better
             // floor for those.
             let n = data.num_features();
-            ((n as f64).sqrt().round() as usize)
-                .max(n / 3)
-                .clamp(1, n)
+            ((n as f64).sqrt().round() as usize).max(n / 3).clamp(1, n)
         });
         for t in 0..self.params.num_trees {
             let indices: Vec<usize> = (0..sample_size)
-                .map(|_| rng.gen_range(0..data.len()))
+                .map(|_| rng.gen_index(data.len()))
                 .collect();
             let sample = data.subset(&indices);
             let mut tree = DecisionTree::new(TreeParams {
@@ -215,12 +212,8 @@ mod tests {
         let mut forest = RandomForest::new(ForestParams::quick());
         forest.fit(&data);
         let majority = data.majority_label().unwrap();
-        let baseline = data
-            .labels()
-            .iter()
-            .filter(|&&l| l == majority)
-            .count() as f64
-            / data.len() as f64;
+        let baseline =
+            data.labels().iter().filter(|&&l| l == majority).count() as f64 / data.len() as f64;
         let accuracy = (0..data.len())
             .filter(|&i| forest.predict(data.row(i)) == data.label(i))
             .count() as f64

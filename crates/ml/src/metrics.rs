@@ -11,11 +11,7 @@ use crate::Classifier;
 pub fn accuracy(predicted: &[u32], actual: &[u32]) -> f64 {
     assert_eq!(predicted.len(), actual.len(), "length mismatch");
     assert!(!predicted.is_empty(), "empty prediction set");
-    let hits = predicted
-        .iter()
-        .zip(actual)
-        .filter(|(p, a)| p == a)
-        .count();
+    let hits = predicted.iter().zip(actual).filter(|(p, a)| p == a).count();
     hits as f64 / predicted.len() as f64
 }
 

@@ -81,11 +81,7 @@ impl Classifier for GaussianNb {
         let mut best = (f64::NEG_INFINITY, 0u32);
         for (c, stats) in self.classes.iter().enumerate() {
             let mut log_p = stats.log_prior;
-            for ((&x, mean), variance) in row
-                .iter()
-                .zip(&stats.means)
-                .zip(&stats.variances)
-            {
+            for ((&x, mean), variance) in row.iter().zip(&stats.means).zip(&stats.variances) {
                 let diff = x as f64 - mean;
                 log_p -= 0.5 * (diff * diff / variance + variance.ln());
             }

@@ -9,6 +9,7 @@
 
 use crate::data::Dataset;
 use crate::Classifier;
+use ca_rng::{Rng, SplitMix64};
 
 /// Hyperparameters of a decision tree.
 #[derive(Debug, Clone, PartialEq)]
@@ -53,19 +54,19 @@ pub struct DecisionTree {
     params: TreeParams,
     nodes: Vec<Node>,
     num_classes: usize,
-    rng_state: u64,
+    rng: SplitMix64,
     importance: Vec<f64>,
 }
 
 impl DecisionTree {
     /// Creates an untrained tree with the given parameters.
     pub fn new(params: TreeParams) -> DecisionTree {
-        let rng_state = params.seed ^ 0x9E3779B97F4A7C15;
+        let rng = SplitMix64::new(params.seed ^ 0x9E3779B97F4A7C15);
         DecisionTree {
             params,
             nodes: Vec::new(),
             num_classes: 0,
-            rng_state,
+            rng,
             importance: Vec::new(),
         }
     }
@@ -97,14 +98,6 @@ impl DecisionTree {
         }
     }
 
-    fn next_random(&mut self) -> u64 {
-        self.rng_state = self.rng_state.wrapping_add(0x9E3779B97F4A7C15);
-        let mut z = self.rng_state;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
-        z ^ (z >> 31)
-    }
-
     fn build(&mut self, data: &Dataset, indices: &mut [usize], depth: usize) -> usize {
         let counts = class_counts(data, indices, self.num_classes);
         let majority = argmax(&counts);
@@ -130,8 +123,7 @@ impl DecisionTree {
                     let right_counts = class_counts(data, &indices[mid..], self.num_classes);
                     let n = indices.len() as f64;
                     let child = (mid as f64 * gini(&left_counts, mid)
-                        + (indices.len() - mid) as f64
-                            * gini(&right_counts, indices.len() - mid))
+                        + (indices.len() - mid) as f64 * gini(&right_counts, indices.len() - mid))
                         / n;
                     self.importance[feature] += n * (node_gini - child).max(0.0);
                     let id = self.nodes.len();
@@ -163,11 +155,15 @@ impl DecisionTree {
         total_counts: &[usize],
     ) -> Option<(usize, f32)> {
         let n_features = data.num_features();
-        let k = self.params.max_features.unwrap_or(n_features).min(n_features);
+        let k = self
+            .params
+            .max_features
+            .unwrap_or(n_features)
+            .min(n_features);
         let mut features: Vec<usize> = (0..n_features).collect();
         // Partial Fisher-Yates to pick k random features.
         for i in 0..k {
-            let j = i + (self.next_random() as usize) % (n_features - i);
+            let j = i + self.rng.gen_index(n_features - i);
             features.swap(i, j);
         }
         let mut best: Option<(f64, usize, f32)> = None;
@@ -200,7 +196,11 @@ impl DecisionTree {
                     left,
                     right,
                 } => {
-                    i = if row[feature] <= threshold { left } else { right };
+                    i = if row[feature] <= threshold {
+                        left
+                    } else {
+                        right
+                    };
                 }
             }
         }

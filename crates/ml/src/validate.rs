@@ -35,8 +35,7 @@ pub fn train_test_split(data: &Dataset, test_fraction: f64, seed: u64) -> (Datas
     );
     assert!(!data.is_empty(), "cannot split an empty dataset");
     let indices = shuffled_indices(data.len(), seed);
-    let n_test = ((data.len() as f64 * test_fraction).round() as usize)
-        .clamp(1, data.len() - 1);
+    let n_test = ((data.len() as f64 * test_fraction).round() as usize).clamp(1, data.len() - 1);
     let test = data.subset(&indices[..n_test]);
     let train = data.subset(&indices[n_test..]);
     (train, test)

@@ -36,6 +36,7 @@
 //! # }
 //! ```
 
+pub mod corrupt;
 pub mod error;
 pub mod expr;
 pub mod library;
@@ -45,10 +46,11 @@ pub mod spice;
 pub mod synth;
 pub mod writer;
 
+pub use corrupt::{corrupt_cell, salt_library, Corruption, SaltedCell};
 pub use error::NetlistError;
 pub use expr::Expr;
-pub use lint::{is_clean, lint, Finding, Severity};
 pub use library::{generate_library, Library, LibraryCell, LibraryConfig, TechStyle, Technology};
+pub use lint::{is_clean, lint, Finding, Severity};
 pub use model::{
     Cell, CellBuilder, MosKind, Net, NetId, NetKind, Terminal, Transistor, TransistorId,
 };

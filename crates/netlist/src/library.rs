@@ -12,14 +12,12 @@
 
 use crate::expr::Expr;
 use crate::model::Cell;
-use crate::synth::{
-    synthesize, DriveStyle, NetlistStyle, Stage, StageExpr, StagePlan,
-};
-use serde::{Deserialize, Serialize};
+use crate::synth::{synthesize, DriveStyle, NetlistStyle, Stage, StageExpr, StagePlan};
 use std::fmt;
 
 /// The three synthetic technologies mirroring the paper's dataset.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Technology {
     /// 40 nm bulk technology (paper: 446 cells).
     C40,
@@ -59,7 +57,8 @@ impl fmt::Display for Technology {
 }
 
 /// Netlist conventions of one technology.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TechStyle {
     /// The technology this style renders.
     pub tech: Technology,
@@ -121,7 +120,8 @@ impl TechStyle {
 }
 
 /// A catalog entry: a named function with its gate plan.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CellTemplate {
     /// Function name (e.g. `AOI21`).
     pub name: String,
@@ -193,8 +193,8 @@ fn xor2_plan() -> StagePlan {
     plan(
         2,
         vec![
-            Stage::new(lit(0)),                                         // s0 = !A
-            Stage::new(lit(1)),                                         // s1 = !B
+            Stage::new(lit(0)), // s0 = !A
+            Stage::new(lit(1)), // s1 = !B
             Stage::new(StageExpr::Or(vec![
                 StageExpr::And(vec![lit(0), lit(1)]),
                 StageExpr::And(vec![StageExpr::stage(0), StageExpr::stage(1)]),
@@ -223,18 +223,18 @@ fn xor3_plan() -> StagePlan {
     plan(
         3,
         vec![
-            Stage::new(lit(0)),                 // s0 = !A
-            Stage::new(lit(1)),                 // s1 = !B
+            Stage::new(lit(0)), // s0 = !A
+            Stage::new(lit(1)), // s1 = !B
             Stage::new(StageExpr::Or(vec![
                 StageExpr::And(vec![lit(0), StageExpr::stage(1)]),
                 StageExpr::And(vec![StageExpr::stage(0), lit(1)]),
-            ])),                                // s2 = XNOR(A,B)
-            Stage::new(StageExpr::stage(2)),    // s3 = XOR(A,B)
-            Stage::new(lit(2)),                 // s4 = !C
+            ])), // s2 = XNOR(A,B)
+            Stage::new(StageExpr::stage(2)), // s3 = XOR(A,B)
+            Stage::new(lit(2)), // s4 = !C
             Stage::new(StageExpr::Or(vec![
                 StageExpr::And(vec![StageExpr::stage(3), lit(2)]),
                 StageExpr::And(vec![StageExpr::stage(2), StageExpr::stage(4)]),
-            ])),                                // s5 = !(xC | !x!C) = XOR(x, C)
+            ])), // s5 = !(xC | !x!C) = XOR(x, C)
         ],
     )
 }
@@ -244,8 +244,8 @@ fn mux2_plan(inverted: bool) -> StagePlan {
     let core = vec![
         Stage::new(lit(2)), // s0 = !S
         Stage::new(StageExpr::Or(vec![
-            StageExpr::And(vec![lit(1), lit(2)]),               // B & S
-            StageExpr::And(vec![lit(0), StageExpr::stage(0)]),  // A & !S
+            StageExpr::And(vec![lit(1), lit(2)]),              // B & S
+            StageExpr::And(vec![lit(0), StageExpr::stage(0)]), // A & !S
         ])), // s1 = !(BS | A!S) = MUXI
     ];
     if inverted {
@@ -402,7 +402,8 @@ pub fn exclusive_catalog(tech: Technology) -> Vec<CellTemplate> {
 }
 
 /// A generated library cell with provenance metadata.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct LibraryCell {
     /// The transistor netlist.
     pub cell: Cell,
@@ -417,7 +418,8 @@ pub struct LibraryCell {
 }
 
 /// A generated standard-cell library.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Library {
     /// The technology the library belongs to.
     pub technology: Technology,
@@ -443,7 +445,8 @@ impl Library {
 }
 
 /// Parameters of library generation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct LibraryConfig {
     /// Technology to render.
     pub tech: Technology,
@@ -561,10 +564,8 @@ pub fn generate_library(config: &LibraryConfig) -> Library {
                     skew_tag
                 );
                 let mut netlist_style = style.base.clone();
-                netlist_style.nmos_width_nm =
-                    (netlist_style.nmos_width_nm as f32 * skew) as u32;
-                netlist_style.pmos_width_nm =
-                    (netlist_style.pmos_width_nm as f32 * skew) as u32;
+                netlist_style.nmos_width_nm = (netlist_style.nmos_width_nm as f32 * skew) as u32;
+                netlist_style.pmos_width_nm = (netlist_style.pmos_width_nm as f32 * skew) as u32;
                 netlist_style.shuffle_seed = Some(mix_seed(style.order_seed, &name));
                 let synth = synthesize(&name, &template.plan, drive, drive_style, &netlist_style)
                     .expect("catalog synthesis cannot fail");

@@ -47,6 +47,7 @@ impl fmt::Display for Finding {
 /// Runs all checks on `cell`, returning findings sorted errors-first.
 pub fn lint(cell: &Cell) -> Vec<Finding> {
     let mut findings = Vec::new();
+    check_has_transistors(cell, &mut findings);
     check_floating_gate_nets(cell, &mut findings);
     check_undriven_internal_nets(cell, &mut findings);
     check_rail_to_rail_channels(cell, &mut findings);
@@ -62,6 +63,22 @@ pub fn is_clean(cell: &Cell) -> bool {
     lint(cell).iter().all(|f| f.severity != Severity::Error)
 }
 
+/// A cell without a single transistor cannot implement any function.
+///
+/// `CellBuilder::build` rejects such cells, but damaged netlists can
+/// reach the flows through other routes (e.g. the fault-injection
+/// harness, or future importers); characterization must see the error
+/// here rather than panic downstream.
+fn check_has_transistors(cell: &Cell, findings: &mut Vec<Finding>) {
+    if cell.transistors().is_empty() {
+        findings.push(Finding {
+            severity: Severity::Error,
+            rule: "no-transistors",
+            message: format!("cell `{}` contains no transistors", cell.name()),
+        });
+    }
+}
+
 /// A gate net that nothing drives (not a pin, not a channel terminal).
 fn check_floating_gate_nets(cell: &Cell, findings: &mut Vec<Finding>) {
     let mut driven: HashSet<usize> = HashSet::new();
@@ -71,10 +88,7 @@ fn check_floating_gate_nets(cell: &Cell, findings: &mut Vec<Finding>) {
     }
     for (i, net) in cell.nets().iter().enumerate() {
         let is_pin = !matches!(net.kind(), NetKind::Internal);
-        let gates_something = cell
-            .transistors()
-            .iter()
-            .any(|t| t.gate().index() == i);
+        let gates_something = cell.transistors().iter().any(|t| t.gate().index() == i);
         if gates_something && !is_pin && !driven.contains(&i) {
             findings.push(Finding {
                 severity: Severity::Error,
@@ -100,7 +114,10 @@ fn check_undriven_internal_nets(cell: &Cell, findings: &mut Vec<Finding>) {
             findings.push(Finding {
                 severity: Severity::Warning,
                 rule: "dead-end-net",
-                message: format!("internal net `{}` has a single channel connection", net.name()),
+                message: format!(
+                    "internal net `{}` has a single channel connection",
+                    net.name()
+                ),
             });
         }
     }
@@ -152,7 +169,10 @@ fn check_output_drive(cell: &Cell, findings: &mut Vec<Finding>) {
             findings.push(Finding {
                 severity: Severity::Error,
                 rule: "undriven-output",
-                message: format!("output `{}` has no channel connection", cell.net(out).name()),
+                message: format!(
+                    "output `{}` has no channel connection",
+                    cell.net(out).name()
+                ),
             });
         } else if kinds.len() == 1 {
             findings.push(Finding {
@@ -223,9 +243,7 @@ MN1 net0 B VSS VSS nch
         let src = ".SUBCKT BAD A Z VDD VSS\nMN0 Z A VSS VSS nch\n.ENDS";
         let cell = spice::parse_cell(src).unwrap();
         let findings = lint(&cell);
-        assert!(findings
-            .iter()
-            .any(|f| f.rule == "single-polarity-output"));
+        assert!(findings.iter().any(|f| f.rule == "single-polarity-output"));
     }
 
     #[test]
@@ -233,7 +251,10 @@ MN1 net0 B VSS VSS nch
         let src = ".SUBCKT BAD A B Z VDD VSS\nMP0 Z A VDD VDD pch\nMN0 Z A VSS VSS nch\nMN1 dead A VSS VSS nch\n.ENDS";
         let cell = spice::parse_cell(src).unwrap();
         let findings = lint(&cell);
-        assert!(findings.iter().any(|f| f.rule == "unused-input"), "{findings:?}");
+        assert!(
+            findings.iter().any(|f| f.rule == "unused-input"),
+            "{findings:?}"
+        );
         assert!(findings.iter().any(|f| f.rule == "dead-end-net"));
     }
 
@@ -242,6 +263,20 @@ MN1 net0 B VSS VSS nch
         let src = ".SUBCKT BAD A Z VDD VSS\nMP0 Z A VDD VDD pch\nMN0 Z A VSS VSS nch\nMN1 Z VSS VSS VSS nch\n.ENDS";
         let cell = spice::parse_cell(src).unwrap();
         assert!(lint(&cell).iter().any(|f| f.rule == "gate-tied-off"));
+    }
+
+    #[test]
+    fn detects_zero_transistor_cell() {
+        use crate::model::{CellBuilder, NetKind};
+        let mut b = CellBuilder::new("EMPTY");
+        b.add_net("A", NetKind::Input);
+        b.add_net("Z", NetKind::Output);
+        b.add_net("VDD", NetKind::Power);
+        b.add_net("VSS", NetKind::Ground);
+        let cell = b.build_raw().unwrap();
+        let findings = lint(&cell);
+        assert!(findings.iter().any(|f| f.rule == "no-transistors"));
+        assert!(!is_clean(&cell));
     }
 
     #[test]

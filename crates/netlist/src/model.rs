@@ -7,11 +7,11 @@
 //! rest of the workspace can index freely.
 
 use crate::error::NetlistError;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Index of a net within its owning [`Cell`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct NetId(pub u32);
 
 impl NetId {
@@ -28,7 +28,8 @@ impl fmt::Display for NetId {
 }
 
 /// Index of a transistor within its owning [`Cell`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TransistorId(pub u32);
 
 impl TransistorId {
@@ -45,7 +46,8 @@ impl fmt::Display for TransistorId {
 }
 
 /// Channel polarity of a MOS transistor.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum MosKind {
     /// N-channel device: conducts when its gate is at logic 1.
     Nmos,
@@ -81,7 +83,8 @@ impl fmt::Display for MosKind {
 }
 
 /// One of the four terminals of a MOS transistor.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Terminal {
     /// Drain terminal.
     Drain,
@@ -115,7 +118,8 @@ impl fmt::Display for Terminal {
 }
 
 /// Role of a net inside a cell.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum NetKind {
     /// Primary input pin.
     Input,
@@ -137,7 +141,8 @@ impl NetKind {
 }
 
 /// A named electrical node of a cell.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Net {
     name: String,
     kind: NetKind,
@@ -164,7 +169,8 @@ impl Net {
 }
 
 /// A MOS transistor instance.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Transistor {
     name: String,
     kind: MosKind,
@@ -271,7 +277,8 @@ impl Transistor {
 ///
 /// Construct with [`CellBuilder`] or parse one with
 /// [`spice::parse_cell`](crate::spice::parse_cell).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Cell {
     name: String,
     nets: Vec<Net>,
@@ -498,6 +505,28 @@ impl CellBuilder {
     /// output, no power/ground rail, duplicate net names, or a transistor
     /// gated by a rail-free floating net.
     pub fn build(self) -> Result<Cell, NetlistError> {
+        if self.transistors.is_empty() {
+            return Err(NetlistError::Invalid(format!(
+                "cell `{}` has no transistors",
+                self.name
+            )));
+        }
+        self.finish()
+    }
+
+    /// Like [`CellBuilder::build`] but allows a transistor-less cell.
+    ///
+    /// Only the fault-injection harness ([`crate::corrupt`]) uses this:
+    /// real flows must never see such a cell, but robustness tests need
+    /// to construct one to prove it is caught downstream (the
+    /// `no-transistors` lint rule).
+    pub(crate) fn build_raw(self) -> Result<Cell, NetlistError> {
+        self.finish()
+    }
+
+    /// Shared tail of `build`/`build_raw`: pin/rail validation and role
+    /// assignment.
+    fn finish(self) -> Result<Cell, NetlistError> {
         let mut seen = std::collections::HashSet::new();
         for net in &self.nets {
             if !seen.insert(net.name().to_string()) {
@@ -531,12 +560,6 @@ impl CellBuilder {
         if power.len() != 1 || ground.len() != 1 {
             return Err(NetlistError::Invalid(format!(
                 "cell `{}` must have exactly one power and one ground rail",
-                self.name
-            )));
-        }
-        if self.transistors.is_empty() {
-            return Err(NetlistError::Invalid(format!(
-                "cell `{}` has no transistors",
                 self.name
             )));
         }
@@ -601,6 +624,19 @@ mod tests {
             .add_transistor("M0", MosKind::Nmos, z, a, vss, vss, 1, 1)
             .unwrap_err();
         assert_eq!(err, NetlistError::Duplicate("M0".into()));
+    }
+
+    #[test]
+    fn build_raw_allows_zero_transistors() {
+        let mut b = CellBuilder::new("EMPTY");
+        b.add_net("A", NetKind::Input);
+        b.add_net("Z", NetKind::Output);
+        b.add_net("VDD", NetKind::Power);
+        b.add_net("VSS", NetKind::Ground);
+        assert!(matches!(b.clone().build(), Err(NetlistError::Invalid(_))));
+        let cell = b.build_raw().unwrap();
+        assert_eq!(cell.num_transistors(), 0);
+        assert_eq!(cell.name(), "EMPTY");
     }
 
     #[test]

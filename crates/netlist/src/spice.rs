@@ -392,7 +392,9 @@ MN0 Z A VSS VSS nch
 
     #[test]
     fn multiple_subcircuits() {
-        let two = format!("{NAND2}\n.SUBCKT INV A Z VDD VSS\nMP0 Z A VDD VDD pch\nMN0 Z A VSS VSS nch\n.ENDS\n");
+        let two = format!(
+            "{NAND2}\n.SUBCKT INV A Z VDD VSS\nMP0 Z A VDD VDD pch\nMN0 Z A VSS VSS nch\n.ENDS\n"
+        );
         let cells = parse_library(&two).unwrap();
         assert_eq!(cells.len(), 2);
         assert_eq!(cells[1].name(), "INV");
@@ -401,10 +403,7 @@ MN0 Z A VSS VSS nch
     #[test]
     fn unknown_model_rejected() {
         let src = ".SUBCKT INV A Z VDD VSS\nMP0 Z A VDD VDD weird\n.ENDS";
-        assert!(matches!(
-            parse_cell(src),
-            Err(NetlistError::Parse { .. })
-        ));
+        assert!(matches!(parse_cell(src), Err(NetlistError::Parse { .. })));
     }
 
     #[test]
@@ -438,22 +437,42 @@ MN0 Z A VSS VSS nch
     }
 
     mod fuzz {
-        use proptest::prelude::*;
+        use ca_rng::{Rng, SplitMix64};
 
-        proptest! {
-            #![proptest_config(ProptestConfig::with_cases(64))]
+        /// Random printable-ASCII (plus newline) string of length `< max`.
+        fn random_ascii(rng: &mut SplitMix64, max: usize) -> String {
+            let len = rng.gen_index(max);
+            (0..len)
+                .map(|_| {
+                    // 95 printables (0x20..=0x7E) plus '\n'.
+                    let c = rng.gen_index(96);
+                    if c == 95 {
+                        '\n'
+                    } else {
+                        (0x20 + c as u8) as char
+                    }
+                })
+                .collect()
+        }
 
-            /// The parser returns Ok or Err but never panics, on any
-            /// printable-ASCII input.
-            #[test]
-            fn parser_never_panics(s in "[ -~\n]{0,200}") {
+        /// The parser returns Ok or Err but never panics, on any
+        /// printable-ASCII input (seeded, fully deterministic).
+        #[test]
+        fn parser_never_panics() {
+            let mut rng = SplitMix64::new(0x5B1CE);
+            for _ in 0..512 {
+                let s = random_ascii(&mut rng, 201);
                 let _ = super::super::parse_cell(&s);
             }
+        }
 
-            /// Same with a plausible .SUBCKT skeleton around fuzzed body
-            /// lines.
-            #[test]
-            fn parser_never_panics_on_subckt_bodies(body in "[ -~\n]{0,120}") {
+        /// Same with a plausible .SUBCKT skeleton around fuzzed body
+        /// lines.
+        #[test]
+        fn parser_never_panics_on_subckt_bodies() {
+            let mut rng = SplitMix64::new(0x5B1CF);
+            for _ in 0..512 {
+                let body = random_ascii(&mut rng, 121);
                 let src = format!(".SUBCKT F A Z VDD VSS\n{body}\n.ENDS");
                 let _ = super::super::parse_cell(&src);
             }

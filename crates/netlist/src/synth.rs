@@ -20,10 +20,10 @@
 use crate::error::NetlistError;
 use crate::expr::Expr;
 use crate::model::{Cell, CellBuilder, MosKind, NetId, NetKind};
-use serde::{Deserialize, Serialize};
 
 /// A signal referenced by a stage expression.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Sig {
     /// Primary input pin `i`.
     Pin(u8),
@@ -32,7 +32,8 @@ pub enum Sig {
 }
 
 /// AND/OR tree over signals; the leaf level of a CMOS stage.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum StageExpr {
     /// A single transistor gated by the signal.
     Lit(Sig),
@@ -74,7 +75,8 @@ impl StageExpr {
 }
 
 /// One inverting CMOS stage: `out = NOT(expr)`.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Stage {
     /// The pull-down expression of the stage.
     pub expr: StageExpr,
@@ -88,7 +90,8 @@ impl Stage {
 }
 
 /// A complete multi-stage gate plan. The last stage drives the cell output.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct StagePlan {
     /// Number of primary inputs.
     pub n_inputs: u8,
@@ -137,10 +140,7 @@ impl StagePlan {
 
     /// Number of transistors the plan synthesizes to at drive 1.
     pub fn num_transistors(&self) -> usize {
-        self.stages
-            .iter()
-            .map(|s| 2 * s.expr.num_literals())
-            .sum()
+        self.stages.iter().map(|s| 2 * s.expr.num_literals()).sum()
     }
 
     /// The Boolean function of the cell output as an [`Expr`] over the
@@ -165,7 +165,8 @@ fn expr_of(e: &StageExpr, outs: &[Expr]) -> Expr {
 }
 
 /// How drive strength > 1 replicates devices (paper Fig. 6).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum DriveStyle {
     /// Each transistor is duplicated in parallel sharing both channel nets
     /// (Fig. 6 configuration with the "red net" present).
@@ -177,7 +178,8 @@ pub enum DriveStyle {
 }
 
 /// Device/net naming and sizing conventions, varied per technology.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct NetlistStyle {
     /// Prefix for NMOS instance names (a running index is appended).
     pub nmos_prefix: String,
@@ -226,7 +228,8 @@ impl Default for NetlistStyle {
 }
 
 /// A synthesized cell bundled with its functional reference.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SynthesizedCell {
     /// The transistor netlist.
     pub cell: Cell,
@@ -343,7 +346,8 @@ impl<'a> Emitter<'a> {
             if k + 1 == n_stages {
                 stage_out.push(builder.add_net(&style.out_name, NetKind::Output));
             } else {
-                stage_out.push(builder.add_net(format!("{}s{k}", style.net_prefix), NetKind::Internal));
+                stage_out
+                    .push(builder.add_net(format!("{}s{k}", style.net_prefix), NetKind::Internal));
             }
         }
         let vdd = builder.add_net(&style.vdd_name, NetKind::Power);
@@ -368,13 +372,7 @@ impl<'a> Emitter<'a> {
         }
     }
 
-    fn internal_net(
-        &mut self,
-        stage: usize,
-        kind: MosKind,
-        path: &[u16],
-        fresh: bool,
-    ) -> NetId {
+    fn internal_net(&mut self, stage: usize, kind: MosKind, path: &[u16], fresh: bool) -> NetId {
         if !fresh {
             let key = (stage, kind, path.to_vec());
             if let Some(&net) = self.shared_nets.get(&key) {
@@ -403,7 +401,7 @@ impl<'a> Emitter<'a> {
         top: NetId,
         bottom: NetId,
         stage: usize,
-        
+
         fresh: bool,
     ) {
         let mut path = Vec::new();
@@ -418,7 +416,7 @@ impl<'a> Emitter<'a> {
         top: NetId,
         bottom: NetId,
         stage: usize,
-        
+
         fresh: bool,
         path: &mut Vec<u16>,
     ) {
@@ -496,21 +494,10 @@ impl<'a> Emitter<'a> {
     }
 }
 
-/// Deterministic Fisher-Yates using a splitmix64 stream (avoids pulling the
-/// full `rand` API into the hot path).
+/// Deterministic Fisher-Yates over the shared workspace PRNG.
 fn shuffle<T>(items: &mut [T], seed: u64) {
-    let mut state = seed.wrapping_add(0x9E3779B97F4A7C15);
-    let mut next = move || {
-        state = state.wrapping_add(0x9E3779B97F4A7C15);
-        let mut z = state;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
-        z ^ (z >> 31)
-    };
-    for i in (1..items.len()).rev() {
-        let j = (next() % (i as u64 + 1)) as usize;
-        items.swap(i, j);
-    }
+    use ca_rng::Rng as _;
+    ca_rng::SplitMix64::new(seed).shuffle(items);
 }
 
 #[cfg(test)]
@@ -518,12 +505,23 @@ mod tests {
     use super::*;
 
     fn nand2_plan() -> StagePlan {
-        StagePlan::single(2, StageExpr::And(vec![StageExpr::pin(0), StageExpr::pin(1)])).unwrap()
+        StagePlan::single(
+            2,
+            StageExpr::And(vec![StageExpr::pin(0), StageExpr::pin(1)]),
+        )
+        .unwrap()
     }
 
     #[test]
     fn nand2_has_four_transistors() {
-        let s = synthesize("NAND2", &nand2_plan(), 1, DriveStyle::SharedNets, &NetlistStyle::default()).unwrap();
+        let s = synthesize(
+            "NAND2",
+            &nand2_plan(),
+            1,
+            DriveStyle::SharedNets,
+            &NetlistStyle::default(),
+        )
+        .unwrap();
         assert_eq!(s.cell.num_transistors(), 4);
         assert_eq!(s.cell.num_inputs(), 2);
         // Pull-down is a series chain: exactly one internal net.
@@ -538,17 +536,28 @@ mod tests {
 
     #[test]
     fn nand2_function_is_nand() {
-        let s = synthesize("NAND2", &nand2_plan(), 1, DriveStyle::SharedNets, &NetlistStyle::default()).unwrap();
-        assert_eq!(
-            s.function.truth_table(2),
-            vec![true, true, true, false]
-        );
+        let s = synthesize(
+            "NAND2",
+            &nand2_plan(),
+            1,
+            DriveStyle::SharedNets,
+            &NetlistStyle::default(),
+        )
+        .unwrap();
+        assert_eq!(s.function.truth_table(2), vec![true, true, true, false]);
     }
 
     #[test]
     fn drive_2_shared_duplicates_in_place() {
         let plan = nand2_plan();
-        let s = synthesize("NAND2X2", &plan, 2, DriveStyle::SharedNets, &NetlistStyle::default()).unwrap();
+        let s = synthesize(
+            "NAND2X2",
+            &plan,
+            2,
+            DriveStyle::SharedNets,
+            &NetlistStyle::default(),
+        )
+        .unwrap();
         assert_eq!(s.cell.num_transistors(), 8);
         // SharedNets keeps one internal pull-down node (the "red net").
         let internals = s
@@ -563,7 +572,14 @@ mod tests {
     #[test]
     fn drive_2_split_adds_private_nodes() {
         let plan = nand2_plan();
-        let s = synthesize("NAND2X2S", &plan, 2, DriveStyle::SplitFingers, &NetlistStyle::default()).unwrap();
+        let s = synthesize(
+            "NAND2X2S",
+            &plan,
+            2,
+            DriveStyle::SplitFingers,
+            &NetlistStyle::default(),
+        )
+        .unwrap();
         assert_eq!(s.cell.num_transistors(), 8);
         let internals = s
             .cell
@@ -585,7 +601,14 @@ mod tests {
             ],
         )
         .unwrap();
-        let s = synthesize("AND2", &plan, 1, DriveStyle::SharedNets, &NetlistStyle::default()).unwrap();
+        let s = synthesize(
+            "AND2",
+            &plan,
+            1,
+            DriveStyle::SharedNets,
+            &NetlistStyle::default(),
+        )
+        .unwrap();
         assert_eq!(s.cell.num_transistors(), 6);
         assert_eq!(s.function.truth_table(2), vec![false, false, false, true]);
     }
@@ -601,7 +624,14 @@ mod tests {
     #[test]
     fn shuffle_changes_order_but_not_structure() {
         let plan = nand2_plan();
-        let base = synthesize("NAND2", &plan, 1, DriveStyle::SharedNets, &NetlistStyle::default()).unwrap();
+        let base = synthesize(
+            "NAND2",
+            &plan,
+            1,
+            DriveStyle::SharedNets,
+            &NetlistStyle::default(),
+        )
+        .unwrap();
         let style = NetlistStyle {
             shuffle_seed: Some(42),
             ..NetlistStyle::default()
@@ -635,13 +665,27 @@ mod tests {
         )
         .unwrap();
         assert_eq!(plan.num_transistors(), 8);
-        let s = synthesize("AO21", &plan, 1, DriveStyle::SharedNets, &NetlistStyle::default()).unwrap();
+        let s = synthesize(
+            "AO21",
+            &plan,
+            1,
+            DriveStyle::SharedNets,
+            &NetlistStyle::default(),
+        )
+        .unwrap();
         assert_eq!(s.cell.num_transistors(), 8);
     }
 
     #[test]
     fn round_trips_through_spice() {
-        let s = synthesize("NAND2", &nand2_plan(), 1, DriveStyle::SharedNets, &NetlistStyle::default()).unwrap();
+        let s = synthesize(
+            "NAND2",
+            &nand2_plan(),
+            1,
+            DriveStyle::SharedNets,
+            &NetlistStyle::default(),
+        )
+        .unwrap();
         let text = crate::writer::to_spice(&s.cell);
         let parsed = crate::spice::parse_cell(&text).unwrap();
         assert_eq!(parsed, s.cell);

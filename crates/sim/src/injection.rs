@@ -7,11 +7,11 @@
 //! evaluated in the paper's experiments).
 
 use ca_netlist::{NetId, Terminal, TransistorId};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A single cell-internal defect to inject, or nothing (golden).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Injection {
     /// Defect-free simulation.
     None,

@@ -40,11 +40,14 @@
 //! # }
 //! ```
 
+pub mod budget;
 pub mod injection;
 pub mod simulator;
 pub mod solver;
 pub mod values;
 
+pub use budget::{BudgetClock, SimBudget, SimError};
 pub use injection::Injection;
 pub use simulator::{detection_row, DetectionPolicy, SimResult, Simulator};
+pub use solver::SolveOutcome;
 pub use values::{Stimulus, Value, Wave};

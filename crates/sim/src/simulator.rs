@@ -1,9 +1,9 @@
 //! Public simulation API: golden and defective cell simulation, detection.
 
+use crate::budget::{SimBudget, SimError};
 use crate::injection::Injection;
-use crate::solver::CellGraph;
+use crate::solver::{CellGraph, SolveOutcome};
 use crate::values::{Stimulus, Value, Wave};
-use serde::{Deserialize, Serialize};
 use ca_netlist::{Cell, NetId};
 
 /// How unknown faulty responses count towards detection.
@@ -11,7 +11,8 @@ use ca_netlist::{Cell, NetId};
 /// The default matches industrial practice: a *driven* conflict (rail
 /// fight) is observable and counts as detected, a *floating* node cannot be
 /// relied upon by the tester and does not.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct DetectionPolicy {
     /// Whether a faulty [`Value::Xd`] (fight) counts as detected.
     pub driven_x_detects: bool,
@@ -143,6 +144,17 @@ impl<'c> Simulator<'c> {
         }
     }
 
+    /// Simulator with `injection` applied and the solver iteration cap
+    /// taken from `budget` (other budget axes are enforced by the
+    /// characterization layers, not per-stimulus simulation).
+    pub fn with_budget(cell: &'c Cell, injection: Injection, budget: &SimBudget) -> Simulator<'c> {
+        let mut graph = CellGraph::new(cell, injection);
+        if let Some(limit) = budget.max_solver_iterations {
+            graph = graph.with_max_iterations(limit);
+        }
+        Simulator { cell, graph }
+    }
+
     /// The simulated cell.
     pub fn cell(&self) -> &Cell {
         self.cell
@@ -173,6 +185,57 @@ impl<'c> Simulator<'c> {
         let phase2 = self.graph.solve_phase(&final_inputs, &stored);
         SimResult {
             phases: vec![phase1, phase2],
+        }
+    }
+
+    /// Simulates `stimulus`, reporting non-convergence as an error
+    /// instead of conservatively forcing unstable nets to `X`.
+    ///
+    /// This is the right entry point for *golden* simulation: a
+    /// defect-free cell that oscillates (or exhausts a reduced solver
+    /// budget) has no meaningful truth table, and characterizing it
+    /// against silently X-forced responses would produce a garbage model.
+    /// Faulty simulation should keep using [`Simulator::run`], where
+    /// X-forcing is the correct conservative semantics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stimulus pin count does not match the cell.
+    pub fn try_run(&self, stimulus: &Stimulus) -> Result<SimResult, SimError> {
+        assert_eq!(
+            stimulus.num_pins(),
+            self.cell.num_inputs(),
+            "stimulus pin count mismatch for cell `{}`",
+            self.cell.name()
+        );
+        let fresh = vec![Value::Xf; self.cell.nets().len()];
+        let initial: Vec<bool> = stimulus.waves().iter().map(|w| w.initial()).collect();
+        let phase1 = self.checked_phase(&initial, &fresh)?;
+        if stimulus.is_static() {
+            return Ok(SimResult {
+                phases: vec![phase1],
+            });
+        }
+        let stored: Vec<Value> = phase1.iter().map(|v| v.retained()).collect();
+        let final_inputs: Vec<bool> = stimulus.waves().iter().map(|w| w.final_value()).collect();
+        let phase2 = self.checked_phase(&final_inputs, &stored)?;
+        Ok(SimResult {
+            phases: vec![phase1, phase2],
+        })
+    }
+
+    fn checked_phase(&self, inputs: &[bool], stored: &[Value]) -> Result<Vec<Value>, SimError> {
+        match self.graph.solve_phase_checked(inputs, stored) {
+            SolveOutcome::Converged(values) => Ok(values),
+            SolveOutcome::Oscillated { nets, .. } => Err(SimError::Oscillated {
+                nets: nets
+                    .into_iter()
+                    .map(|n| self.cell.nets()[n.index()].name().to_string())
+                    .collect(),
+            }),
+            SolveOutcome::BudgetExceeded { .. } => Err(SimError::BudgetExceeded {
+                resource: "solver iterations",
+            }),
         }
     }
 
@@ -346,6 +409,66 @@ MN1 net0 B VSS VSS nch
         assert_eq!(seq[0][z], Value::One);
         assert_eq!(seq[1][z], Value::One);
         assert_eq!(seq[2][z], Value::One);
+    }
+
+    #[test]
+    fn try_run_matches_run_on_stable_cells() {
+        let cell = spice::parse_cell(NAND2).unwrap();
+        let sim = Simulator::new(&cell);
+        for p in 0..4u32 {
+            let s = Stimulus::static_pattern(2, p);
+            let checked = sim.try_run(&s).expect("NAND2 converges");
+            assert_eq!(checked, sim.run(&s));
+        }
+    }
+
+    // With A=0 the pull-up charges Z; raising A opens the pull-up and
+    // closes the foot of Z's self-gated pull-down, so the stored 1
+    // discharges, floats back and discharges again: a binary oscillation
+    // in the second phase of the rising stimulus.
+    const RING: &str = "\
+.SUBCKT OSC A Z VDD VSS
+MP0 Z A VDD VDD pch
+MN0 Z Z net0 VSS nch
+MN1 net0 A VSS VSS nch
+.ENDS
+";
+
+    #[test]
+    fn try_run_reports_oscillation_by_net_name() {
+        let cell = spice::parse_cell(RING).unwrap();
+        let sim = Simulator::new(&cell);
+        let err = sim
+            .try_run(&Stimulus::from_patterns(1, 0b0, 0b1))
+            .expect_err("armed feedback loop oscillates");
+        match err {
+            crate::SimError::Oscillated { nets } => {
+                assert!(nets.contains(&"Z".to_string()), "nets: {nets:?}")
+            }
+            other => panic!("expected oscillation, got {other}"),
+        }
+    }
+
+    #[test]
+    fn budgeted_simulator_reports_exhaustion() {
+        let cell = spice::parse_cell(RING).unwrap();
+        let budget = crate::SimBudget {
+            max_solver_iterations: Some(2),
+            ..crate::SimBudget::unlimited()
+        };
+        let sim = Simulator::with_budget(&cell, Injection::None, &budget);
+        let err = sim
+            .try_run(&Stimulus::from_patterns(1, 0b0, 0b1))
+            .expect_err("budget too small to converge");
+        assert_eq!(
+            err,
+            crate::SimError::BudgetExceeded {
+                resource: "solver iterations"
+            }
+        );
+        // run() still X-forces under the same budget.
+        let result = sim.run(&Stimulus::from_patterns(1, 0b0, 0b1));
+        assert!(result.final_value(cell.output()).is_x());
     }
 
     #[test]

@@ -19,9 +19,58 @@
 
 use crate::injection::Injection;
 use crate::values::Value;
-use ca_netlist::{Cell, MosKind, Terminal};
+use ca_netlist::{Cell, MosKind, NetId, Terminal};
 
 const INF: u32 = u32::MAX;
+
+/// Result of solving one phase with [`CellGraph::solve_phase_checked`].
+///
+/// Non-convergence is a first-class outcome: callers decide whether an
+/// oscillation is an error (golden simulation must converge) or
+/// acceptable conservatism (faulty simulation may force the unstable
+/// nets to [`Value::Xd`], which is what [`CellGraph::solve_phase`] does).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolveOutcome {
+    /// A fixpoint was reached; these are the steady-state net values.
+    Converged(Vec<Value>),
+    /// The natural iteration bound was exhausted without a fixpoint: the
+    /// phase genuinely oscillates. `nets` lists the unstable nets;
+    /// `values` is the last iterate with those nets forced to
+    /// [`Value::Xd`].
+    Oscillated {
+        values: Vec<Value>,
+        nets: Vec<NetId>,
+    },
+    /// An externally reduced iteration budget ran out before the natural
+    /// bound; convergence is unknown. `values` is the last iterate with
+    /// the still-changing nets forced to [`Value::Xd`].
+    BudgetExceeded { values: Vec<Value> },
+}
+
+impl SolveOutcome {
+    /// The net values, regardless of how the solve ended.
+    pub fn values(&self) -> &[Value] {
+        match self {
+            SolveOutcome::Converged(v) => v,
+            SolveOutcome::Oscillated { values, .. } => values,
+            SolveOutcome::BudgetExceeded { values } => values,
+        }
+    }
+
+    /// Consumes the outcome, returning the net values.
+    pub fn into_values(self) -> Vec<Value> {
+        match self {
+            SolveOutcome::Converged(v) => v,
+            SolveOutcome::Oscillated { values, .. } => values,
+            SolveOutcome::BudgetExceeded { values } => values,
+        }
+    }
+
+    /// Whether the solve reached a fixpoint.
+    pub fn converged(&self) -> bool {
+        matches!(self, SolveOutcome::Converged(_))
+    }
+}
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Conduction {
@@ -104,13 +153,33 @@ impl<'c> CellGraph<'c> {
             edges,
             adj,
             forced_off,
-            max_iterations: 2 * n_nets + 8,
+            max_iterations: CellGraph::natural_iterations(n_nets),
         }
     }
 
-    /// Solves one phase. `inputs[i]` is the level on primary input `i`;
-    /// `stored` is the charge each net holds at the start of the phase.
-    pub fn solve_phase(&self, inputs: &[bool], stored: &[Value]) -> Vec<Value> {
+    /// The natural fixpoint iteration bound for a cell with `n_nets`
+    /// nets: large enough that non-convergence implies true oscillation.
+    pub fn natural_iterations(n_nets: usize) -> usize {
+        2 * n_nets + 8
+    }
+
+    /// Caps the solver's fixpoint iterations at `limit` (floored at 1).
+    /// A cap below the natural bound makes non-convergence report
+    /// [`SolveOutcome::BudgetExceeded`] instead of `Oscillated`.
+    pub fn with_max_iterations(mut self, limit: usize) -> CellGraph<'c> {
+        self.max_iterations = limit.max(1);
+        self
+    }
+
+    /// The current fixpoint iteration cap.
+    pub fn max_iterations(&self) -> usize {
+        self.max_iterations
+    }
+
+    /// Solves one phase, reporting convergence as a first-class outcome.
+    /// `inputs[i]` is the level on primary input `i`; `stored` is the
+    /// charge each net holds at the start of the phase.
+    pub fn solve_phase_checked(&self, inputs: &[bool], stored: &[Value]) -> SolveOutcome {
         debug_assert_eq!(inputs.len(), self.cell.num_inputs());
         debug_assert_eq!(stored.len(), self.cell.nets().len());
         let mut values = stored.to_vec();
@@ -121,22 +190,43 @@ impl<'c> CellGraph<'c> {
             let conduction = self.conduction(&values);
             let next = self.net_values(&conduction, inputs, stored);
             if next == values {
-                return next;
+                return SolveOutcome::Converged(next);
             }
             if iteration + 1 == self.max_iterations {
-                // Oscillation: conservatively mark the unstable nets as
-                // driven-unknown.
+                // No fixpoint within the cap: conservatively mark the
+                // unstable nets as driven-unknown and report why.
+                let mut unstable = Vec::new();
                 let mut forced = next;
                 for (i, v) in forced.iter_mut().enumerate() {
                     if previous[i] != values[i] {
                         *v = Value::Xd;
+                        unstable.push(NetId(i as u32));
                     }
                 }
-                return forced;
+                let natural = CellGraph::natural_iterations(self.cell.nets().len());
+                return if self.max_iterations < natural {
+                    SolveOutcome::BudgetExceeded { values: forced }
+                } else {
+                    SolveOutcome::Oscillated {
+                        values: forced,
+                        nets: unstable,
+                    }
+                };
             }
             previous = std::mem::replace(&mut values, next);
         }
-        values
+        SolveOutcome::Converged(values)
+    }
+
+    /// Solves one phase, forcing unstable nets to [`Value::Xd`] on
+    /// non-convergence — the historical conservative behaviour, correct
+    /// for *faulty* simulation where an injected defect may create a
+    /// ring. Golden simulation should use [`solve_phase_checked`] so
+    /// oscillation surfaces as an error instead.
+    ///
+    /// [`solve_phase_checked`]: CellGraph::solve_phase_checked
+    pub fn solve_phase(&self, inputs: &[bool], stored: &[Value]) -> Vec<Value> {
+        self.solve_phase_checked(inputs, stored).into_values()
     }
 
     fn apply_drivers(&self, values: &mut [Value], inputs: &[bool]) {
@@ -401,6 +491,69 @@ MN0 Z Z VSS VSS nch
             "got {}",
             values[cell.output().index()]
         );
+    }
+
+    #[test]
+    fn checked_solve_reports_convergence() {
+        let cell = spice::parse_cell(NAND2).unwrap();
+        let graph = CellGraph::new(&cell, Injection::None);
+        let outcome = graph.solve_phase_checked(&[true, true], &fresh(&cell));
+        assert!(outcome.converged());
+        assert_eq!(outcome.values()[cell.output().index()], Value::Zero);
+    }
+
+    // A genuine binary oscillator: with A=1 the pull-up is off and Z
+    // gates its own pull-down, so a stored 1 on Z discharges, floats
+    // back to the stored 1, and discharges again — a period-2 cycle the
+    // fixpoint iteration can never escape.
+    const RING: &str = "\
+.SUBCKT OSC A Z VDD VSS
+MP0 Z A VDD VDD pch
+MN0 Z Z net0 VSS nch
+MN1 net0 A VSS VSS nch
+.ENDS
+";
+
+    fn ring_armed(cell: &Cell) -> Vec<Value> {
+        let mut stored = fresh(cell);
+        stored[cell.output().index()] = Value::One;
+        stored
+    }
+
+    #[test]
+    fn checked_solve_reports_oscillation_with_nets() {
+        let cell = spice::parse_cell(RING).unwrap();
+        let graph = CellGraph::new(&cell, Injection::None);
+        match graph.solve_phase_checked(&[true], &ring_armed(&cell)) {
+            SolveOutcome::Oscillated { values, nets } => {
+                assert!(nets.contains(&cell.output()), "unstable nets: {nets:?}");
+                assert!(values[cell.output().index()].is_x());
+            }
+            other => panic!("expected oscillation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reduced_iteration_budget_reports_budget_exceeded() {
+        let cell = spice::parse_cell(RING).unwrap();
+        let graph = CellGraph::new(&cell, Injection::None).with_max_iterations(2);
+        match graph.solve_phase_checked(&[true], &ring_armed(&cell)) {
+            SolveOutcome::BudgetExceeded { values } => {
+                assert!(values[cell.output().index()].is_x());
+            }
+            other => panic!("expected budget exhaustion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reduced_budget_still_converges_on_easy_cells() {
+        // NAND2 settles in a couple of iterations; a tight budget that is
+        // still sufficient must report Converged, not BudgetExceeded.
+        let cell = spice::parse_cell(NAND2).unwrap();
+        let graph = CellGraph::new(&cell, Injection::None).with_max_iterations(6);
+        let outcome = graph.solve_phase_checked(&[false, true], &fresh(&cell));
+        assert!(outcome.converged());
+        assert_eq!(outcome.values()[cell.output().index()], Value::One);
     }
 
     #[test]

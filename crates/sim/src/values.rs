@@ -9,11 +9,11 @@
 //! disturbed storage node, [`Value::Xf`]) — the distinction decides
 //! detectability (see [`crate::simulator::DetectionPolicy`]).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Steady-state value of a net at the end of a phase.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Value {
     /// Driven to ground.
     Zero,
@@ -70,7 +70,8 @@ impl fmt::Display for Value {
 }
 
 /// Per-pin waveform of a (possibly two-phase) stimulus.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Wave {
     /// Constant 0.
     Zero,
@@ -133,7 +134,8 @@ impl fmt::Display for Wave {
 }
 
 /// A complete input stimulus: one [`Wave`] per primary input pin.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Stimulus {
     waves: Vec<Wave>,
 }

@@ -27,7 +27,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 2. Train one random forest per (inputs, transistors) group.
     let flow = MlFlow::train(&corpus, MlFlowParams::quick())?;
-    println!("trained {} groups: {:?}", flow.group_keys().len(), flow.group_keys());
+    println!(
+        "trained {} groups: {:?}",
+        flow.group_keys().len(),
+        flow.group_keys()
+    );
 
     // 3. Predict CA models for the other technology and score them
     //    against the conventional flow's ground truth.
@@ -36,8 +40,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut above_97 = 0;
     println!("\ncell                        accuracy");
     for lc in &eval_lib.cells {
-        let prepared =
-            PreparedCell::characterize(lc.cell.clone(), GenerateOptions::default())?;
+        let prepared = PreparedCell::characterize(lc.cell.clone(), GenerateOptions::default())?;
         if !flow.covers(&prepared) {
             continue;
         }

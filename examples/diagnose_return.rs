@@ -93,7 +93,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             );
         }
         if perfect.len() <= 1 {
-            let top = perfect.first().ok_or("no candidate explains the signature")?;
+            let top = perfect
+                .first()
+                .ok_or("no candidate explains the signature")?;
             let hit = model.classes[top.class]
                 .members
                 .iter()

@@ -44,7 +44,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
-    println!("\nFig. 4b — partial CA-matrix (first 8 of {} rows):", activation.stimuli().len());
+    println!(
+        "\nFig. 4b — partial CA-matrix (first 8 of {} rows):",
+        activation.stimuli().len()
+    );
     print!("   A  B |  Z |");
     for &t in canonical.order() {
         print!("{:>5}", canonical.name(t));
@@ -52,7 +55,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!();
     for (si, stim) in activation.stimuli().iter().enumerate().take(8) {
         let w = stim.waves();
-        print!("   {}  {} |  {} |", w[0], w[1], activation.output_waves()[si]);
+        print!(
+            "   {}  {} |  {} |",
+            w[0],
+            w[1],
+            activation.output_waves()[si]
+        );
         for &t in canonical.order() {
             let wave = activation.transistor_wave(si, t);
             let cellstr = if cell.transistor(t).kind() == MosKind::Pmos {

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Hermetic CI gate: build, test, format and lint the whole workspace
+# without touching the network. Every dependency is in-tree, so
+# `--offline` must always succeed — if it doesn't, someone broke the
+# hermetic-build guarantee and this script is the tripwire.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build (release, offline)"
+cargo build --release --workspace --offline
+
+echo "==> cargo test (offline)"
+cargo test -q --workspace --offline
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (all targets, warnings are errors)"
+cargo clippy --all-targets --workspace --offline -- -D warnings
+
+echo "==> OK"

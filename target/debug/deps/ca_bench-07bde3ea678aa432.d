@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ca_bench-07bde3ea678aa432.d: crates/bench/src/main.rs
+
+/root/repo/target/debug/deps/ca_bench-07bde3ea678aa432: crates/bench/src/main.rs
+
+crates/bench/src/main.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ca_bench-b1e2ffdabab1e932.d: crates/bench/src/lib.rs crates/bench/src/corpus.rs crates/bench/src/microbench.rs crates/bench/src/report.rs crates/bench/src/tables.rs
+
+/root/repo/target/debug/deps/ca_bench-b1e2ffdabab1e932: crates/bench/src/lib.rs crates/bench/src/corpus.rs crates/bench/src/microbench.rs crates/bench/src/report.rs crates/bench/src/tables.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/corpus.rs:
+crates/bench/src/microbench.rs:
+crates/bench/src/report.rs:
+crates/bench/src/tables.rs:

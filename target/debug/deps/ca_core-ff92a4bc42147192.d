@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/ca_core-ff92a4bc42147192.d: crates/core/src/lib.rs crates/core/src/activation.rs crates/core/src/canonical.rs crates/core/src/charlib.rs crates/core/src/cost.rs crates/core/src/error.rs crates/core/src/flow.rs crates/core/src/matrix.rs crates/core/src/robust.rs
+
+/root/repo/target/debug/deps/libca_core-ff92a4bc42147192.rlib: crates/core/src/lib.rs crates/core/src/activation.rs crates/core/src/canonical.rs crates/core/src/charlib.rs crates/core/src/cost.rs crates/core/src/error.rs crates/core/src/flow.rs crates/core/src/matrix.rs crates/core/src/robust.rs
+
+/root/repo/target/debug/deps/libca_core-ff92a4bc42147192.rmeta: crates/core/src/lib.rs crates/core/src/activation.rs crates/core/src/canonical.rs crates/core/src/charlib.rs crates/core/src/cost.rs crates/core/src/error.rs crates/core/src/flow.rs crates/core/src/matrix.rs crates/core/src/robust.rs
+
+crates/core/src/lib.rs:
+crates/core/src/activation.rs:
+crates/core/src/canonical.rs:
+crates/core/src/charlib.rs:
+crates/core/src/cost.rs:
+crates/core/src/error.rs:
+crates/core/src/flow.rs:
+crates/core/src/matrix.rs:
+crates/core/src/robust.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/ca_defects-5a9db699a988408d.d: crates/defects/src/lib.rs crates/defects/src/classes.rs crates/defects/src/diagnosis.rs crates/defects/src/io.rs crates/defects/src/model.rs crates/defects/src/patterns.rs crates/defects/src/table.rs crates/defects/src/universe.rs
+
+/root/repo/target/debug/deps/libca_defects-5a9db699a988408d.rlib: crates/defects/src/lib.rs crates/defects/src/classes.rs crates/defects/src/diagnosis.rs crates/defects/src/io.rs crates/defects/src/model.rs crates/defects/src/patterns.rs crates/defects/src/table.rs crates/defects/src/universe.rs
+
+/root/repo/target/debug/deps/libca_defects-5a9db699a988408d.rmeta: crates/defects/src/lib.rs crates/defects/src/classes.rs crates/defects/src/diagnosis.rs crates/defects/src/io.rs crates/defects/src/model.rs crates/defects/src/patterns.rs crates/defects/src/table.rs crates/defects/src/universe.rs
+
+crates/defects/src/lib.rs:
+crates/defects/src/classes.rs:
+crates/defects/src/diagnosis.rs:
+crates/defects/src/io.rs:
+crates/defects/src/model.rs:
+crates/defects/src/patterns.rs:
+crates/defects/src/table.rs:
+crates/defects/src/universe.rs:

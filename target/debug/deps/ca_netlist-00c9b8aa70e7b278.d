@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/ca_netlist-00c9b8aa70e7b278.d: crates/netlist/src/lib.rs crates/netlist/src/corrupt.rs crates/netlist/src/error.rs crates/netlist/src/expr.rs crates/netlist/src/library.rs crates/netlist/src/lint.rs crates/netlist/src/model.rs crates/netlist/src/spice.rs crates/netlist/src/synth.rs crates/netlist/src/writer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libca_netlist-00c9b8aa70e7b278.rmeta: crates/netlist/src/lib.rs crates/netlist/src/corrupt.rs crates/netlist/src/error.rs crates/netlist/src/expr.rs crates/netlist/src/library.rs crates/netlist/src/lint.rs crates/netlist/src/model.rs crates/netlist/src/spice.rs crates/netlist/src/synth.rs crates/netlist/src/writer.rs Cargo.toml
+
+crates/netlist/src/lib.rs:
+crates/netlist/src/corrupt.rs:
+crates/netlist/src/error.rs:
+crates/netlist/src/expr.rs:
+crates/netlist/src/library.rs:
+crates/netlist/src/lint.rs:
+crates/netlist/src/model.rs:
+crates/netlist/src/spice.rs:
+crates/netlist/src/synth.rs:
+crates/netlist/src/writer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/ca_netlist-09ba2d851a787563.d: crates/netlist/src/lib.rs crates/netlist/src/corrupt.rs crates/netlist/src/error.rs crates/netlist/src/expr.rs crates/netlist/src/library.rs crates/netlist/src/lint.rs crates/netlist/src/model.rs crates/netlist/src/spice.rs crates/netlist/src/synth.rs crates/netlist/src/writer.rs
+
+/root/repo/target/debug/deps/libca_netlist-09ba2d851a787563.rlib: crates/netlist/src/lib.rs crates/netlist/src/corrupt.rs crates/netlist/src/error.rs crates/netlist/src/expr.rs crates/netlist/src/library.rs crates/netlist/src/lint.rs crates/netlist/src/model.rs crates/netlist/src/spice.rs crates/netlist/src/synth.rs crates/netlist/src/writer.rs
+
+/root/repo/target/debug/deps/libca_netlist-09ba2d851a787563.rmeta: crates/netlist/src/lib.rs crates/netlist/src/corrupt.rs crates/netlist/src/error.rs crates/netlist/src/expr.rs crates/netlist/src/library.rs crates/netlist/src/lint.rs crates/netlist/src/model.rs crates/netlist/src/spice.rs crates/netlist/src/synth.rs crates/netlist/src/writer.rs
+
+crates/netlist/src/lib.rs:
+crates/netlist/src/corrupt.rs:
+crates/netlist/src/error.rs:
+crates/netlist/src/expr.rs:
+crates/netlist/src/library.rs:
+crates/netlist/src/lint.rs:
+crates/netlist/src/model.rs:
+crates/netlist/src/spice.rs:
+crates/netlist/src/synth.rs:
+crates/netlist/src/writer.rs:

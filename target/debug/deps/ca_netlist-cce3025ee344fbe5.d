@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/ca_netlist-cce3025ee344fbe5.d: crates/netlist/src/lib.rs crates/netlist/src/corrupt.rs crates/netlist/src/error.rs crates/netlist/src/expr.rs crates/netlist/src/library.rs crates/netlist/src/lint.rs crates/netlist/src/model.rs crates/netlist/src/spice.rs crates/netlist/src/synth.rs crates/netlist/src/writer.rs
+
+/root/repo/target/debug/deps/ca_netlist-cce3025ee344fbe5: crates/netlist/src/lib.rs crates/netlist/src/corrupt.rs crates/netlist/src/error.rs crates/netlist/src/expr.rs crates/netlist/src/library.rs crates/netlist/src/lint.rs crates/netlist/src/model.rs crates/netlist/src/spice.rs crates/netlist/src/synth.rs crates/netlist/src/writer.rs
+
+crates/netlist/src/lib.rs:
+crates/netlist/src/corrupt.rs:
+crates/netlist/src/error.rs:
+crates/netlist/src/expr.rs:
+crates/netlist/src/library.rs:
+crates/netlist/src/lint.rs:
+crates/netlist/src/model.rs:
+crates/netlist/src/spice.rs:
+crates/netlist/src/synth.rs:
+crates/netlist/src/writer.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ca_rng-3217bd0c1400376e.d: crates/rng/src/lib.rs
+
+/root/repo/target/debug/deps/ca_rng-3217bd0c1400376e: crates/rng/src/lib.rs
+
+crates/rng/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ca_rng-7c216ec9f5b78fae.d: crates/rng/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libca_rng-7c216ec9f5b78fae.rmeta: crates/rng/src/lib.rs Cargo.toml
+
+crates/rng/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

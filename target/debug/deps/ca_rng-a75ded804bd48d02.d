@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ca_rng-a75ded804bd48d02.d: crates/rng/src/lib.rs
+
+/root/repo/target/debug/deps/libca_rng-a75ded804bd48d02.rlib: crates/rng/src/lib.rs
+
+/root/repo/target/debug/deps/libca_rng-a75ded804bd48d02.rmeta: crates/rng/src/lib.rs
+
+crates/rng/src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ca_sim-0eae87a74f7d2230.d: crates/sim/src/lib.rs crates/sim/src/budget.rs crates/sim/src/injection.rs crates/sim/src/simulator.rs crates/sim/src/solver.rs crates/sim/src/values.rs
+
+/root/repo/target/debug/deps/ca_sim-0eae87a74f7d2230: crates/sim/src/lib.rs crates/sim/src/budget.rs crates/sim/src/injection.rs crates/sim/src/simulator.rs crates/sim/src/solver.rs crates/sim/src/values.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/budget.rs:
+crates/sim/src/injection.rs:
+crates/sim/src/simulator.rs:
+crates/sim/src/solver.rs:
+crates/sim/src/values.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/ca_sim-8a108befd38078eb.d: crates/sim/src/lib.rs crates/sim/src/budget.rs crates/sim/src/injection.rs crates/sim/src/simulator.rs crates/sim/src/solver.rs crates/sim/src/values.rs
+
+/root/repo/target/debug/deps/libca_sim-8a108befd38078eb.rlib: crates/sim/src/lib.rs crates/sim/src/budget.rs crates/sim/src/injection.rs crates/sim/src/simulator.rs crates/sim/src/solver.rs crates/sim/src/values.rs
+
+/root/repo/target/debug/deps/libca_sim-8a108befd38078eb.rmeta: crates/sim/src/lib.rs crates/sim/src/budget.rs crates/sim/src/injection.rs crates/sim/src/simulator.rs crates/sim/src/solver.rs crates/sim/src/values.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/budget.rs:
+crates/sim/src/injection.rs:
+crates/sim/src/simulator.rs:
+crates/sim/src/solver.rs:
+crates/sim/src/values.rs:

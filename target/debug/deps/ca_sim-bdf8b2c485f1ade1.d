@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/ca_sim-bdf8b2c485f1ade1.d: crates/sim/src/lib.rs crates/sim/src/budget.rs crates/sim/src/injection.rs crates/sim/src/simulator.rs crates/sim/src/solver.rs crates/sim/src/values.rs Cargo.toml
+
+/root/repo/target/debug/deps/libca_sim-bdf8b2c485f1ade1.rmeta: crates/sim/src/lib.rs crates/sim/src/budget.rs crates/sim/src/injection.rs crates/sim/src/simulator.rs crates/sim/src/solver.rs crates/sim/src/values.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/budget.rs:
+crates/sim/src/injection.rs:
+crates/sim/src/simulator.rs:
+crates/sim/src/solver.rs:
+crates/sim/src/values.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

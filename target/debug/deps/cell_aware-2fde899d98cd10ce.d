@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cell_aware-2fde899d98cd10ce.d: src/lib.rs
+
+/root/repo/target/debug/deps/libcell_aware-2fde899d98cd10ce.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libcell_aware-2fde899d98cd10ce.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cell_aware-317ff6084d8b8ee4.d: src/lib.rs
+
+/root/repo/target/debug/deps/cell_aware-317ff6084d8b8ee4: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/forest-9141b2e97586c79f.d: crates/bench/benches/forest.rs Cargo.toml
+
+/root/repo/target/debug/deps/libforest-9141b2e97586c79f.rmeta: crates/bench/benches/forest.rs Cargo.toml
+
+crates/bench/benches/forest.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

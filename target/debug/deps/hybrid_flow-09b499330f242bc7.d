@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hybrid_flow-09b499330f242bc7.d: crates/bench/benches/hybrid_flow.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhybrid_flow-09b499330f242bc7.rmeta: crates/bench/benches/hybrid_flow.rs Cargo.toml
+
+crates/bench/benches/hybrid_flow.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

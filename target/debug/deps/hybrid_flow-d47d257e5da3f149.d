@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hybrid_flow-d47d257e5da3f149.d: tests/hybrid_flow.rs
+
+/root/repo/target/debug/deps/hybrid_flow-d47d257e5da3f149: tests/hybrid_flow.rs
+
+tests/hybrid_flow.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ml_pipeline-c535e3ba0bc59f5e.d: tests/ml_pipeline.rs
+
+/root/repo/target/debug/deps/ml_pipeline-c535e3ba0bc59f5e: tests/ml_pipeline.rs
+
+tests/ml_pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/model_consumers-552c05a2c088f71c.d: tests/model_consumers.rs
+
+/root/repo/target/debug/deps/model_consumers-552c05a2c088f71c: tests/model_consumers.rs
+
+tests/model_consumers.rs:

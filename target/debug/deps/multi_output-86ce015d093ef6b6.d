@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/multi_output-86ce015d093ef6b6.d: tests/multi_output.rs
+
+/root/repo/target/debug/deps/multi_output-86ce015d093ef6b6: tests/multi_output.rs
+
+tests/multi_output.rs:

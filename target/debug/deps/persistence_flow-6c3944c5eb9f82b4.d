@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/persistence_flow-6c3944c5eb9f82b4.d: tests/persistence_flow.rs
+
+/root/repo/target/debug/deps/persistence_flow-6c3944c5eb9f82b4: tests/persistence_flow.rs
+
+tests/persistence_flow.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-702d6349d82a705d.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-702d6349d82a705d: tests/properties.rs
+
+tests/properties.rs:

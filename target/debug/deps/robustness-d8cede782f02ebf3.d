@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/robustness-d8cede782f02ebf3.d: tests/robustness.rs
+
+/root/repo/target/debug/deps/robustness-d8cede782f02ebf3: tests/robustness.rs
+
+tests/robustness.rs:

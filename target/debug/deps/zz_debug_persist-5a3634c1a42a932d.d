@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/zz_debug_persist-5a3634c1a42a932d.d: tests/zz_debug_persist.rs
+
+/root/repo/target/debug/deps/zz_debug_persist-5a3634c1a42a932d: tests/zz_debug_persist.rs
+
+tests/zz_debug_persist.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cross_technology-63925b75c348dacd.d: examples/cross_technology.rs
+
+/root/repo/target/debug/examples/cross_technology-63925b75c348dacd: examples/cross_technology.rs
+
+examples/cross_technology.rs:

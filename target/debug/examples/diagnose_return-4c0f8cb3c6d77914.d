@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/diagnose_return-4c0f8cb3c6d77914.d: examples/diagnose_return.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdiagnose_return-4c0f8cb3c6d77914.rmeta: examples/diagnose_return.rs Cargo.toml
+
+examples/diagnose_return.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/diagnose_return-808d8ceb3123f9e4.d: examples/diagnose_return.rs
+
+/root/repo/target/debug/examples/diagnose_return-808d8ceb3123f9e4: examples/diagnose_return.rs
+
+examples/diagnose_return.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/hybrid_generation-be45ded99d755b44.d: examples/hybrid_generation.rs
+
+/root/repo/target/debug/examples/hybrid_generation-be45ded99d755b44: examples/hybrid_generation.rs
+
+examples/hybrid_generation.rs:

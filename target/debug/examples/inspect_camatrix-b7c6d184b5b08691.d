@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/inspect_camatrix-b7c6d184b5b08691.d: examples/inspect_camatrix.rs
+
+/root/repo/target/debug/examples/inspect_camatrix-b7c6d184b5b08691: examples/inspect_camatrix.rs
+
+examples/inspect_camatrix.rs:

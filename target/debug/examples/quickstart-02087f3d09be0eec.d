@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-02087f3d09be0eec.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-02087f3d09be0eec: examples/quickstart.rs
+
+examples/quickstart.rs:

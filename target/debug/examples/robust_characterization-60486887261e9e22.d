@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/robust_characterization-60486887261e9e22.d: examples/robust_characterization.rs
+
+/root/repo/target/debug/examples/robust_characterization-60486887261e9e22: examples/robust_characterization.rs
+
+examples/robust_characterization.rs:

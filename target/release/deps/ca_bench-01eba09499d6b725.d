@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/ca_bench-01eba09499d6b725.d: crates/bench/src/lib.rs crates/bench/src/corpus.rs crates/bench/src/microbench.rs crates/bench/src/report.rs crates/bench/src/tables.rs
+
+/root/repo/target/release/deps/libca_bench-01eba09499d6b725.rlib: crates/bench/src/lib.rs crates/bench/src/corpus.rs crates/bench/src/microbench.rs crates/bench/src/report.rs crates/bench/src/tables.rs
+
+/root/repo/target/release/deps/libca_bench-01eba09499d6b725.rmeta: crates/bench/src/lib.rs crates/bench/src/corpus.rs crates/bench/src/microbench.rs crates/bench/src/report.rs crates/bench/src/tables.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/corpus.rs:
+crates/bench/src/microbench.rs:
+crates/bench/src/report.rs:
+crates/bench/src/tables.rs:

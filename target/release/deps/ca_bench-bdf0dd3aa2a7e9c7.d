@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ca_bench-bdf0dd3aa2a7e9c7.d: crates/bench/src/main.rs
+
+/root/repo/target/release/deps/ca_bench-bdf0dd3aa2a7e9c7: crates/bench/src/main.rs
+
+crates/bench/src/main.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/ca_core-997f5f5f7b21af7a.d: crates/core/src/lib.rs crates/core/src/activation.rs crates/core/src/canonical.rs crates/core/src/charlib.rs crates/core/src/cost.rs crates/core/src/error.rs crates/core/src/flow.rs crates/core/src/matrix.rs crates/core/src/robust.rs
+
+/root/repo/target/release/deps/libca_core-997f5f5f7b21af7a.rlib: crates/core/src/lib.rs crates/core/src/activation.rs crates/core/src/canonical.rs crates/core/src/charlib.rs crates/core/src/cost.rs crates/core/src/error.rs crates/core/src/flow.rs crates/core/src/matrix.rs crates/core/src/robust.rs
+
+/root/repo/target/release/deps/libca_core-997f5f5f7b21af7a.rmeta: crates/core/src/lib.rs crates/core/src/activation.rs crates/core/src/canonical.rs crates/core/src/charlib.rs crates/core/src/cost.rs crates/core/src/error.rs crates/core/src/flow.rs crates/core/src/matrix.rs crates/core/src/robust.rs
+
+crates/core/src/lib.rs:
+crates/core/src/activation.rs:
+crates/core/src/canonical.rs:
+crates/core/src/charlib.rs:
+crates/core/src/cost.rs:
+crates/core/src/error.rs:
+crates/core/src/flow.rs:
+crates/core/src/matrix.rs:
+crates/core/src/robust.rs:

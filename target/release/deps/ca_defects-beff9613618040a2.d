@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/ca_defects-beff9613618040a2.d: crates/defects/src/lib.rs crates/defects/src/classes.rs crates/defects/src/diagnosis.rs crates/defects/src/io.rs crates/defects/src/model.rs crates/defects/src/patterns.rs crates/defects/src/table.rs crates/defects/src/universe.rs
+
+/root/repo/target/release/deps/libca_defects-beff9613618040a2.rlib: crates/defects/src/lib.rs crates/defects/src/classes.rs crates/defects/src/diagnosis.rs crates/defects/src/io.rs crates/defects/src/model.rs crates/defects/src/patterns.rs crates/defects/src/table.rs crates/defects/src/universe.rs
+
+/root/repo/target/release/deps/libca_defects-beff9613618040a2.rmeta: crates/defects/src/lib.rs crates/defects/src/classes.rs crates/defects/src/diagnosis.rs crates/defects/src/io.rs crates/defects/src/model.rs crates/defects/src/patterns.rs crates/defects/src/table.rs crates/defects/src/universe.rs
+
+crates/defects/src/lib.rs:
+crates/defects/src/classes.rs:
+crates/defects/src/diagnosis.rs:
+crates/defects/src/io.rs:
+crates/defects/src/model.rs:
+crates/defects/src/patterns.rs:
+crates/defects/src/table.rs:
+crates/defects/src/universe.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/ca_netlist-5f0b1215d94e5de4.d: crates/netlist/src/lib.rs crates/netlist/src/corrupt.rs crates/netlist/src/error.rs crates/netlist/src/expr.rs crates/netlist/src/library.rs crates/netlist/src/lint.rs crates/netlist/src/model.rs crates/netlist/src/spice.rs crates/netlist/src/synth.rs crates/netlist/src/writer.rs
+
+/root/repo/target/release/deps/libca_netlist-5f0b1215d94e5de4.rlib: crates/netlist/src/lib.rs crates/netlist/src/corrupt.rs crates/netlist/src/error.rs crates/netlist/src/expr.rs crates/netlist/src/library.rs crates/netlist/src/lint.rs crates/netlist/src/model.rs crates/netlist/src/spice.rs crates/netlist/src/synth.rs crates/netlist/src/writer.rs
+
+/root/repo/target/release/deps/libca_netlist-5f0b1215d94e5de4.rmeta: crates/netlist/src/lib.rs crates/netlist/src/corrupt.rs crates/netlist/src/error.rs crates/netlist/src/expr.rs crates/netlist/src/library.rs crates/netlist/src/lint.rs crates/netlist/src/model.rs crates/netlist/src/spice.rs crates/netlist/src/synth.rs crates/netlist/src/writer.rs
+
+crates/netlist/src/lib.rs:
+crates/netlist/src/corrupt.rs:
+crates/netlist/src/error.rs:
+crates/netlist/src/expr.rs:
+crates/netlist/src/library.rs:
+crates/netlist/src/lint.rs:
+crates/netlist/src/model.rs:
+crates/netlist/src/spice.rs:
+crates/netlist/src/synth.rs:
+crates/netlist/src/writer.rs:

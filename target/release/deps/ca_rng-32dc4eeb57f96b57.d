@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ca_rng-32dc4eeb57f96b57.d: crates/rng/src/lib.rs
+
+/root/repo/target/release/deps/libca_rng-32dc4eeb57f96b57.rlib: crates/rng/src/lib.rs
+
+/root/repo/target/release/deps/libca_rng-32dc4eeb57f96b57.rmeta: crates/rng/src/lib.rs
+
+crates/rng/src/lib.rs:

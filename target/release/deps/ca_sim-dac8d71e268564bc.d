@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/ca_sim-dac8d71e268564bc.d: crates/sim/src/lib.rs crates/sim/src/budget.rs crates/sim/src/injection.rs crates/sim/src/simulator.rs crates/sim/src/solver.rs crates/sim/src/values.rs
+
+/root/repo/target/release/deps/libca_sim-dac8d71e268564bc.rlib: crates/sim/src/lib.rs crates/sim/src/budget.rs crates/sim/src/injection.rs crates/sim/src/simulator.rs crates/sim/src/solver.rs crates/sim/src/values.rs
+
+/root/repo/target/release/deps/libca_sim-dac8d71e268564bc.rmeta: crates/sim/src/lib.rs crates/sim/src/budget.rs crates/sim/src/injection.rs crates/sim/src/simulator.rs crates/sim/src/solver.rs crates/sim/src/values.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/budget.rs:
+crates/sim/src/injection.rs:
+crates/sim/src/simulator.rs:
+crates/sim/src/solver.rs:
+crates/sim/src/values.rs:

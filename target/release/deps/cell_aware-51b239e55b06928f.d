@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/cell_aware-51b239e55b06928f.d: src/lib.rs
+
+/root/repo/target/release/deps/libcell_aware-51b239e55b06928f.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libcell_aware-51b239e55b06928f.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/robust_characterization-4ab173e55f71b322.d: examples/robust_characterization.rs
+
+/root/repo/target/release/examples/robust_characterization-4ab173e55f71b322: examples/robust_characterization.rs
+
+examples/robust_characterization.rs:

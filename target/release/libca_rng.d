@@ -1,0 +1,1 @@
+/root/repo/target/release/libca_rng.rlib: /root/repo/crates/rng/src/lib.rs

@@ -45,10 +45,7 @@ fn canonical_hashes_are_technology_independent() {
     let mut compared = 0;
     for (template, p_soi) in soi.iter() {
         let v_soi = variant(p_soi.cell.name());
-        if let Some((_, p_c28)) = c28
-            .iter()
-            .find(|(_, p)| variant(p.cell.name()) == v_soi)
-        {
+        if let Some((_, p_c28)) = c28.iter().find(|(_, p)| variant(p.cell.name()) == v_soi) {
             assert_eq!(
                 p_soi.canonical.wiring_hash(),
                 p_c28.canonical.wiring_hash(),

@@ -34,12 +34,7 @@ fn predicted_models_feed_pattern_selection() {
     let covered = truth
         .classes
         .iter()
-        .filter(|c| {
-            set_predicted
-                .selected
-                .iter()
-                .any(|&s| c.row.get(s))
-        })
+        .filter(|c| set_predicted.selected.iter().any(|&s| c.row.get(s)))
         .count();
     let detectable = truth
         .classes

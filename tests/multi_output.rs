@@ -31,8 +31,16 @@ fn golden_simulation_drives_both_outputs() {
         let result = sim.run(&Stimulus::static_pattern(2, p));
         let a = p & 1 == 1;
         let b = p & 2 == 2;
-        assert_eq!(result.final_value(zn), Value::from_bool(!(a && b)), "ZN p={p}");
-        assert_eq!(result.final_value(zr), Value::from_bool(!(a || b)), "ZR p={p}");
+        assert_eq!(
+            result.final_value(zn),
+            Value::from_bool(!(a && b)),
+            "ZN p={p}"
+        );
+        assert_eq!(
+            result.final_value(zr),
+            Value::from_bool(!(a || b)),
+            "ZR p={p}"
+        );
     }
 }
 

@@ -1,77 +1,127 @@
-//! Property-based tests over the core invariants (proptest).
+//! Property-style tests over the core invariants.
+//!
+//! Each property is checked against a stream of randomly generated cells;
+//! generation is seeded through `ca-rng`, so every run exercises the same
+//! inputs (no external property-testing dependency, no flakiness).
 
+use ca_rng::{Rng, SplitMix64};
 use cell_aware::core::{Activation, CanonicalCell};
-use cell_aware::defects::{DetectionTable, DefectUniverse};
+use cell_aware::defects::{DefectUniverse, DetectionTable};
 use cell_aware::netlist::synth::{
     synthesize, DriveStyle, NetlistStyle, Stage, StageExpr, StagePlan,
 };
 use cell_aware::netlist::{spice, writer};
 use cell_aware::sim::{DetectionPolicy, Simulator, Stimulus, Value};
-use proptest::prelude::*;
 
-/// Random single-stage pull-down expressions over up to 4 pins.
-fn arb_stage_expr(n_inputs: u8) -> impl Strategy<Value = StageExpr> {
-    let leaf = (0..n_inputs).prop_map(StageExpr::pin);
-    leaf.prop_recursive(3, 12, 3, |inner| {
-        prop_oneof![
-            prop::collection::vec(inner.clone(), 2..4).prop_map(StageExpr::And),
-            prop::collection::vec(inner, 2..4).prop_map(StageExpr::Or),
-        ]
-    })
+/// Number of random plans each property is checked against.
+const CASES: u64 = 24;
+
+/// Random single-stage pull-down expression over `n_inputs` pins, with
+/// bounded depth.
+fn random_stage_expr(rng: &mut SplitMix64, n_inputs: u8, depth: usize) -> StageExpr {
+    if depth == 0 || rng.gen_index(3) == 0 {
+        return StageExpr::pin(rng.gen_index(n_inputs as usize) as u8);
+    }
+    let arity = 2 + rng.gen_index(2);
+    let children: Vec<StageExpr> = (0..arity)
+        .map(|_| random_stage_expr(rng, n_inputs, depth - 1))
+        .collect();
+    if rng.gen_bool() {
+        StageExpr::And(children)
+    } else {
+        StageExpr::Or(children)
+    }
 }
 
-/// A random valid plan: one inverting stage, optionally buffered.
-fn arb_plan() -> impl Strategy<Value = StagePlan> {
-    (2u8..=3, any::<bool>())
-        .prop_flat_map(|(n, buffered)| {
-            arb_stage_expr(n).prop_map(move |expr| {
-                let mut stages = vec![Stage::new(expr)];
-                if buffered {
-                    stages.push(Stage::new(StageExpr::stage(0)));
-                }
-                StagePlan::new(n, stages).expect("constructed plans are valid")
-            })
-        })
-        .prop_filter("keep cells small", |p| p.num_transistors() <= 20)
+/// A random valid plan: one inverting stage, optionally buffered, kept
+/// small (≤ 20 transistors) so the exhaustive properties stay fast.
+fn random_plan(rng: &mut SplitMix64) -> StagePlan {
+    loop {
+        let n = 2 + rng.gen_index(2) as u8;
+        let expr = random_stage_expr(rng, n, 2);
+        let mut stages = vec![Stage::new(expr)];
+        if rng.gen_bool() {
+            stages.push(Stage::new(StageExpr::stage(0)));
+        }
+        let plan = StagePlan::new(n, stages).expect("constructed plans are valid");
+        if plan.num_transistors() <= 20 {
+            return plan;
+        }
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+/// Runs `check` against `CASES` random plans from a fixed seed stream.
+fn for_random_plans(seed: u64, mut check: impl FnMut(StagePlan)) {
+    let mut rng = SplitMix64::new(seed);
+    for _ in 0..CASES {
+        check(random_plan(&mut rng));
+    }
+}
 
-    /// Golden simulation of any synthesized cell equals its reference
-    /// Boolean function on every static pattern.
-    #[test]
-    fn synthesized_cells_compute_their_function(plan in arb_plan()) {
-        let s = synthesize("P", &plan, 1, DriveStyle::SharedNets, &NetlistStyle::default())
-            .expect("valid plan synthesizes");
+/// Golden simulation of any synthesized cell equals its reference
+/// Boolean function on every static pattern.
+#[test]
+fn synthesized_cells_compute_their_function() {
+    for_random_plans(1, |plan| {
+        let s = synthesize(
+            "P",
+            &plan,
+            1,
+            DriveStyle::SharedNets,
+            &NetlistStyle::default(),
+        )
+        .expect("valid plan synthesizes");
         let sim = Simulator::new(&s.cell);
         let n = s.cell.num_inputs();
         let table = s.function.truth_table(n);
         for p in 0..(1u32 << n) {
             let out = sim.output(&Stimulus::static_pattern(n, p));
-            prop_assert_eq!(out, Value::from_bool(table[p as usize]));
+            assert_eq!(out, Value::from_bool(table[p as usize]));
         }
-    }
+    });
+}
 
-    /// SPICE write -> parse -> write is idempotent on synthesized cells.
-    #[test]
-    fn spice_round_trip(plan in arb_plan(), drive in 1u8..=2) {
-        let s = synthesize("P", &plan, drive, DriveStyle::SharedNets, &NetlistStyle::default())
-            .expect("valid plan synthesizes");
+/// SPICE write -> parse -> write is idempotent on synthesized cells.
+#[test]
+fn spice_round_trip() {
+    let mut drive_rng = SplitMix64::new(11);
+    for_random_plans(2, |plan| {
+        let drive = 1 + drive_rng.gen_index(2) as u8;
+        let s = synthesize(
+            "P",
+            &plan,
+            drive,
+            DriveStyle::SharedNets,
+            &NetlistStyle::default(),
+        )
+        .expect("valid plan synthesizes");
         let text = writer::to_spice(&s.cell);
         let parsed = spice::parse_cell(&text).expect("writer output parses");
-        prop_assert_eq!(writer::to_spice(&parsed), text);
-        prop_assert_eq!(parsed.num_transistors(), s.cell.num_transistors());
-    }
+        assert_eq!(writer::to_spice(&parsed), text);
+        assert_eq!(parsed.num_transistors(), s.cell.num_transistors());
+    });
+}
 
-    /// Canonical renaming is invariant under device order shuffles: the
-    /// multiset of (canonical name, activity value) never changes, and
-    /// the wiring hash is stable.
-    #[test]
-    fn canonical_names_invariant_under_shuffle(plan in arb_plan(), seed in 1u64..5000) {
-        let base = synthesize("P", &plan, 1, DriveStyle::SharedNets, &NetlistStyle::default())
-            .expect("valid plan synthesizes");
-        let shuffled_style = NetlistStyle { shuffle_seed: Some(seed), ..NetlistStyle::default() };
+/// Canonical renaming is invariant under device order shuffles: the
+/// multiset of (canonical name, activity value) never changes, and
+/// the wiring hash is stable.
+#[test]
+fn canonical_names_invariant_under_shuffle() {
+    let mut seed_rng = SplitMix64::new(13);
+    for_random_plans(3, |plan| {
+        let seed = 1 + seed_rng.gen_index(4999) as u64;
+        let base = synthesize(
+            "P",
+            &plan,
+            1,
+            DriveStyle::SharedNets,
+            &NetlistStyle::default(),
+        )
+        .expect("valid plan synthesizes");
+        let shuffled_style = NetlistStyle {
+            shuffle_seed: Some(seed),
+            ..NetlistStyle::default()
+        };
         let shuffled = synthesize("P", &plan, 1, DriveStyle::SharedNets, &shuffled_style)
             .expect("valid plan synthesizes");
         let canon = |cell: &cell_aware::netlist::Cell| {
@@ -86,54 +136,86 @@ proptest! {
         };
         let (hash_a, sig_a) = canon(&base.cell);
         let (hash_b, sig_b) = canon(&shuffled.cell);
-        prop_assert_eq!(hash_a, hash_b);
-        prop_assert_eq!(sig_a, sig_b);
-    }
+        assert_eq!(hash_a, hash_b);
+        assert_eq!(sig_a, sig_b);
+    });
+}
 
-    /// Detection tables are invariant under the order in which stimuli
-    /// are simulated (pure function of (cell, defect, stimulus)).
-    #[test]
-    fn detection_rows_are_pure(plan in arb_plan()) {
-        let s = synthesize("P", &plan, 1, DriveStyle::SharedNets, &NetlistStyle::default())
-            .expect("valid plan synthesizes");
+/// Detection tables are invariant under the order in which stimuli
+/// are simulated (pure function of (cell, defect, stimulus)).
+#[test]
+fn detection_rows_are_pure() {
+    for_random_plans(4, |plan| {
+        let s = synthesize(
+            "P",
+            &plan,
+            1,
+            DriveStyle::SharedNets,
+            &NetlistStyle::default(),
+        )
+        .expect("valid plan synthesizes");
         let universe = DefectUniverse::intra_transistor(&s.cell);
         let a = DetectionTable::generate_exhaustive(&s.cell, &universe, DetectionPolicy::default());
         let b = DetectionTable::generate_exhaustive(&s.cell, &universe, DetectionPolicy::default());
-        prop_assert_eq!(a, b);
-    }
+        assert_eq!(a, b);
+    });
+}
 
-    /// The `.cam` interchange format round-trips the CA model of any
-    /// synthesized cell exactly.
-    #[test]
-    fn cam_round_trips_any_model(plan in arb_plan()) {
-        use cell_aware::defects::{from_cam, to_cam, CaModel, GenerateOptions};
-        let s = synthesize("P", &plan, 1, DriveStyle::SharedNets, &NetlistStyle::default())
-            .expect("valid plan synthesizes");
+/// The `.cam` interchange format round-trips the CA model of any
+/// synthesized cell exactly.
+#[test]
+fn cam_round_trips_any_model() {
+    use cell_aware::defects::{from_cam, to_cam, CaModel, GenerateOptions};
+    for_random_plans(5, |plan| {
+        let s = synthesize(
+            "P",
+            &plan,
+            1,
+            DriveStyle::SharedNets,
+            &NetlistStyle::default(),
+        )
+        .expect("valid plan synthesizes");
         let model = CaModel::generate(&s.cell, GenerateOptions::default());
         let text = to_cam(&model);
         let parsed = from_cam(&text, &s.cell).expect("cam round-trips");
-        prop_assert_eq!(parsed, model);
-    }
+        assert_eq!(parsed, model);
+    });
+}
 
-    /// Pattern selection covers every detectable class of any model.
-    #[test]
-    fn pattern_selection_always_covers(plan in arb_plan()) {
-        use cell_aware::defects::{select_patterns, CaModel, GenerateOptions};
-        let s = synthesize("P", &plan, 1, DriveStyle::SharedNets, &NetlistStyle::default())
-            .expect("valid plan synthesizes");
+/// Pattern selection covers every detectable class of any model.
+#[test]
+fn pattern_selection_always_covers() {
+    use cell_aware::defects::{select_patterns, CaModel, GenerateOptions};
+    for_random_plans(6, |plan| {
+        let s = synthesize(
+            "P",
+            &plan,
+            1,
+            DriveStyle::SharedNets,
+            &NetlistStyle::default(),
+        )
+        .expect("valid plan synthesizes");
         let model = CaModel::generate(&s.cell, GenerateOptions::default());
         let set = select_patterns(&model);
-        prop_assert!((set.class_coverage() - 1.0).abs() < 1e-12);
+        assert!((set.class_coverage() - 1.0).abs() < 1e-12);
         // And never selects more patterns than there are detectable classes.
-        prop_assert!(set.selected.len() <= set.detectable.max(1));
-    }
+        assert!(set.selected.len() <= set.detectable.max(1));
+    });
+}
 
-    /// The optimistic policy never detects more than the default, which
-    /// never detects more than the pessimistic one (monotonicity).
-    #[test]
-    fn detection_policies_are_monotone(plan in arb_plan()) {
-        let s = synthesize("P", &plan, 1, DriveStyle::SharedNets, &NetlistStyle::default())
-            .expect("valid plan synthesizes");
+/// The optimistic policy never detects more than the default, which
+/// never detects more than the pessimistic one (monotonicity).
+#[test]
+fn detection_policies_are_monotone() {
+    for_random_plans(7, |plan| {
+        let s = synthesize(
+            "P",
+            &plan,
+            1,
+            DriveStyle::SharedNets,
+            &NetlistStyle::default(),
+        )
+        .expect("valid plan synthesizes");
         let universe = DefectUniverse::intra_transistor(&s.cell);
         let optimistic =
             DetectionTable::generate_exhaustive(&s.cell, &universe, DetectionPolicy::optimistic());
@@ -143,9 +225,9 @@ proptest! {
             DetectionTable::generate_exhaustive(&s.cell, &universe, DetectionPolicy::pessimistic());
         for d in universe.defects() {
             for i in 0..optimistic.stimuli().len() {
-                prop_assert!(!optimistic.detects(d.id, i) || default.detects(d.id, i));
-                prop_assert!(!default.detects(d.id, i) || pessimistic.detects(d.id, i));
+                assert!(!optimistic.detects(d.id, i) || default.detects(d.id, i));
+                assert!(!default.detects(d.id, i) || pessimistic.detects(d.id, i));
             }
         }
-    }
+    });
 }
