@@ -4,13 +4,13 @@
 // stray unwrap must not be able to abort the whole experiment run.
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
-use ca_core::{MlFlowParams, PreparedCell};
+use ca_core::{CharCache, MlFlowParams, PreparedCell};
 use ca_defects::GenerateOptions;
+use ca_exec::Executor;
 use ca_ml::ForestParams;
 use ca_netlist::library::{generate_library, LibraryCell, LibraryConfig};
 use ca_netlist::Technology;
 use std::ops::Deref;
-use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Experiment scale.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -62,6 +62,7 @@ impl Profile {
                 shared_drives,
                 split_drives,
                 skew_variants: true,
+                vt_variants: Vec::new(),
                 include_exclusive: true,
                 template_keep_fraction: keep,
                 tech,
@@ -75,6 +76,7 @@ impl Profile {
                 },
                 split_drives,
                 skew_variants: true,
+                vt_variants: Vec::new(),
                 include_exclusive: true,
                 template_keep_fraction: keep,
                 tech,
@@ -163,15 +165,25 @@ impl CorpusBuild {
     }
 }
 
-/// Characterizes `cells`, isolating per-cell failures: an error or a
-/// panic skips that cell (with its reason recorded) instead of aborting
-/// the batch.
+/// Characterizes `cells` on the [`CA_THREADS`](Executor::from_env)-sized
+/// executor with a shared structure-keyed cache, isolating per-cell
+/// failures: an error or a panic skips that cell (with its reason
+/// recorded) instead of aborting the batch.
 pub fn characterize_cells(cells: &[LibraryCell]) -> CorpusBuild {
+    characterize_cells_with(cells, &Executor::from_env(), &CharCache::new())
+}
+
+/// [`characterize_cells`] with explicit executor and cache.
+pub fn characterize_cells_with(
+    cells: &[LibraryCell],
+    executor: &Executor,
+    cache: &CharCache,
+) -> CorpusBuild {
+    let results = executor.map_isolated(cells, |_, lc| {
+        cache.characterize(lc.cell.clone(), GenerateOptions::default())
+    });
     let mut build = CorpusBuild::default();
-    for lc in cells {
-        let outcome = catch_unwind(AssertUnwindSafe(|| {
-            PreparedCell::characterize(lc.cell.clone(), GenerateOptions::default())
-        }));
+    for (lc, outcome) in cells.iter().zip(results) {
         match outcome {
             Ok(Ok(prepared)) => build.cells.push(CorpusCell {
                 prepared,
@@ -182,18 +194,11 @@ pub fn characterize_cells(cells: &[LibraryCell]) -> CorpusBuild {
                 template: lc.template.clone(),
                 reason: e.to_string(),
             }),
-            Err(payload) => {
-                let message = payload
-                    .downcast_ref::<&'static str>()
-                    .map(|s| (*s).to_string())
-                    .or_else(|| payload.downcast_ref::<String>().cloned())
-                    .unwrap_or_else(|| "non-string panic payload".to_string());
-                build.skipped.push(SkippedCell {
-                    name: lc.cell.name().to_string(),
-                    template: lc.template.clone(),
-                    reason: format!("panic: {message}"),
-                });
-            }
+            Err(panic) => build.skipped.push(SkippedCell {
+                name: lc.cell.name().to_string(),
+                template: lc.template.clone(),
+                reason: format!("panic: {panic}"),
+            }),
         }
     }
     build
@@ -223,38 +228,10 @@ pub fn build_corpus(tech: Technology, profile: Profile) -> std::sync::Arc<Corpus
         return Arc::clone(hit);
     }
     let lib = generate_library(&profile.library_config(tech));
-    // Characterization is embarrassingly parallel: split the library
-    // across threads (each cell's conventional flow is independent).
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .clamp(1, 8);
-    let cells: Vec<_> = lib.cells.into_iter().collect();
-    let chunk_size = cells.len().div_ceil(threads).max(1);
-    let mut corpus = CorpusBuild::default();
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = cells
-            .chunks(chunk_size)
-            .map(|chunk| (chunk, scope.spawn(move || characterize_cells(chunk))))
-            .collect();
-        for (chunk, handle) in handles {
-            match handle.join() {
-                Ok(part) => {
-                    corpus.cells.extend(part.cells);
-                    corpus.skipped.extend(part.skipped);
-                }
-                // Per-cell panics are caught inside the worker; reaching
-                // this arm means the worker died outside the guarded
-                // region. Skip its whole chunk, keep the rest.
-                Err(_) => corpus.skipped.extend(chunk.iter().map(|lc| SkippedCell {
-                    name: lc.cell.name().to_string(),
-                    template: lc.template.clone(),
-                    reason: "worker thread panicked".to_string(),
-                })),
-            }
-        }
-    });
-    let corpus = Arc::new(corpus);
+    // Characterization is embarrassingly parallel: the executor pulls
+    // cells one at a time (each cell's conventional flow is independent),
+    // and the shared cache deduplicates structurally identical variants.
+    let corpus = Arc::new(characterize_cells(&lib.cells));
     cache
         .lock()
         .unwrap_or_else(|poisoned| poisoned.into_inner())

@@ -7,6 +7,7 @@
 
 pub mod corpus;
 pub mod microbench;
+pub mod perf;
 pub mod report;
 pub mod tables;
 

@@ -14,8 +14,11 @@
 //!   ablation         accuracy with canonical renaming disabled
 //!   importance       random-forest feature importance per CA-matrix column
 //!   library          per-technology characterization summaries
+//!   parallel         parallel engine + cache benchmark -> BENCH_parallel.json
 //!   all              everything above
 //! ```
+//!
+//! `parallel` honours `CA_THREADS` for the engine's worker count.
 
 use ca_bench::corpus::Profile;
 use ca_bench::tables;
@@ -160,6 +163,16 @@ fn main() {
         matched = true;
         for tech in Technology::ALL {
             println!("{}", tables::library_report(tech, profile));
+        }
+    }
+    if run("parallel") {
+        matched = true;
+        let bench = ca_bench::perf::run(profile);
+        print!("{}", bench.render());
+        let path = "BENCH_parallel.json";
+        match std::fs::write(path, bench.to_json()) {
+            Ok(()) => eprintln!("[ca-bench] wrote {path}"),
+            Err(e) => die(&format!("cannot write {path}: {e}")),
         }
     }
     if !matched {

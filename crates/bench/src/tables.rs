@@ -78,17 +78,24 @@ pub fn table_iv_cross(train_tech: Technology, eval_tech: Technology, profile: Pr
 fn cross_grid(train: &[CorpusCell], eval: &[CorpusCell], profile: Profile) -> Grid {
     let prepared: Vec<PreparedCell> = train.iter().map(|c| c.prepared.clone()).collect();
     let flow = MlFlow::train(&prepared, profile.ml_params()).expect("non-empty corpus");
+    // Prediction over the evaluated cells is read-only and independent:
+    // batch it across the executor's workers.
+    let covered: Vec<PreparedCell> = eval
+        .iter()
+        .map(|c| &c.prepared)
+        .filter(|p| flow.covers(p))
+        .cloned()
+        .collect();
+    let predictions = flow
+        .predict_batch(&covered, &ca_exec::Executor::from_env())
+        .expect("every batched cell is covered");
     let mut grid = Grid::new();
-    for c in eval {
-        if !flow.covers(&c.prepared) {
-            continue;
-        }
-        let predicted = flow.predict(&c.prepared).expect("group covered");
-        let (inputs, transistors) = c.prepared.group_key();
+    for (p, predicted) in covered.iter().zip(&predictions) {
+        let (inputs, transistors) = p.group_key();
         grid.record(
             inputs,
             transistors,
-            c.prepared.accuracy_of_kind(&predicted, DefectKind::Open),
+            p.accuracy_of_kind(predicted, DefectKind::Open),
         );
     }
     grid

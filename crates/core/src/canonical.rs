@@ -87,6 +87,19 @@ pub struct Branch {
 }
 
 /// The canonical view of a cell.
+///
+/// # Hash invariant
+///
+/// For canonicals produced by [`CanonicalCell::build`], the three hashes
+/// are digests of three *distinct* canonical preimages — equations only,
+/// equations + activity values, and the Fig. 6 drive-merged signatures —
+/// so two cells agree on a hash exactly when they agree on that preimage
+/// (modulo 64-bit collisions, which consumers that reuse results must
+/// guard against by comparing the underlying structure, not the hash).
+/// Canonicals produced by [`CanonicalCell::netlist_order`] do *not*
+/// satisfy this: their hashes are order-sensitive ablation artifacts.
+/// They are flagged via [`CanonicalCell::is_netlist_ordered`] and must
+/// never be used as reuse/cache keys.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CanonicalCell {
     branches: Vec<Branch>,
@@ -96,6 +109,7 @@ pub struct CanonicalCell {
     structure_hash: u64,
     wiring_hash: u64,
     reduced_hash: u64,
+    netlist_ordered: bool,
 }
 
 impl CanonicalCell {
@@ -172,6 +186,7 @@ impl CanonicalCell {
             structure_hash,
             wiring_hash,
             reduced_hash,
+            netlist_ordered: false,
         })
     }
 
@@ -188,11 +203,21 @@ impl CanonicalCell {
             .iter()
             .map(|t| t.name().to_string())
             .collect();
-        let signature = hash_strings(
-            cell.transistors()
-                .iter()
-                .map(|t| format!("{}:{}", t.name(), t.kind().letter())),
-        );
+        // Each hash digests its own domain-tagged stream. The previous
+        // implementation assigned one identical signature to all three
+        // hashes, which silently made "identical structure" and
+        // "equivalent structure" indistinguishable for ablation cells —
+        // and would let a fallback-canonicalized cell cross-hit any
+        // consumer that compares hashes across the three domains.
+        let tagged = |tag: &str| {
+            hash_strings(
+                std::iter::once(format!("netlist-order:{tag}")).chain(
+                    cell.transistors()
+                        .iter()
+                        .map(|t| format!("{}:{}", t.name(), t.kind().letter())),
+                ),
+            )
+        };
         let branches = vec![Branch {
             exit: cell.output(),
             rail: None,
@@ -207,9 +232,10 @@ impl CanonicalCell {
             order,
             names,
             position,
-            structure_hash: signature,
-            wiring_hash: signature,
-            reduced_hash: signature,
+            structure_hash: tagged("structure"),
+            wiring_hash: tagged("wiring"),
+            reduced_hash: tagged("reduced"),
+            netlist_ordered: true,
         }
     }
 
@@ -248,6 +274,14 @@ impl CanonicalCell {
     /// *equivalent structure*.
     pub fn reduced_hash(&self) -> u64 {
         self.reduced_hash
+    }
+
+    /// Whether this view was produced by the
+    /// [`netlist_order`](CanonicalCell::netlist_order) ablation fallback.
+    /// Such views carry order-sensitive hashes that do not identify a
+    /// structure class; result-reuse caches must refuse to key on them.
+    pub fn is_netlist_ordered(&self) -> bool {
+        self.netlist_ordered
     }
 }
 
@@ -911,6 +945,24 @@ M2 Z A net9 VSS nch
             let (_, cb) = canon(&b.cell);
             assert_eq!(ca.wiring_hash(), cb.wiring_hash(), "{template}");
         }
+    }
+
+    #[test]
+    fn netlist_order_hashes_are_distinct_and_flagged() {
+        let cell = spice::parse_cell(NAND2).unwrap();
+        let act = Activation::extract(&cell).unwrap();
+        let ablated = CanonicalCell::netlist_order(&cell, &act);
+        assert!(ablated.is_netlist_ordered());
+        // The three hashes digest distinct domains; the old bug assigned
+        // one identical signature to all of them.
+        assert_ne!(ablated.structure_hash(), ablated.wiring_hash());
+        assert_ne!(ablated.wiring_hash(), ablated.reduced_hash());
+        assert_ne!(ablated.structure_hash(), ablated.reduced_hash());
+        // The real canonicalization is not flagged.
+        let built = CanonicalCell::build(&cell, &act).unwrap();
+        assert!(!built.is_netlist_ordered());
+        // Ablated hashes never collide with built hashes for this cell.
+        assert_ne!(ablated.wiring_hash(), built.wiring_hash());
     }
 
     #[test]

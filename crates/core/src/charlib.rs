@@ -8,10 +8,12 @@
 // aborts a whole characterization run.
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+use crate::cache::CharCache;
 use crate::cost::CostModel;
 use crate::error::CoreError;
 use crate::matrix::PreparedCell;
 use ca_defects::{to_cam, Behavior, GenerateOptions};
+use ca_exec::Executor;
 use ca_netlist::library::Library;
 use std::collections::BTreeMap;
 
@@ -81,18 +83,42 @@ impl LibrarySummary {
     }
 }
 
-/// Characterizes every cell of `library` with the conventional flow.
+/// Characterizes every cell of `library` with the conventional flow,
+/// using the [`CA_THREADS`](Executor::from_env)-sized executor and a
+/// fresh structure-keyed [`CharCache`].
 ///
 /// # Errors
 ///
-/// Propagates the first invalid-netlist error.
+/// Propagates the first (in library order) invalid-netlist error.
 pub fn characterize_library(
     library: &Library,
     options: GenerateOptions,
 ) -> Result<(Vec<PreparedCell>, LibrarySummary), CoreError> {
-    let mut prepared = Vec::with_capacity(library.len());
-    for lc in &library.cells {
-        prepared.push(PreparedCell::characterize(lc.cell.clone(), options)?);
+    characterize_library_with(library, options, &Executor::from_env(), &CharCache::new())
+}
+
+/// [`characterize_library`] with explicit executor and cache, for callers
+/// that pin the thread count or reuse a cache across batches.
+///
+/// Results are in library order regardless of scheduling; on failure the
+/// error of the *first* failing cell in library order is returned, so the
+/// outcome is identical at every thread count.
+///
+/// # Errors
+///
+/// Propagates the first (in library order) invalid-netlist error.
+pub fn characterize_library_with(
+    library: &Library,
+    options: GenerateOptions,
+    executor: &Executor,
+    cache: &CharCache,
+) -> Result<(Vec<PreparedCell>, LibrarySummary), CoreError> {
+    let results = executor.map(&library.cells, |_, lc| {
+        cache.characterize(lc.cell.clone(), options)
+    });
+    let mut prepared = Vec::with_capacity(results.len());
+    for result in results {
+        prepared.push(result?);
     }
     let summary = summarize(library.technology.name(), &prepared);
     Ok((prepared, summary))
@@ -249,6 +275,31 @@ mod tests {
         assert!(full.iter().any(|(name, text)| name
             == &format!("{}.cam", lib.cells[0].cell.name())
             && text.contains("degraded")));
+    }
+
+    #[test]
+    fn parallel_and_cached_runs_match_the_serial_cold_run() {
+        let lib = tiny_library();
+        let options = GenerateOptions::default();
+        let cold: Vec<PreparedCell> = lib
+            .cells
+            .iter()
+            .map(|lc| PreparedCell::characterize(lc.cell.clone(), options).unwrap())
+            .collect();
+        for threads in [1, 4] {
+            let cache = CharCache::new();
+            let (prepared, summary) =
+                characterize_library_with(&lib, options, &Executor::with_threads(threads), &cache)
+                    .unwrap();
+            assert_eq!(prepared.len(), cold.len());
+            for (p, c) in prepared.iter().zip(&cold) {
+                assert_eq!(p.cell.name(), c.cell.name(), "order must be library order");
+                assert_eq!(p.model, c.model, "{}: cached model differs", p.cell.name());
+            }
+            assert_eq!(summary, summarize(lib.technology.name(), &cold));
+            let stats = cache.stats();
+            assert_eq!(stats.hits + stats.misses, lib.len(), "{stats:?}");
+        }
     }
 
     #[test]

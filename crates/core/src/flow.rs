@@ -195,6 +195,24 @@ impl MlFlow {
         Ok(prepared.predict_model(|row| group.forest.predict(row) == 1))
     }
 
+    /// Predicts models for a batch of prepared cells on `executor`,
+    /// returning them in input order (prediction is read-only over the
+    /// trained forests, so the cells are independent).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first (in input order) [`CoreError::NoMatchingGroup`].
+    pub fn predict_batch(
+        &self,
+        prepared: &[PreparedCell],
+        executor: &ca_exec::Executor,
+    ) -> Result<Vec<CaModel>, CoreError> {
+        executor
+            .map(prepared, |_, p| self.predict(p))
+            .into_iter()
+            .collect()
+    }
+
     /// Adds a freshly characterized cell to its group and retrains the
     /// group (the Fig. 7 feedback loop). A new group is created when none
     /// exists.
@@ -611,15 +629,10 @@ impl HybridFlow {
                     });
                 }
                 Err(payload) => {
-                    let message = payload
-                        .downcast_ref::<&'static str>()
-                        .map(|s| (*s).to_string())
-                        .or_else(|| payload.downcast_ref::<String>().cloned())
-                        .unwrap_or_else(|| "non-string panic payload".to_string());
                     quarantine.entries.push(QuarantineEntry {
                         cell: name,
                         phase: FailurePhase::Prepare,
-                        reason: format!("panic: {message}"),
+                        reason: format!("panic: {}", ca_exec::panic_message(&*payload)),
                         elapsed: started.elapsed(),
                         retries: 0,
                     });
@@ -661,6 +674,31 @@ mod tests {
         }
         let mean = total / corpus.len() as f64;
         assert!(mean > 0.93, "mean training accuracy {mean}");
+    }
+
+    #[test]
+    fn predict_batch_matches_per_cell_predict_at_any_thread_count() {
+        let corpus = quick_corpus(Technology::Soi28, 10);
+        let flow = MlFlow::train(&corpus, MlFlowParams::quick()).unwrap();
+        let expected: Vec<CaModel> = corpus.iter().map(|p| flow.predict(p).unwrap()).collect();
+        for threads in [1, 8] {
+            let batched = flow
+                .predict_batch(&corpus, &ca_exec::Executor::with_threads(threads))
+                .unwrap();
+            assert_eq!(batched, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn predict_batch_surfaces_the_first_uncovered_cell() {
+        let corpus = quick_corpus(Technology::Soi28, 4);
+        let flow = MlFlow::train(&corpus[..2], MlFlowParams::quick()).unwrap();
+        if corpus.iter().any(|p| !flow.covers(p)) {
+            let err = flow
+                .predict_batch(&corpus, &ca_exec::Executor::with_threads(4))
+                .unwrap_err();
+            assert!(matches!(err, CoreError::NoMatchingGroup { .. }), "{err:?}");
+        }
     }
 
     #[test]

@@ -41,6 +41,7 @@
 //! ```
 
 pub mod activation;
+pub mod cache;
 pub mod canonical;
 pub mod charlib;
 pub mod cost;
@@ -50,8 +51,13 @@ pub mod matrix;
 pub mod robust;
 
 pub use activation::{Activation, ActivityValue};
+pub use ca_exec::{panic_message, Executor};
+pub use cache::{CacheStats, CharCache};
 pub use canonical::{Branch, CanonicalCell, SpTree};
-pub use charlib::{characterize_library, export_cam, export_cam_with, summarize, LibrarySummary};
+pub use charlib::{
+    characterize_library, characterize_library_with, export_cam, export_cam_with, summarize,
+    LibrarySummary,
+};
 pub use cost::{format_duration, CostModel};
 pub use error::CoreError;
 pub use flow::{
@@ -60,6 +66,6 @@ pub use flow::{
 };
 pub use matrix::{MatrixLayout, PreparedCell};
 pub use robust::{
-    characterize_library_robust, FailurePhase, FaultPolicy, Quarantine, QuarantineEntry,
-    RobustOutcome,
+    characterize_library_robust, characterize_library_robust_with, FailurePhase, FaultPolicy,
+    Quarantine, QuarantineEntry, RobustOutcome,
 };

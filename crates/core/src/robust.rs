@@ -27,9 +27,11 @@
 // it must not itself abort on a stray unwrap.
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+use crate::cache::CharCache;
 use crate::error::CoreError;
 use crate::matrix::PreparedCell;
 use ca_defects::GenerateOptions;
+use ca_exec::Executor;
 use ca_netlist::library::Library;
 use ca_netlist::lint::{lint, Severity};
 use ca_netlist::Cell;
@@ -172,24 +174,58 @@ pub fn characterize_library_robust(
     budget: &SimBudget,
     policy: FaultPolicy,
 ) -> Result<RobustOutcome, CoreError> {
-    let mut prepared = Vec::with_capacity(library.len());
-    let mut quarantine = Quarantine::default();
-    for lc in &library.cells {
+    characterize_library_robust_with(
+        library,
+        options,
+        budget,
+        policy,
+        &Executor::from_env(),
+        &CharCache::new(),
+    )
+}
+
+/// [`characterize_library_robust`] with explicit executor and cache.
+///
+/// The outcome is deterministic in everything but per-entry `elapsed`
+/// times: `prepared` and `quarantine.entries` are in library order, and
+/// under [`FaultPolicy::FailFast`] the error of the *first* failing cell
+/// in library order is returned — identical at every thread count.
+///
+/// # Errors
+///
+/// Only [`FaultPolicy::FailFast`] returns an error — the first per-cell
+/// failure, like [`characterize_library`](crate::characterize_library).
+pub fn characterize_library_robust_with(
+    library: &Library,
+    options: GenerateOptions,
+    budget: &SimBudget,
+    policy: FaultPolicy,
+    executor: &Executor,
+    cache: &CharCache,
+) -> Result<RobustOutcome, CoreError> {
+    // Each item runs the full guarded pipeline, retries included; the
+    // fold below never simulates, so the merge stays in library order.
+    let results = executor.map(&library.cells, |_, lc| {
         let started = Instant::now();
         let mut retries = 0u32;
-        let mut outcome = characterize_cell_guarded(&lc.cell, options, budget);
+        let mut outcome = characterize_cell_guarded(&lc.cell, options, budget, cache);
         if let FaultPolicy::RetryWithReducedBudget(max_retries) = policy {
             while retries < max_retries {
                 match &outcome {
                     Err((_, CoreError::BudgetExceeded { .. })) => {
                         retries += 1;
                         let reduced = reduced_budget(budget, &lc.cell, retries);
-                        outcome = characterize_cell_guarded(&lc.cell, options, &reduced);
+                        outcome = characterize_cell_guarded(&lc.cell, options, &reduced, cache);
                     }
                     _ => break,
                 }
             }
         }
+        (outcome, started.elapsed(), retries)
+    });
+    let mut prepared = Vec::with_capacity(library.len());
+    let mut quarantine = Quarantine::default();
+    for (lc, (outcome, elapsed, retries)) in library.cells.iter().zip(results) {
         match outcome {
             Ok(p) => prepared.push(p),
             Err((phase, err)) => {
@@ -200,7 +236,7 @@ pub fn characterize_library_robust(
                     cell: lc.cell.name().to_string(),
                     phase,
                     reason: err.to_string(),
-                    elapsed: started.elapsed(),
+                    elapsed,
                     retries,
                 });
             }
@@ -234,6 +270,7 @@ fn characterize_cell_guarded(
     cell: &Cell,
     options: GenerateOptions,
     budget: &SimBudget,
+    cache: &CharCache,
 ) -> Result<PreparedCell, (FailurePhase, CoreError)> {
     let name = cell.name().to_string();
     // 1. Structural pre-flight: quarantine broken netlists before any
@@ -279,7 +316,7 @@ fn characterize_cell_guarded(
     // 3+4. Prepare and characterize, panic-isolated: a defective cell
     // must only lose itself, never the batch.
     match isolated(&name, || {
-        PreparedCell::characterize_budgeted(cell.clone(), options, budget)
+        cache.characterize_budgeted(cell.clone(), options, budget)
     }) {
         Ok(p) => Ok(p),
         Err(err) => {
@@ -299,17 +336,10 @@ fn characterize_cell_guarded(
 fn isolated<T>(cell_name: &str, f: impl FnOnce() -> Result<T, CoreError>) -> Result<T, CoreError> {
     match catch_unwind(AssertUnwindSafe(f)) {
         Ok(result) => result,
-        Err(payload) => {
-            let message = payload
-                .downcast_ref::<&'static str>()
-                .map(|s| (*s).to_string())
-                .or_else(|| payload.downcast_ref::<String>().cloned())
-                .unwrap_or_else(|| "non-string panic payload".to_string());
-            Err(CoreError::PrepareFailed {
-                cell: cell_name.to_string(),
-                source: format!("panic: {message}"),
-            })
-        }
+        Err(payload) => Err(CoreError::PrepareFailed {
+            cell: cell_name.to_string(),
+            source: format!("panic: {}", ca_exec::panic_message(&*payload)),
+        }),
     }
 }
 
@@ -373,9 +403,13 @@ MN1 net0 B VSS VSS nch
     fn oscillator_is_diagnosed_by_the_golden_phase() {
         let cell = spice::parse_cell(NAND2).unwrap();
         let bad = corrupt_cell(&cell, Corruption::OscillatorLoop, 5).unwrap();
-        let err =
-            characterize_cell_guarded(&bad, GenerateOptions::default(), &SimBudget::unlimited())
-                .unwrap_err();
+        let err = characterize_cell_guarded(
+            &bad,
+            GenerateOptions::default(),
+            &SimBudget::unlimited(),
+            &CharCache::new(),
+        )
+        .unwrap_err();
         assert_eq!(err.0, FailurePhase::Golden);
         assert!(
             matches!(err.1, CoreError::SolverDiverged { .. }),

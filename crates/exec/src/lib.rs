@@ -1,0 +1,280 @@
+//! Scoped parallel executor for embarrassingly parallel batch stages.
+//!
+//! Every expensive stage of the characterization pipeline — per-cell
+//! conventional flows, per-tree forest fits, per-cell predictions — is a
+//! map over independent items. This crate provides that map once, with
+//! the three properties each hand-rolled copy used to get only partially
+//! right:
+//!
+//! - **Deterministic result ordering** — results come back in item order
+//!   regardless of which worker ran what. Work distribution is a shared
+//!   atomic cursor (work-*pulling*: a fast worker pulls the next item the
+//!   moment it finishes, so no static chunking can strand a slow chunk on
+//!   one thread).
+//! - **Per-item panic isolation** — a panicking item never takes down a
+//!   worker or poisons its siblings' results. [`Executor::map`] re-raises
+//!   the lowest-index panic after the batch; [`Executor::map_isolated`]
+//!   converts each panic into an `Err(message)` for quarantine flows.
+//! - **`CA_THREADS` override** — [`Executor::from_env`] honours the
+//!   `CA_THREADS` environment variable, else uses
+//!   [`std::thread::available_parallelism`]. `CA_THREADS=1` reproduces
+//!   the serial behaviour exactly (items run inline on the caller's
+//!   thread, in order).
+//!
+//! The workspace is hermetic (no external crates), so this is plain
+//! `std::thread::scope` + `AtomicUsize`, not a dependency on rayon.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Upper bound on auto-detected worker threads (a safety valve for
+/// many-core CI machines; `CA_THREADS` may exceed it explicitly).
+const MAX_AUTO_THREADS: usize = 16;
+
+/// A fixed-width scoped executor. Cheap to construct; spawns its worker
+/// threads per [`map`](Executor::map) call and joins them before
+/// returning, so no state outlives a batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Executor {
+    threads: usize,
+}
+
+impl Default for Executor {
+    fn default() -> Executor {
+        Executor::from_env()
+    }
+}
+
+impl Executor {
+    /// An executor with exactly `threads` workers (at least 1).
+    pub fn with_threads(threads: usize) -> Executor {
+        Executor {
+            threads: threads.max(1),
+        }
+    }
+
+    /// Reads the width from the `CA_THREADS` environment variable when it
+    /// is set to a positive integer, else uses the machine's available
+    /// parallelism (capped at 16).
+    pub fn from_env() -> Executor {
+        let threads = std::env::var("CA_THREADS")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+                    .min(MAX_AUTO_THREADS)
+            });
+        Executor::with_threads(threads)
+    }
+
+    /// Number of worker threads this executor uses.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Maps `f` over `items`, returning results in item order.
+    ///
+    /// # Panics
+    ///
+    /// If one or more items panic, the whole batch still runs (other
+    /// items are unaffected), then the payload of the *lowest-index*
+    /// panicking item is re-raised — so the surfacing panic is
+    /// deterministic across thread counts.
+    pub fn map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        let mut out = Vec::with_capacity(items.len());
+        let mut first_panic = None;
+        for result in self.run(items, &f) {
+            match result {
+                Ok(r) => out.push(r),
+                Err(payload) => {
+                    if first_panic.is_none() {
+                        first_panic = Some(payload);
+                    }
+                }
+            }
+        }
+        if let Some(payload) = first_panic {
+            resume_unwind(payload);
+        }
+        out
+    }
+
+    /// Like [`map`](Executor::map), but converts each item's panic into
+    /// `Err(message)` instead of re-raising, preserving item order.
+    pub fn map_isolated<T, R, F>(&self, items: &[T], f: F) -> Vec<Result<R, String>>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        self.run(items, &f)
+            .into_iter()
+            .map(|r| r.map_err(|payload| panic_message(payload.as_ref())))
+            .collect()
+    }
+
+    /// Shared driver: runs every item under `catch_unwind`, returning the
+    /// raw per-item outcomes in item order.
+    fn run<T, R, F>(&self, items: &[T], f: &F) -> Vec<Result<R, Box<dyn std::any::Any + Send>>>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        let workers = self.threads.min(items.len()).max(1);
+        if workers == 1 {
+            return items
+                .iter()
+                .enumerate()
+                .map(|(i, item)| catch_unwind(AssertUnwindSafe(|| f(i, item))))
+                .collect();
+        }
+        let cursor = AtomicUsize::new(0);
+        let mut parts: Vec<Vec<(usize, Result<R, _>)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut local = Vec::new();
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            if i >= items.len() {
+                                break;
+                            }
+                            local.push((i, catch_unwind(AssertUnwindSafe(|| f(i, &items[i])))));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                // Workers only unwind through catch_unwind, so a join
+                // error would mean the panic payload itself panicked on
+                // drop; nothing to recover there.
+                .map(|h| h.join().unwrap_or_default())
+                .collect()
+        });
+        let mut slots: Vec<Option<Result<R, _>>> = (0..items.len()).map(|_| None).collect();
+        for part in &mut parts {
+            for (i, result) in part.drain(..) {
+                slots[i] = Some(result);
+            }
+        }
+        slots
+            .into_iter()
+            .map(|s| s.unwrap_or_else(|| Err(Box::new("item lost by worker".to_string()) as _)))
+            .collect()
+    }
+}
+
+/// Extracts a human-readable message from a panic payload (the `&str` /
+/// `String` payloads `panic!` produces; anything else gets a marker).
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&'static str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_item_order() {
+        for threads in [1, 2, 8] {
+            let exec = Executor::with_threads(threads);
+            let items: Vec<usize> = (0..100).collect();
+            let out = exec.map(&items, |i, &x| {
+                assert_eq!(i, x);
+                x * 2
+            });
+            assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn map_isolated_converts_panics_per_item() {
+        let exec = Executor::with_threads(4);
+        let items: Vec<usize> = (0..20).collect();
+        let out = exec.map_isolated(&items, |_, &x| {
+            if x % 5 == 0 {
+                panic!("boom {x}");
+            }
+            x
+        });
+        assert_eq!(out.len(), 20);
+        for (i, r) in out.iter().enumerate() {
+            if i % 5 == 0 {
+                assert_eq!(r.as_ref().unwrap_err(), &format!("boom {i}"));
+            } else {
+                assert_eq!(*r.as_ref().unwrap(), i);
+            }
+        }
+    }
+
+    #[test]
+    fn map_reraises_lowest_index_panic() {
+        for threads in [1, 3] {
+            let exec = Executor::with_threads(threads);
+            let items: Vec<usize> = (0..32).collect();
+            let caught = catch_unwind(AssertUnwindSafe(|| {
+                exec.map(&items, |_, &x| {
+                    if x == 7 || x == 23 {
+                        panic!("panic at {x}");
+                    }
+                    x
+                })
+            }))
+            .unwrap_err();
+            assert_eq!(panic_message(caught.as_ref()), "panic at 7");
+        }
+    }
+
+    #[test]
+    fn single_thread_runs_inline() {
+        let exec = Executor::with_threads(1);
+        let main_thread = std::thread::current().id();
+        let items = [0u8; 4];
+        exec.map(&items, |_, _| {
+            assert_eq!(std::thread::current().id(), main_thread);
+        });
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let exec = Executor::with_threads(8);
+        let out: Vec<u32> = exec.map(&[] as &[u32], |_, &x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn threads_floor_is_one() {
+        assert_eq!(Executor::with_threads(0).threads(), 1);
+    }
+
+    #[test]
+    fn results_outnumbering_threads_still_complete() {
+        let exec = Executor::with_threads(3);
+        let items: Vec<u64> = (0..1000).collect();
+        let sum: u64 = exec.map(&items, |_, &x| x).into_iter().sum();
+        assert_eq!(sum, 999 * 1000 / 2);
+    }
+
+    #[test]
+    fn panic_message_extracts_both_payload_kinds() {
+        let s = catch_unwind(|| panic!("literal")).unwrap_err();
+        assert_eq!(panic_message(s.as_ref()), "literal");
+        let owned = catch_unwind(|| panic!("{}", String::from("owned"))).unwrap_err();
+        assert_eq!(panic_message(owned.as_ref()), "owned");
+    }
+}

@@ -114,8 +114,12 @@ impl RandomForest {
     }
 }
 
-impl Classifier for RandomForest {
-    fn fit(&mut self, data: &Dataset) {
+impl RandomForest {
+    /// [`Classifier::fit`] on an explicit executor. The trained forest is
+    /// bit-identical at every thread count: bootstrap sampling stays on
+    /// the single sequential master stream, and each tree's fit depends
+    /// only on its own sample and per-tree seed.
+    pub fn fit_with(&mut self, data: &Dataset, executor: &ca_exec::Executor) {
         assert!(!data.is_empty(), "cannot fit on an empty dataset");
         self.num_classes = data.num_classes().max(1);
         self.trees.clear();
@@ -130,22 +134,41 @@ impl Classifier for RandomForest {
             let n = data.num_features();
             ((n as f64).sqrt().round() as usize).max(n / 3).clamp(1, n)
         });
-        for t in 0..self.params.num_trees {
-            let indices: Vec<usize> = (0..sample_size)
-                .map(|_| rng.gen_index(data.len()))
-                .collect();
-            let sample = data.subset(&indices);
+        // Bootstrap indices are drawn sequentially from the single master
+        // stream, exactly as the serial implementation did, so the forest
+        // stays bit-identical at every thread count. Only the tree fits —
+        // independent given their sample and per-tree seed — go parallel.
+        let bootstraps: Vec<Vec<usize>> = (0..self.params.num_trees)
+            .map(|_| {
+                (0..sample_size)
+                    .map(|_| rng.gen_index(data.len()))
+                    .collect()
+            })
+            .collect();
+        let (max_depth, min_samples_leaf, seed) = (
+            self.params.max_depth,
+            self.params.min_samples_leaf,
+            self.params.seed,
+        );
+        self.trees = executor.map(&bootstraps, |t, indices| {
+            let sample = data.subset(indices);
             let mut tree = DecisionTree::new(TreeParams {
-                max_depth: self.params.max_depth,
-                min_samples_leaf: self.params.min_samples_leaf,
+                max_depth,
+                min_samples_leaf,
                 max_features: Some(max_features),
-                seed: self.params.seed.wrapping_add(t as u64 + 1),
+                seed: seed.wrapping_add(t as u64 + 1),
             });
             // A bootstrap sample can miss classes entirely; the tree only
             // sees its own sample, so re-align label space via max class.
             tree.fit(&sample);
-            self.trees.push(tree);
-        }
+            tree
+        });
+    }
+}
+
+impl Classifier for RandomForest {
+    fn fit(&mut self, data: &Dataset) {
+        self.fit_with(data, &ca_exec::Executor::from_env());
     }
 
     fn predict(&self, row: &[f32]) -> u32 {
@@ -230,6 +253,24 @@ mod tests {
         assert_eq!(imp.len(), 2);
         assert!((imp.iter().sum::<f64>() - 1.0).abs() < 1e-9);
         assert!(imp[0] > imp[1], "label depends on feature 0: {imp:?}");
+    }
+
+    #[test]
+    fn parallel_fit_is_bit_identical_to_serial() {
+        let data = noisy_bands();
+        let mut serial = RandomForest::new(ForestParams::quick());
+        serial.fit_with(&data, &ca_exec::Executor::with_threads(1));
+        let mut parallel = RandomForest::new(ForestParams::quick());
+        parallel.fit_with(&data, &ca_exec::Executor::with_threads(8));
+        assert_eq!(serial.num_trees(), parallel.num_trees());
+        assert_eq!(serial.feature_importance(), parallel.feature_importance());
+        for i in 0..data.len() {
+            assert_eq!(
+                serial.predict_proba(data.row(i)),
+                parallel.predict_proba(data.row(i)),
+                "row {i}"
+            );
+        }
     }
 
     #[test]

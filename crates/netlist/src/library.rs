@@ -461,6 +461,11 @@ pub struct LibraryConfig {
     pub split_drives: Vec<u8>,
     /// Generate a 25%-wider "skew" sizing variant of every cell.
     pub skew_variants: bool,
+    /// Threshold-flavor variants as `(suffix, width scale)` pairs, e.g.
+    /// `("LVT", 0.9)` / `("HVT", 1.1)`. Real libraries ship every cell in
+    /// several VT flavors that differ only in sizing/implant, never in
+    /// topology. Empty (the default constructors) generates none.
+    pub vt_variants: Vec<(String, f32)>,
     /// Include the technology-exclusive functions.
     pub include_exclusive: bool,
     /// Fraction of the shared catalog each technology keeps; the kept
@@ -479,6 +484,7 @@ impl LibraryConfig {
             shared_drives: vec![1, 2, 3, 4],
             split_drives: vec![2, 4],
             skew_variants: true,
+            vt_variants: Vec::new(),
             include_exclusive: true,
             template_keep_fraction: 1.0,
         }
@@ -493,6 +499,7 @@ impl LibraryConfig {
             shared_drives: vec![1, 2],
             split_drives: vec![2],
             skew_variants: false,
+            vt_variants: Vec::new(),
             include_exclusive: true,
             template_keep_fraction: 1.0,
         }
@@ -550,32 +557,45 @@ pub fn generate_library(config: &LibraryConfig) -> Library {
             } else {
                 &[("", 1.0)]
             };
+            // VT flavors compose with skews: every (skew, flavor) pair is
+            // its own catalog entry, like SVT/LVT/HVT rows in a real
+            // library. The base flavor (empty suffix, scale 1.0) is
+            // always generated.
+            let mut flavors: Vec<(String, f32)> = vec![(String::new(), 1.0)];
+            flavors.extend(config.vt_variants.iter().cloned());
             for (skew_tag, skew) in skews {
-                let suffix = match drive_style {
-                    DriveStyle::SharedNets => String::new(),
-                    DriveStyle::SplitFingers => "F".to_string(),
-                };
-                let name = format!(
-                    "{}_{}X{}{}{}",
-                    config.tech.name(),
-                    template.name,
-                    drive,
-                    suffix,
-                    skew_tag
-                );
-                let mut netlist_style = style.base.clone();
-                netlist_style.nmos_width_nm = (netlist_style.nmos_width_nm as f32 * skew) as u32;
-                netlist_style.pmos_width_nm = (netlist_style.pmos_width_nm as f32 * skew) as u32;
-                netlist_style.shuffle_seed = Some(mix_seed(style.order_seed, &name));
-                let synth = synthesize(&name, &template.plan, drive, drive_style, &netlist_style)
-                    .expect("catalog synthesis cannot fail");
-                cells.push(LibraryCell {
-                    cell: synth.cell,
-                    function: synth.function,
-                    template: template.name.clone(),
-                    drive,
-                    style: drive_style,
-                });
+                for (vt_tag, vt_scale) in &flavors {
+                    let suffix = match drive_style {
+                        DriveStyle::SharedNets => String::new(),
+                        DriveStyle::SplitFingers => "F".to_string(),
+                    };
+                    let name = format!(
+                        "{}_{}X{}{}{}{}",
+                        config.tech.name(),
+                        template.name,
+                        drive,
+                        suffix,
+                        skew_tag,
+                        vt_tag
+                    );
+                    let scale = skew * vt_scale;
+                    let mut netlist_style = style.base.clone();
+                    netlist_style.nmos_width_nm =
+                        (netlist_style.nmos_width_nm as f32 * scale) as u32;
+                    netlist_style.pmos_width_nm =
+                        (netlist_style.pmos_width_nm as f32 * scale) as u32;
+                    netlist_style.shuffle_seed = Some(mix_seed(style.order_seed, &name));
+                    let synth =
+                        synthesize(&name, &template.plan, drive, drive_style, &netlist_style)
+                            .expect("catalog synthesis cannot fail");
+                    cells.push(LibraryCell {
+                        cell: synth.cell,
+                        function: synth.function,
+                        template: template.name.clone(),
+                        drive,
+                        style: drive_style,
+                    });
+                }
             }
         }
     }
@@ -653,6 +673,37 @@ mod tests {
         for name in &soi {
             assert!(!c28.contains(name));
         }
+    }
+
+    #[test]
+    fn vt_variants_multiply_cells_without_changing_topology() {
+        let base = generate_library(&LibraryConfig::quick(Technology::C40));
+        let flavored = generate_library(&LibraryConfig {
+            vt_variants: vec![("LVT".into(), 0.9), ("HVT".into(), 1.1)],
+            ..LibraryConfig::quick(Technology::C40)
+        });
+        assert_eq!(flavored.len(), 3 * base.len());
+        let lvt = flavored
+            .cells
+            .iter()
+            .find(|c| c.cell.name().ends_with("LVT"))
+            .unwrap();
+        let svt = flavored
+            .cells
+            .iter()
+            .find(|c| {
+                c.template == lvt.template
+                    && c.drive == lvt.drive
+                    && c.style == lvt.style
+                    && !c.cell.name().ends_with("VT")
+            })
+            .unwrap();
+        // Same device count and function, different sizing flavor.
+        assert_eq!(lvt.cell.num_transistors(), svt.cell.num_transistors());
+        assert_eq!(
+            lvt.function.truth_table(lvt.cell.num_inputs()),
+            svt.function.truth_table(svt.cell.num_inputs())
+        );
     }
 
     #[test]

@@ -1,0 +1,42 @@
+//! Drives the parallel characterization engine through the facade:
+//! characterize a flavor-heavy library with an explicit executor and a
+//! shared structure-keyed cache, then show what memoization saved.
+//!
+//! Output is deterministic (cache hit/miss counts included) at every
+//! `CA_THREADS` value, so `diff`ing two runs is a valid probe.
+
+use cell_aware::core::{characterize_library_with, CharCache, Executor};
+use cell_aware::defects::GenerateOptions;
+use cell_aware::netlist::{generate_library, LibraryConfig, Technology};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Skew and VT flavors multiply every template into families of
+    // sizing-only siblings — exactly the duplication the cache exploits.
+    let library = generate_library(&LibraryConfig {
+        skew_variants: true,
+        vt_variants: vec![("LVT".into(), 0.90), ("HVT".into(), 1.10)],
+        ..LibraryConfig::quick(Technology::C40)
+    });
+
+    let executor = Executor::from_env();
+    let cache = CharCache::new();
+    let (prepared, summary) =
+        characterize_library_with(&library, GenerateOptions::default(), &executor, &cache)?;
+
+    print!("{}", summary.render());
+    let stats = cache.stats();
+    println!(
+        "cache: {} hits / {} misses ({:.1}% hit rate), {} rejected, {} bypassed",
+        stats.hits,
+        stats.misses,
+        stats.hit_rate() * 100.0,
+        stats.rejected,
+        stats.bypassed
+    );
+    println!(
+        "simulated {} of {} cells; the rest were remapped from structural donors",
+        stats.misses,
+        prepared.len()
+    );
+    Ok(())
+}

@@ -10,8 +10,14 @@ cd "$(dirname "$0")/.."
 echo "==> cargo build (release, offline)"
 cargo build --release --workspace --offline
 
-echo "==> cargo test (offline)"
-cargo test -q --workspace --offline
+# The suite runs at two thread counts: the parallel engine guarantees
+# bit-identical results regardless of CA_THREADS, and this is the
+# tripwire for that guarantee (see DESIGN.md §7).
+echo "==> cargo test (offline, CA_THREADS=1)"
+CA_THREADS=1 cargo test -q --workspace --offline
+
+echo "==> cargo test (offline, CA_THREADS=4)"
+CA_THREADS=4 cargo test -q --workspace --offline
 
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check

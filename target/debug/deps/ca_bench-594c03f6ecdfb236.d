@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ca_bench-594c03f6ecdfb236.d: crates/bench/src/main.rs
+
+/root/repo/target/debug/deps/ca_bench-594c03f6ecdfb236: crates/bench/src/main.rs
+
+crates/bench/src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ca_bench-a1c09dcc0bb9b702.d: crates/bench/src/main.rs
+
+/root/repo/target/debug/deps/ca_bench-a1c09dcc0bb9b702: crates/bench/src/main.rs
+
+crates/bench/src/main.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ca_bench-b7a7441d0e548883.d: crates/bench/src/lib.rs crates/bench/src/corpus.rs crates/bench/src/microbench.rs crates/bench/src/perf.rs crates/bench/src/report.rs crates/bench/src/tables.rs
+
+/root/repo/target/debug/deps/ca_bench-b7a7441d0e548883: crates/bench/src/lib.rs crates/bench/src/corpus.rs crates/bench/src/microbench.rs crates/bench/src/perf.rs crates/bench/src/report.rs crates/bench/src/tables.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/corpus.rs:
+crates/bench/src/microbench.rs:
+crates/bench/src/perf.rs:
+crates/bench/src/report.rs:
+crates/bench/src/tables.rs:

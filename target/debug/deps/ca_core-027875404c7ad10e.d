@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/ca_core-027875404c7ad10e.d: crates/core/src/lib.rs crates/core/src/activation.rs crates/core/src/cache.rs crates/core/src/canonical.rs crates/core/src/charlib.rs crates/core/src/cost.rs crates/core/src/error.rs crates/core/src/flow.rs crates/core/src/matrix.rs crates/core/src/robust.rs
+
+/root/repo/target/debug/deps/libca_core-027875404c7ad10e.rlib: crates/core/src/lib.rs crates/core/src/activation.rs crates/core/src/cache.rs crates/core/src/canonical.rs crates/core/src/charlib.rs crates/core/src/cost.rs crates/core/src/error.rs crates/core/src/flow.rs crates/core/src/matrix.rs crates/core/src/robust.rs
+
+/root/repo/target/debug/deps/libca_core-027875404c7ad10e.rmeta: crates/core/src/lib.rs crates/core/src/activation.rs crates/core/src/cache.rs crates/core/src/canonical.rs crates/core/src/charlib.rs crates/core/src/cost.rs crates/core/src/error.rs crates/core/src/flow.rs crates/core/src/matrix.rs crates/core/src/robust.rs
+
+crates/core/src/lib.rs:
+crates/core/src/activation.rs:
+crates/core/src/cache.rs:
+crates/core/src/canonical.rs:
+crates/core/src/charlib.rs:
+crates/core/src/cost.rs:
+crates/core/src/error.rs:
+crates/core/src/flow.rs:
+crates/core/src/matrix.rs:
+crates/core/src/robust.rs:

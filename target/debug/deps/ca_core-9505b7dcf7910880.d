@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/ca_core-9505b7dcf7910880.d: crates/core/src/lib.rs crates/core/src/activation.rs crates/core/src/cache.rs crates/core/src/canonical.rs crates/core/src/charlib.rs crates/core/src/cost.rs crates/core/src/error.rs crates/core/src/flow.rs crates/core/src/matrix.rs crates/core/src/robust.rs
+
+/root/repo/target/debug/deps/ca_core-9505b7dcf7910880: crates/core/src/lib.rs crates/core/src/activation.rs crates/core/src/cache.rs crates/core/src/canonical.rs crates/core/src/charlib.rs crates/core/src/cost.rs crates/core/src/error.rs crates/core/src/flow.rs crates/core/src/matrix.rs crates/core/src/robust.rs
+
+crates/core/src/lib.rs:
+crates/core/src/activation.rs:
+crates/core/src/cache.rs:
+crates/core/src/canonical.rs:
+crates/core/src/charlib.rs:
+crates/core/src/cost.rs:
+crates/core/src/error.rs:
+crates/core/src/flow.rs:
+crates/core/src/matrix.rs:
+crates/core/src/robust.rs:

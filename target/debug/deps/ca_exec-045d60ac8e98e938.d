@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ca_exec-045d60ac8e98e938.d: crates/exec/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libca_exec-045d60ac8e98e938.rmeta: crates/exec/src/lib.rs Cargo.toml
+
+crates/exec/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ca_exec-4601b226f3e309ae.d: crates/exec/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libca_exec-4601b226f3e309ae.rmeta: crates/exec/src/lib.rs Cargo.toml
+
+crates/exec/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

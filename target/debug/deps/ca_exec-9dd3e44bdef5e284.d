@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ca_exec-9dd3e44bdef5e284.d: crates/exec/src/lib.rs
+
+/root/repo/target/debug/deps/ca_exec-9dd3e44bdef5e284: crates/exec/src/lib.rs
+
+crates/exec/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ca_exec-f59aacbc0b891f32.d: crates/exec/src/lib.rs
+
+/root/repo/target/debug/deps/libca_exec-f59aacbc0b891f32.rlib: crates/exec/src/lib.rs
+
+/root/repo/target/debug/deps/libca_exec-f59aacbc0b891f32.rmeta: crates/exec/src/lib.rs
+
+crates/exec/src/lib.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/ca_ml-21f3acd70e2f4080.d: crates/ml/src/lib.rs crates/ml/src/baselines.rs crates/ml/src/data.rs crates/ml/src/forest.rs crates/ml/src/metrics.rs crates/ml/src/naive_bayes.rs crates/ml/src/tree.rs crates/ml/src/validate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libca_ml-21f3acd70e2f4080.rmeta: crates/ml/src/lib.rs crates/ml/src/baselines.rs crates/ml/src/data.rs crates/ml/src/forest.rs crates/ml/src/metrics.rs crates/ml/src/naive_bayes.rs crates/ml/src/tree.rs crates/ml/src/validate.rs Cargo.toml
+
+crates/ml/src/lib.rs:
+crates/ml/src/baselines.rs:
+crates/ml/src/data.rs:
+crates/ml/src/forest.rs:
+crates/ml/src/metrics.rs:
+crates/ml/src/naive_bayes.rs:
+crates/ml/src/tree.rs:
+crates/ml/src/validate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

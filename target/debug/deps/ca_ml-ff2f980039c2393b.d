@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/ca_ml-ff2f980039c2393b.d: crates/ml/src/lib.rs crates/ml/src/baselines.rs crates/ml/src/data.rs crates/ml/src/forest.rs crates/ml/src/metrics.rs crates/ml/src/naive_bayes.rs crates/ml/src/tree.rs crates/ml/src/validate.rs
+
+/root/repo/target/debug/deps/libca_ml-ff2f980039c2393b.rlib: crates/ml/src/lib.rs crates/ml/src/baselines.rs crates/ml/src/data.rs crates/ml/src/forest.rs crates/ml/src/metrics.rs crates/ml/src/naive_bayes.rs crates/ml/src/tree.rs crates/ml/src/validate.rs
+
+/root/repo/target/debug/deps/libca_ml-ff2f980039c2393b.rmeta: crates/ml/src/lib.rs crates/ml/src/baselines.rs crates/ml/src/data.rs crates/ml/src/forest.rs crates/ml/src/metrics.rs crates/ml/src/naive_bayes.rs crates/ml/src/tree.rs crates/ml/src/validate.rs
+
+crates/ml/src/lib.rs:
+crates/ml/src/baselines.rs:
+crates/ml/src/data.rs:
+crates/ml/src/forest.rs:
+crates/ml/src/metrics.rs:
+crates/ml/src/naive_bayes.rs:
+crates/ml/src/tree.rs:
+crates/ml/src/validate.rs:

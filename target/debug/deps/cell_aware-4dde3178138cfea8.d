@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cell_aware-4dde3178138cfea8.d: src/lib.rs
+
+/root/repo/target/debug/deps/cell_aware-4dde3178138cfea8: src/lib.rs
+
+src/lib.rs:

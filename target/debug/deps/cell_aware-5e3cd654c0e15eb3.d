@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cell_aware-5e3cd654c0e15eb3.d: src/lib.rs
+
+/root/repo/target/debug/deps/libcell_aware-5e3cd654c0e15eb3.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libcell_aware-5e3cd654c0e15eb3.rmeta: src/lib.rs
+
+src/lib.rs:

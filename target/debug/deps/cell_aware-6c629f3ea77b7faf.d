@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cell_aware-6c629f3ea77b7faf.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcell_aware-6c629f3ea77b7faf.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

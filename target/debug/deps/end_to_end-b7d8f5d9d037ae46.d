@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-b7d8f5d9d037ae46.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-b7d8f5d9d037ae46: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/forest-4a22482b6d423030.d: crates/bench/benches/forest.rs Cargo.toml
+
+/root/repo/target/debug/deps/libforest-4a22482b6d423030.rmeta: crates/bench/benches/forest.rs Cargo.toml
+
+crates/bench/benches/forest.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

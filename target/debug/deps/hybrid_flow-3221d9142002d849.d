@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hybrid_flow-3221d9142002d849.d: tests/hybrid_flow.rs
+
+/root/repo/target/debug/deps/hybrid_flow-3221d9142002d849: tests/hybrid_flow.rs
+
+tests/hybrid_flow.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hybrid_flow-ad30014e90d7a267.d: tests/hybrid_flow.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhybrid_flow-ad30014e90d7a267.rmeta: tests/hybrid_flow.rs Cargo.toml
+
+tests/hybrid_flow.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hybrid_flow-de72e38691c8c0ff.d: crates/bench/benches/hybrid_flow.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhybrid_flow-de72e38691c8c0ff.rmeta: crates/bench/benches/hybrid_flow.rs Cargo.toml
+
+crates/bench/benches/hybrid_flow.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

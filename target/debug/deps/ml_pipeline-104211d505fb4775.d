@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ml_pipeline-104211d505fb4775.d: tests/ml_pipeline.rs
+
+/root/repo/target/debug/deps/ml_pipeline-104211d505fb4775: tests/ml_pipeline.rs
+
+tests/ml_pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/model_consumers-1732ed96a843930f.d: tests/model_consumers.rs
+
+/root/repo/target/debug/deps/model_consumers-1732ed96a843930f: tests/model_consumers.rs
+
+tests/model_consumers.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/multi_output-4dcc45058183bf11.d: tests/multi_output.rs
+
+/root/repo/target/debug/deps/multi_output-4dcc45058183bf11: tests/multi_output.rs
+
+tests/multi_output.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel_cache-d916e8f853199423.d: tests/parallel_cache.rs
+
+/root/repo/target/debug/deps/parallel_cache-d916e8f853199423: tests/parallel_cache.rs
+
+tests/parallel_cache.rs:

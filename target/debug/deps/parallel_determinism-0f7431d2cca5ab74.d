@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel_determinism-0f7431d2cca5ab74.d: tests/parallel_determinism.rs
+
+/root/repo/target/debug/deps/parallel_determinism-0f7431d2cca5ab74: tests/parallel_determinism.rs
+
+tests/parallel_determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/persistence_flow-6bd68ed8c20f036a.d: tests/persistence_flow.rs
+
+/root/repo/target/debug/deps/persistence_flow-6bd68ed8c20f036a: tests/persistence_flow.rs
+
+tests/persistence_flow.rs:

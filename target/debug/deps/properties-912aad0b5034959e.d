@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-912aad0b5034959e.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-912aad0b5034959e: tests/properties.rs
+
+tests/properties.rs:

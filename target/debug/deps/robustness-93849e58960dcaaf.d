@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/robustness-93849e58960dcaaf.d: tests/robustness.rs
+
+/root/repo/target/debug/deps/robustness-93849e58960dcaaf: tests/robustness.rs
+
+tests/robustness.rs:

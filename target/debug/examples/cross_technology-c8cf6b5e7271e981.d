@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cross_technology-c8cf6b5e7271e981.d: examples/cross_technology.rs
+
+/root/repo/target/debug/examples/cross_technology-c8cf6b5e7271e981: examples/cross_technology.rs
+
+examples/cross_technology.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/diagnose_return-45f9ebd6e72b2db8.d: examples/diagnose_return.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdiagnose_return-45f9ebd6e72b2db8.rmeta: examples/diagnose_return.rs Cargo.toml
+
+examples/diagnose_return.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/diagnose_return-b1080e04a961c0c9.d: examples/diagnose_return.rs
+
+/root/repo/target/debug/examples/diagnose_return-b1080e04a961c0c9: examples/diagnose_return.rs
+
+examples/diagnose_return.rs:

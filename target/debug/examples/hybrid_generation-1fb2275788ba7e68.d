@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/hybrid_generation-1fb2275788ba7e68.d: examples/hybrid_generation.rs
+
+/root/repo/target/debug/examples/hybrid_generation-1fb2275788ba7e68: examples/hybrid_generation.rs
+
+examples/hybrid_generation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/inspect_camatrix-b05c80ae1d8cc117.d: examples/inspect_camatrix.rs
+
+/root/repo/target/debug/examples/inspect_camatrix-b05c80ae1d8cc117: examples/inspect_camatrix.rs
+
+examples/inspect_camatrix.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/parallel_engine-799f290ec5e84cf4.d: examples/parallel_engine.rs
+
+/root/repo/target/debug/examples/parallel_engine-799f290ec5e84cf4: examples/parallel_engine.rs
+
+examples/parallel_engine.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-e5079594ea2ddf53.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-e5079594ea2ddf53: examples/quickstart.rs
+
+examples/quickstart.rs:

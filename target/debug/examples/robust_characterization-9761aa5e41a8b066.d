@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/robust_characterization-9761aa5e41a8b066.d: examples/robust_characterization.rs
+
+/root/repo/target/debug/examples/robust_characterization-9761aa5e41a8b066: examples/robust_characterization.rs
+
+examples/robust_characterization.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ca_bench-c6d8352026e6ca1a.d: crates/bench/src/main.rs
+
+/root/repo/target/release/deps/ca_bench-c6d8352026e6ca1a: crates/bench/src/main.rs
+
+crates/bench/src/main.rs:

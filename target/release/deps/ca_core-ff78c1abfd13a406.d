@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/ca_core-ff78c1abfd13a406.d: crates/core/src/lib.rs crates/core/src/activation.rs crates/core/src/cache.rs crates/core/src/canonical.rs crates/core/src/charlib.rs crates/core/src/cost.rs crates/core/src/error.rs crates/core/src/flow.rs crates/core/src/matrix.rs crates/core/src/robust.rs
+
+/root/repo/target/release/deps/libca_core-ff78c1abfd13a406.rlib: crates/core/src/lib.rs crates/core/src/activation.rs crates/core/src/cache.rs crates/core/src/canonical.rs crates/core/src/charlib.rs crates/core/src/cost.rs crates/core/src/error.rs crates/core/src/flow.rs crates/core/src/matrix.rs crates/core/src/robust.rs
+
+/root/repo/target/release/deps/libca_core-ff78c1abfd13a406.rmeta: crates/core/src/lib.rs crates/core/src/activation.rs crates/core/src/cache.rs crates/core/src/canonical.rs crates/core/src/charlib.rs crates/core/src/cost.rs crates/core/src/error.rs crates/core/src/flow.rs crates/core/src/matrix.rs crates/core/src/robust.rs
+
+crates/core/src/lib.rs:
+crates/core/src/activation.rs:
+crates/core/src/cache.rs:
+crates/core/src/canonical.rs:
+crates/core/src/charlib.rs:
+crates/core/src/cost.rs:
+crates/core/src/error.rs:
+crates/core/src/flow.rs:
+crates/core/src/matrix.rs:
+crates/core/src/robust.rs:

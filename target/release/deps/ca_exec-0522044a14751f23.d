@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ca_exec-0522044a14751f23.d: crates/exec/src/lib.rs
+
+/root/repo/target/release/deps/libca_exec-0522044a14751f23.rlib: crates/exec/src/lib.rs
+
+/root/repo/target/release/deps/libca_exec-0522044a14751f23.rmeta: crates/exec/src/lib.rs
+
+crates/exec/src/lib.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/ca_ml-478955276b84a885.d: crates/ml/src/lib.rs crates/ml/src/baselines.rs crates/ml/src/data.rs crates/ml/src/forest.rs crates/ml/src/metrics.rs crates/ml/src/naive_bayes.rs crates/ml/src/tree.rs crates/ml/src/validate.rs
+
+/root/repo/target/release/deps/libca_ml-478955276b84a885.rlib: crates/ml/src/lib.rs crates/ml/src/baselines.rs crates/ml/src/data.rs crates/ml/src/forest.rs crates/ml/src/metrics.rs crates/ml/src/naive_bayes.rs crates/ml/src/tree.rs crates/ml/src/validate.rs
+
+/root/repo/target/release/deps/libca_ml-478955276b84a885.rmeta: crates/ml/src/lib.rs crates/ml/src/baselines.rs crates/ml/src/data.rs crates/ml/src/forest.rs crates/ml/src/metrics.rs crates/ml/src/naive_bayes.rs crates/ml/src/tree.rs crates/ml/src/validate.rs
+
+crates/ml/src/lib.rs:
+crates/ml/src/baselines.rs:
+crates/ml/src/data.rs:
+crates/ml/src/forest.rs:
+crates/ml/src/metrics.rs:
+crates/ml/src/naive_bayes.rs:
+crates/ml/src/tree.rs:
+crates/ml/src/validate.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/cell_aware-80fb572f5f0de713.d: src/lib.rs
+
+/root/repo/target/release/deps/libcell_aware-80fb572f5f0de713.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libcell_aware-80fb572f5f0de713.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/parallel_engine-f247a4d588c99d09.d: examples/parallel_engine.rs
+
+/root/repo/target/release/examples/parallel_engine-f247a4d588c99d09: examples/parallel_engine.rs
+
+examples/parallel_engine.rs:

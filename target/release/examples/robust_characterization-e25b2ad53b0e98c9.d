@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/robust_characterization-e25b2ad53b0e98c9.d: examples/robust_characterization.rs
+
+/root/repo/target/release/examples/robust_characterization-e25b2ad53b0e98c9: examples/robust_characterization.rs
+
+examples/robust_characterization.rs:

@@ -1,0 +1,1 @@
+/root/repo/target/release/libca_exec.rlib: /root/repo/crates/exec/src/lib.rs

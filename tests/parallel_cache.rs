@@ -1,0 +1,127 @@
+//! Memoized characterization must be indistinguishable from cold
+//! characterization — bit for bit, cell by cell — on realistic corpora
+//! that mix heavy structural duplication with outright damage.
+
+use ca_core::{CharCache, PreparedCell};
+use ca_defects::GenerateOptions;
+use ca_netlist::corrupt::salt_library;
+use ca_netlist::{generate_library, LibraryConfig, Technology};
+
+/// A variant-heavy library: skew and VT flavors multiply every template
+/// into families of sizing-only siblings, so the cache sees plenty of
+/// hits; salting then damages a handful of cells in place.
+fn salted_flavored_library() -> (ca_netlist::Library, usize) {
+    let mut lib = generate_library(&LibraryConfig {
+        skew_variants: true,
+        vt_variants: vec![("LVT".into(), 0.9), ("HVT".into(), 1.1)],
+        ..LibraryConfig::quick(Technology::C28)
+    });
+    lib.cells.truncate(60);
+    let salted = salt_library(&mut lib, 7, 0xCA5A).len();
+    (lib, salted)
+}
+
+/// Property: for every cell of a perturbed corpus — healthy or damaged —
+/// the cached engine returns exactly what a cold run returns: identical
+/// models on success, identical errors on failure.
+#[test]
+fn memoized_characterization_is_bit_identical_to_cold() {
+    let (lib, salted) = salted_flavored_library();
+    assert!(salted > 0);
+    let options = GenerateOptions::default();
+    let cache = CharCache::new();
+    let mut outcomes = 0usize;
+    for lc in &lib.cells {
+        let cold = PreparedCell::characterize(lc.cell.clone(), options);
+        let cached = cache.characterize(lc.cell.clone(), options);
+        match (cold, cached) {
+            (Ok(c), Ok(m)) => {
+                assert_eq!(c.model, m.model, "{}: model differs", lc.cell.name());
+                assert_eq!(
+                    c.universe.len(),
+                    m.universe.len(),
+                    "{}: universe differs",
+                    lc.cell.name()
+                );
+                outcomes += 1;
+            }
+            (Err(c), Err(m)) => {
+                assert_eq!(
+                    c.to_string(),
+                    m.to_string(),
+                    "{}: error differs",
+                    lc.cell.name()
+                );
+            }
+            (cold, cached) => panic!(
+                "{}: cold {:?} vs cached {:?} disagree on success",
+                lc.cell.name(),
+                cold.map(|_| ()),
+                cached.map(|_| ())
+            ),
+        }
+    }
+    assert!(outcomes > 10, "healthy cells must dominate: {outcomes}");
+    let stats = cache.stats();
+    assert!(
+        stats.hits > 0,
+        "flavor families must produce hits: {stats:?}"
+    );
+    assert_eq!(stats.rejected, 0, "no hash collisions expected: {stats:?}");
+}
+
+/// The same property under inter-transistor (net-short) universes, which
+/// exercise the net-bijection remap path.
+#[test]
+fn memoized_inter_transistor_models_match_cold() {
+    let mut lib = generate_library(&LibraryConfig {
+        skew_variants: true,
+        ..LibraryConfig::quick(Technology::C40)
+    });
+    lib.cells.truncate(24);
+    let options = GenerateOptions {
+        inter_transistor: true,
+        ..GenerateOptions::default()
+    };
+    let cache = CharCache::new();
+    for lc in &lib.cells {
+        let cold = PreparedCell::characterize(lc.cell.clone(), options).unwrap();
+        let cached = cache.characterize(lc.cell.clone(), options).unwrap();
+        assert_eq!(cold.model, cached.model, "{}", lc.cell.name());
+    }
+    assert!(cache.stats().hits > 0, "{:?}", cache.stats());
+}
+
+/// Reusing one cache across repeated runs of the same library serves
+/// every later run entirely from memory, still bit-identically.
+#[test]
+fn warm_cache_serves_a_whole_rerun_from_hits() {
+    let mut lib = generate_library(&LibraryConfig::quick(Technology::Soi28));
+    lib.cells.truncate(20);
+    let options = GenerateOptions::default();
+    let cache = CharCache::new();
+    let first: Vec<_> = lib
+        .cells
+        .iter()
+        .map(|lc| cache.characterize(lc.cell.clone(), options).unwrap())
+        .collect();
+    let after_first = cache.stats();
+    let second: Vec<_> = lib
+        .cells
+        .iter()
+        .map(|lc| cache.characterize(lc.cell.clone(), options).unwrap())
+        .collect();
+    let after_second = cache.stats();
+    assert_eq!(
+        after_second.misses, after_first.misses,
+        "rerun must not simulate: {after_second:?}"
+    );
+    assert_eq!(
+        after_second.hits,
+        after_first.hits + lib.cells.len(),
+        "{after_second:?}"
+    );
+    for (a, b) in first.iter().zip(&second) {
+        assert_eq!(a.model, b.model, "{}", a.cell.name());
+    }
+}
