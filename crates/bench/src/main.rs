@@ -170,7 +170,9 @@ fn main() {
         let bench = ca_bench::perf::run(profile);
         print!("{}", bench.render());
         let path = "BENCH_parallel.json";
-        match std::fs::write(path, bench.to_json()) {
+        // Atomic (tmp + fsync + rename): a crash mid-bench must never
+        // leave a torn JSON for the trend tooling to choke on.
+        match ca_store::write_atomic(path, bench.to_json()) {
             Ok(()) => eprintln!("[ca-bench] wrote {path}"),
             Err(e) => die(&format!("cannot write {path}: {e}")),
         }

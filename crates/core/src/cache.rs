@@ -358,6 +358,46 @@ impl CharCache {
         }
     }
 
+    /// Plants a pre-characterized donor under its own canonical key —
+    /// the session layer uses this to pre-seed the cache with models
+    /// reloaded from the on-disk store, so on-disk hits flow through the
+    /// same isomorphism-certified remap path as in-memory hits.
+    ///
+    /// Returns `false` (and plants nothing) for donors the cache would
+    /// never serve: degraded models (the never-a-donor rule — an
+    /// incomplete table must not propagate to structure siblings),
+    /// netlist-ordered canonicals, and keys that already hold a donor.
+    /// `canonical` must be the canonical view of `cell`; a lying caller
+    /// is caught by certification at lookup time, not here.
+    pub fn seed_donor(
+        &self,
+        cell: Cell,
+        canonical: CanonicalCell,
+        model: CaModel,
+        options: GenerateOptions,
+    ) -> bool {
+        if model.degraded {
+            return false;
+        }
+        let Some(key) = CacheKey::for_canonical(&canonical, options) else {
+            return false;
+        };
+        let mut slots = lock_recover(&self.slots);
+        match slots.entry(key) {
+            std::collections::hash_map::Entry::Occupied(_) => false,
+            std::collections::hash_map::Entry::Vacant(v) => {
+                let slot = Arc::new(Slot::new());
+                slot.publish(Some(Arc::new(Donor {
+                    cell,
+                    canonical,
+                    model,
+                })));
+                v.insert(slot);
+                true
+            }
+        }
+    }
+
     /// TEST SUPPORT: plants `donor` under the key of `victim_canonical`,
     /// simulating a 64-bit hash collision between two different
     /// structures. Only the certification layer stands between this and

@@ -12,10 +12,13 @@ use crate::cache::CharCache;
 use crate::cost::CostModel;
 use crate::error::CoreError;
 use crate::matrix::PreparedCell;
+use crate::session::{Reuse, Session};
 use ca_defects::{to_cam, Behavior, GenerateOptions};
 use ca_exec::Executor;
 use ca_netlist::library::Library;
+use ca_sim::SimBudget;
 use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
 
 /// Summary of a characterized library.
 #[derive(Debug, Clone, PartialEq)]
@@ -113,12 +116,65 @@ pub fn characterize_library_with(
     executor: &Executor,
     cache: &CharCache,
 ) -> Result<(Vec<PreparedCell>, LibrarySummary), CoreError> {
+    charlib_driver(library, options, executor, cache, None)
+}
+
+/// [`characterize_library_with`] bound to a durable [`Session`]: cells
+/// journaled by a previous (possibly killed) run are verified against the
+/// incoming library and served from the on-disk store instead of being
+/// re-simulated, and every freshly characterized cell is journaled as it
+/// lands. A run interrupted at any point can be re-invoked with the same
+/// arguments and converges to byte-identical models.
+///
+/// # Errors
+///
+/// Propagates the first (in library order) invalid-netlist error.
+pub fn characterize_library_with_session(
+    library: &Library,
+    options: GenerateOptions,
+    executor: &Executor,
+    cache: &CharCache,
+    session: &Session,
+) -> Result<(Vec<PreparedCell>, LibrarySummary), CoreError> {
+    charlib_driver(library, options, executor, cache, Some(session))
+}
+
+fn charlib_driver(
+    library: &Library,
+    options: GenerateOptions,
+    executor: &Executor,
+    cache: &CharCache,
+    session: Option<&Session>,
+) -> Result<(Vec<PreparedCell>, LibrarySummary), CoreError> {
+    // The plain flow always runs unbudgeted; quarantine verdicts are a
+    // robust-flow concept and are never replayed here.
+    let budget = SimBudget::unlimited();
+    let plan = session
+        .map(|s| s.plan(library, options, &budget, cache, false))
+        .unwrap_or_default();
     let results = executor.map(&library.cells, |_, lc| {
-        cache.characterize(lc.cell.clone(), options)
+        match plan.reuse(lc.cell.name()) {
+            // Store-verified degraded model, served back to this exact
+            // cell only (never-a-donor rule).
+            Some(Reuse::Degraded(p)) => Ok(p.clone()),
+            // Store-verified complete model: the session pre-seeded the
+            // cache, so this is a certified donor hit, no simulation.
+            Some(Reuse::Complete) => cache.characterize(lc.cell.clone(), options).map(Box::new),
+            _ => {
+                let result = cache.characterize(lc.cell.clone(), options);
+                if let (Some(s), Ok(p)) = (session, &result) {
+                    s.journal_model(p, options, &budget);
+                }
+                result.map(Box::new)
+            }
+        }
     });
     let mut prepared = Vec::with_capacity(results.len());
     for result in results {
-        prepared.push(result?);
+        prepared.push(*result?);
+    }
+    if let Some(s) = session {
+        s.maybe_compact();
     }
     let summary = summarize(library.technology.name(), &prepared);
     Ok((prepared, summary))
@@ -197,6 +253,38 @@ pub fn export_cam_with(prepared: &[PreparedCell], include_degraded: bool) -> Vec
                 .map(|m| (format!("{}.cam", p.cell.name()), to_cam(m)))
         })
         .collect()
+}
+
+/// Writes every `.cam` document of [`export_cam_with`] into `dir`
+/// (created if missing), returning the written paths in library order.
+///
+/// Each file lands via [`ca_store::write_atomic`] — tmp file, fsync,
+/// rename — so a crash mid-export leaves either the previous version or
+/// the complete new one, never a torn `.cam`.
+///
+/// # Errors
+///
+/// [`CoreError::Storage`] naming the file that failed.
+pub fn export_cam_to_dir(
+    prepared: &[PreparedCell],
+    dir: impl AsRef<Path>,
+    include_degraded: bool,
+) -> Result<Vec<PathBuf>, CoreError> {
+    let dir = dir.as_ref();
+    std::fs::create_dir_all(dir).map_err(|e| CoreError::Storage {
+        path: dir.display().to_string(),
+        source: e.to_string(),
+    })?;
+    let mut paths = Vec::new();
+    for (name, text) in export_cam_with(prepared, include_degraded) {
+        let path = dir.join(name);
+        ca_store::write_atomic(&path, text.as_bytes()).map_err(|e| CoreError::Storage {
+            path: path.display().to_string(),
+            source: e.to_string(),
+        })?;
+        paths.push(path);
+    }
+    Ok(paths)
 }
 
 #[cfg(test)]

@@ -52,6 +52,15 @@ pub enum CoreError {
         /// Underlying diagnostic.
         source: String,
     },
+    /// A durable-storage operation (session store, atomic file export)
+    /// failed. The I/O error is carried as text so `CoreError` stays
+    /// `Clone + Eq`.
+    Storage {
+        /// Path of the file or store involved.
+        path: String,
+        /// Underlying I/O diagnostic.
+        source: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -86,6 +95,9 @@ impl fmt::Display for CoreError {
             }
             CoreError::PrepareFailed { cell, source } => {
                 write!(f, "preparing `{cell}` failed: {source}")
+            }
+            CoreError::Storage { path, source } => {
+                write!(f, "storage failure at `{path}`: {source}")
             }
         }
     }
@@ -133,6 +145,14 @@ mod tests {
             source: "boom".into(),
         };
         assert_eq!(err.to_string(), "preparing `BAD` failed: boom");
+        let err = CoreError::Storage {
+            path: "/tmp/session.caj".into(),
+            source: "permission denied".into(),
+        };
+        assert_eq!(
+            err.to_string(),
+            "storage failure at `/tmp/session.caj`: permission denied"
+        );
     }
 
     #[test]

@@ -49,14 +49,15 @@ pub mod error;
 pub mod flow;
 pub mod matrix;
 pub mod robust;
+pub mod session;
 
 pub use activation::{Activation, ActivityValue};
-pub use ca_exec::{panic_message, Executor};
+pub use ca_exec::{panic_message, BadThreadsVar, Executor};
 pub use cache::{CacheStats, CharCache};
 pub use canonical::{Branch, CanonicalCell, SpTree};
 pub use charlib::{
-    characterize_library, characterize_library_with, export_cam, export_cam_with, summarize,
-    LibrarySummary,
+    characterize_library, characterize_library_with, characterize_library_with_session, export_cam,
+    export_cam_to_dir, export_cam_with, summarize, LibrarySummary,
 };
 pub use cost::{format_duration, CostModel};
 pub use error::CoreError;
@@ -66,6 +67,8 @@ pub use flow::{
 };
 pub use matrix::{MatrixLayout, PreparedCell};
 pub use robust::{
-    characterize_library_robust, characterize_library_robust_with, FailurePhase, FaultPolicy,
-    Quarantine, QuarantineEntry, RobustOutcome,
+    characterize_library_robust, characterize_library_robust_with,
+    characterize_library_robust_with_session, FailurePhase, FaultPolicy, Quarantine,
+    QuarantineEntry, RobustOutcome,
 };
+pub use session::{Session, SessionReport};

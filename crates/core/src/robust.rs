@@ -30,6 +30,7 @@
 use crate::cache::CharCache;
 use crate::error::CoreError;
 use crate::matrix::PreparedCell;
+use crate::session::{Reuse, Session};
 use ca_defects::GenerateOptions;
 use ca_exec::Executor;
 use ca_netlist::library::Library;
@@ -203,32 +204,148 @@ pub fn characterize_library_robust_with(
     executor: &Executor,
     cache: &CharCache,
 ) -> Result<RobustOutcome, CoreError> {
+    robust_driver(library, options, budget, policy, executor, cache, None)
+}
+
+/// [`characterize_library_robust_with`] bound to a durable [`Session`]:
+/// previously journaled cells (complete, degraded *and* — except under
+/// [`FaultPolicy::FailFast`] — quarantined) are verified against the
+/// incoming library and reused instead of re-simulated, and every fresh
+/// outcome is journaled as it lands. A run killed at any point can be
+/// re-invoked with the same arguments and converges to the uninterrupted
+/// run's models and quarantine verdicts (per-entry `elapsed` aside).
+///
+/// # Errors
+///
+/// Only [`FaultPolicy::FailFast`] returns an error — the first per-cell
+/// failure, like [`characterize_library`](crate::characterize_library).
+pub fn characterize_library_robust_with_session(
+    library: &Library,
+    options: GenerateOptions,
+    budget: &SimBudget,
+    policy: FaultPolicy,
+    executor: &Executor,
+    cache: &CharCache,
+    session: &Session,
+) -> Result<RobustOutcome, CoreError> {
+    robust_driver(
+        library,
+        options,
+        budget,
+        policy,
+        executor,
+        cache,
+        Some(session),
+    )
+}
+
+/// Per-cell scheduling outcome of the robust driver.
+enum Item {
+    /// A model landed (fresh, cache-served or store-served).
+    Done(Box<PreparedCell>),
+    /// The guarded pipeline failed this run.
+    Fail(FailurePhase, CoreError, Duration, u32),
+    /// A journaled quarantine verdict replayed from the session store.
+    Replay(FailurePhase, String, u32),
+}
+
+fn robust_driver(
+    library: &Library,
+    options: GenerateOptions,
+    budget: &SimBudget,
+    policy: FaultPolicy,
+    executor: &Executor,
+    cache: &CharCache,
+    session: Option<&Session>,
+) -> Result<RobustOutcome, CoreError> {
+    // Quarantine verdicts are replayed as their stored reason string; a
+    // fail-fast run must surface the original `CoreError` value, which a
+    // string cannot reconstruct, so it re-diagnoses instead.
+    let plan = session
+        .map(|s| {
+            s.plan(
+                library,
+                options,
+                budget,
+                cache,
+                policy != FaultPolicy::FailFast,
+            )
+        })
+        .unwrap_or_default();
     // Each item runs the full guarded pipeline, retries included; the
     // fold below never simulates, so the merge stays in library order.
     let results = executor.map(&library.cells, |_, lc| {
         let started = Instant::now();
-        let mut retries = 0u32;
-        let mut outcome = characterize_cell_guarded(&lc.cell, options, budget, cache);
-        if let FaultPolicy::RetryWithReducedBudget(max_retries) = policy {
-            while retries < max_retries {
-                match &outcome {
-                    Err((_, CoreError::BudgetExceeded { .. })) => {
-                        retries += 1;
-                        let reduced = reduced_budget(budget, &lc.cell, retries);
-                        outcome = characterize_cell_guarded(&lc.cell, options, &reduced, cache);
+        match plan.reuse(lc.cell.name()) {
+            // Store-verified degraded model: served back to this exact
+            // cell (never through the cache — never-a-donor rule).
+            Some(Reuse::Degraded(p)) => Item::Done(p.clone()),
+            // Store-verified complete model: the session pre-seeded the
+            // cache, so this resolves through the certified donor path
+            // without lint/golden/simulation.
+            Some(Reuse::Complete) => {
+                let name = lc.cell.name().to_string();
+                match isolated(&name, || cache.characterize(lc.cell.clone(), options)) {
+                    Ok(p) => Item::Done(Box::new(p)),
+                    Err(err) => Item::Fail(FailurePhase::Prepare, err, started.elapsed(), 0),
+                }
+            }
+            Some(Reuse::Quarantined {
+                phase,
+                retries,
+                reason,
+            }) => Item::Replay(*phase, reason.clone(), *retries),
+            None => {
+                let mut retries = 0u32;
+                let mut outcome = characterize_cell_guarded(&lc.cell, options, budget, cache);
+                if let FaultPolicy::RetryWithReducedBudget(max_retries) = policy {
+                    while retries < max_retries {
+                        match &outcome {
+                            Err((_, CoreError::BudgetExceeded { .. })) => {
+                                retries += 1;
+                                let reduced = reduced_budget(budget, &lc.cell, retries);
+                                outcome =
+                                    characterize_cell_guarded(&lc.cell, options, &reduced, cache);
+                            }
+                            _ => break,
+                        }
                     }
-                    _ => break,
+                }
+                match outcome {
+                    Ok(p) => {
+                        // Journal under the *configured* budget (not the
+                        // reduced retry budget): a resumed run under the
+                        // same arguments must find the record.
+                        if let Some(s) = session {
+                            s.journal_model(&p, options, budget);
+                        }
+                        Item::Done(Box::new(p))
+                    }
+                    Err((phase, err)) => {
+                        if policy != FaultPolicy::FailFast {
+                            if let Some(s) = session {
+                                s.journal_quarantine(
+                                    &lc.cell,
+                                    phase,
+                                    &err.to_string(),
+                                    retries,
+                                    options,
+                                    budget,
+                                );
+                            }
+                        }
+                        Item::Fail(phase, err, started.elapsed(), retries)
+                    }
                 }
             }
         }
-        (outcome, started.elapsed(), retries)
     });
     let mut prepared = Vec::with_capacity(library.len());
     let mut quarantine = Quarantine::default();
-    for (lc, (outcome, elapsed, retries)) in library.cells.iter().zip(results) {
-        match outcome {
-            Ok(p) => prepared.push(p),
-            Err((phase, err)) => {
+    for (lc, item) in library.cells.iter().zip(results) {
+        match item {
+            Item::Done(p) => prepared.push(*p),
+            Item::Fail(phase, err, elapsed, retries) => {
                 if policy == FaultPolicy::FailFast {
                     return Err(err);
                 }
@@ -240,7 +357,19 @@ pub fn characterize_library_robust_with(
                     retries,
                 });
             }
+            Item::Replay(phase, reason, retries) => {
+                quarantine.entries.push(QuarantineEntry {
+                    cell: lc.cell.name().to_string(),
+                    phase,
+                    reason,
+                    elapsed: Duration::ZERO,
+                    retries,
+                });
+            }
         }
+    }
+    if let Some(s) = session {
+        s.maybe_compact();
     }
     Ok(RobustOutcome {
         prepared,
@@ -333,7 +462,10 @@ fn characterize_cell_guarded(
 
 /// Runs `f` under [`catch_unwind`], converting a panic into
 /// [`CoreError::PrepareFailed`] with the panic message preserved.
-fn isolated<T>(cell_name: &str, f: impl FnOnce() -> Result<T, CoreError>) -> Result<T, CoreError> {
+pub(crate) fn isolated<T>(
+    cell_name: &str,
+    f: impl FnOnce() -> Result<T, CoreError>,
+) -> Result<T, CoreError> {
     match catch_unwind(AssertUnwindSafe(f)) {
         Ok(result) => result,
         Err(payload) => Err(CoreError::PrepareFailed {

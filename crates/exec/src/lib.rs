@@ -56,18 +56,52 @@ impl Executor {
     /// Reads the width from the `CA_THREADS` environment variable when it
     /// is set to a positive integer, else uses the machine's available
     /// parallelism (capped at 16).
+    ///
+    /// A `CA_THREADS` value that is set but *not* a positive integer
+    /// (`0`, empty, garbage) is a configuration mistake, not a request
+    /// for the default: this constructor prints a loud warning to stderr
+    /// naming the bad value and falls back to auto-detected parallelism.
+    /// Batch entry points that would rather refuse to start should use
+    /// [`Executor::try_from_env`].
     pub fn from_env() -> Executor {
-        let threads = std::env::var("CA_THREADS")
-            .ok()
-            .and_then(|s| s.trim().parse::<usize>().ok())
-            .filter(|&n| n >= 1)
-            .unwrap_or_else(|| {
-                std::thread::available_parallelism()
-                    .map(|n| n.get())
-                    .unwrap_or(1)
-                    .min(MAX_AUTO_THREADS)
-            });
-        Executor::with_threads(threads)
+        match Executor::try_from_env() {
+            Ok(exec) => exec,
+            Err(err) => {
+                eprintln!("warning: {err}; falling back to auto-detected parallelism");
+                Executor::auto()
+            }
+        }
+    }
+
+    /// Like [`Executor::from_env`], but a set-yet-invalid `CA_THREADS`
+    /// is an error instead of a warning-and-fallback — for entry points
+    /// where silently ignoring an explicit (mis)configuration would be
+    /// worse than not starting.
+    ///
+    /// An *unset* `CA_THREADS` is not an error: it means auto-detect.
+    ///
+    /// # Errors
+    ///
+    /// [`BadThreadsVar`] echoing the rejected value.
+    pub fn try_from_env() -> Result<Executor, BadThreadsVar> {
+        match std::env::var("CA_THREADS") {
+            Err(_) => Ok(Executor::auto()),
+            Ok(raw) => match raw.trim().parse::<usize>() {
+                Ok(n) if n >= 1 => Ok(Executor::with_threads(n)),
+                _ => Err(BadThreadsVar { value: raw }),
+            },
+        }
+    }
+
+    /// The machine's available parallelism, capped at
+    /// [`MAX_AUTO_THREADS`].
+    fn auto() -> Executor {
+        Executor::with_threads(
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .min(MAX_AUTO_THREADS),
+        )
     }
 
     /// Number of worker threads this executor uses.
@@ -175,6 +209,26 @@ impl Executor {
     }
 }
 
+/// The `CA_THREADS` environment variable was set to something other than
+/// a positive integer (see [`Executor::try_from_env`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BadThreadsVar {
+    /// The rejected value, verbatim.
+    pub value: String,
+}
+
+impl std::fmt::Display for BadThreadsVar {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "CA_THREADS must be a positive integer, got `{}`",
+            self.value
+        )
+    }
+}
+
+impl std::error::Error for BadThreadsVar {}
+
 /// Extracts a human-readable message from a panic payload (the `&str` /
 /// `String` payloads `panic!` produces; anything else gets a marker).
 pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
@@ -268,6 +322,68 @@ mod tests {
         let items: Vec<u64> = (0..1000).collect();
         let sum: u64 = exec.map(&items, |_, &x| x).into_iter().sum();
         assert_eq!(sum, 999 * 1000 / 2);
+    }
+
+    /// Serializes the `CA_THREADS` tests: the environment is process
+    /// state and the test harness runs on several threads.
+    fn with_env_var(value: Option<&str>, check: impl FnOnce()) {
+        static ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        let _guard = ENV_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        let saved = std::env::var("CA_THREADS").ok();
+        match value {
+            Some(v) => std::env::set_var("CA_THREADS", v),
+            None => std::env::remove_var("CA_THREADS"),
+        }
+        let outcome = catch_unwind(AssertUnwindSafe(check));
+        match saved {
+            Some(v) => std::env::set_var("CA_THREADS", v),
+            None => std::env::remove_var("CA_THREADS"),
+        }
+        if let Err(payload) = outcome {
+            resume_unwind(payload);
+        }
+    }
+
+    #[test]
+    fn try_from_env_accepts_valid_overrides() {
+        with_env_var(Some("3"), || {
+            assert_eq!(Executor::try_from_env().unwrap().threads(), 3);
+            assert_eq!(Executor::from_env().threads(), 3);
+        });
+        // Whitespace is operator noise, not an error.
+        with_env_var(Some(" 2 "), || {
+            assert_eq!(Executor::try_from_env().unwrap().threads(), 2);
+        });
+        with_env_var(None, || {
+            let auto = Executor::auto().threads();
+            assert_eq!(Executor::try_from_env().unwrap().threads(), auto);
+            assert_eq!(Executor::from_env().threads(), auto);
+        });
+    }
+
+    #[test]
+    fn try_from_env_rejects_zero_and_garbage() {
+        for bad in ["0", "", "eight", "-2", "1.5"] {
+            with_env_var(Some(bad), || {
+                let err = Executor::try_from_env().unwrap_err();
+                assert_eq!(err.value, bad);
+                assert_eq!(
+                    err.to_string(),
+                    format!("CA_THREADS must be a positive integer, got `{bad}`")
+                );
+            });
+        }
+    }
+
+    #[test]
+    fn from_env_falls_back_loudly_on_bad_values() {
+        // The warning itself goes to stderr; what must hold for the
+        // batch is that the executor still comes up at auto width.
+        for bad in ["0", "not-a-number"] {
+            with_env_var(Some(bad), || {
+                assert_eq!(Executor::from_env().threads(), Executor::auto().threads());
+            });
+        }
     }
 
     #[test]

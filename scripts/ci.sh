@@ -19,10 +19,25 @@ CA_THREADS=1 cargo test -q --workspace --offline
 echo "==> cargo test (offline, CA_THREADS=4)"
 CA_THREADS=4 cargo test -q --workspace --offline
 
+# The crash-recovery suite SIGKILLs child runs mid-library and proves the
+# session store resumes to byte-identical outputs (DESIGN.md §8). Run it
+# explicitly at both thread counts so the kill/resume path — not just the
+# in-process tests — is exercised serial and parallel.
+echo "==> crash recovery (SIGKILL + resume, CA_THREADS=1)"
+CA_THREADS=1 cargo test -q --test crash_recovery --offline
+
+echo "==> crash recovery (SIGKILL + resume, CA_THREADS=4)"
+CA_THREADS=4 cargo test -q --test crash_recovery --offline
+
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 
 echo "==> cargo clippy (all targets, warnings are errors)"
 cargo clippy --all-targets --workspace --offline -- -D warnings
+
+# The store is the durability layer: keep it at zero clippy debt even if
+# the workspace-wide gate is ever loosened.
+echo "==> cargo clippy (ca-store, standalone gate)"
+cargo clippy -p ca-store --all-targets --offline -- -D warnings
 
 echo "==> OK"

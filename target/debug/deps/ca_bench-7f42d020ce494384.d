@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ca_bench-7f42d020ce494384.d: crates/bench/src/main.rs
+
+/root/repo/target/debug/deps/ca_bench-7f42d020ce494384: crates/bench/src/main.rs
+
+crates/bench/src/main.rs:

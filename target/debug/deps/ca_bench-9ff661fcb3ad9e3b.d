@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ca_bench-9ff661fcb3ad9e3b.d: crates/bench/src/lib.rs crates/bench/src/corpus.rs crates/bench/src/microbench.rs crates/bench/src/perf.rs crates/bench/src/report.rs crates/bench/src/tables.rs
+
+/root/repo/target/debug/deps/ca_bench-9ff661fcb3ad9e3b: crates/bench/src/lib.rs crates/bench/src/corpus.rs crates/bench/src/microbench.rs crates/bench/src/perf.rs crates/bench/src/report.rs crates/bench/src/tables.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/corpus.rs:
+crates/bench/src/microbench.rs:
+crates/bench/src/perf.rs:
+crates/bench/src/report.rs:
+crates/bench/src/tables.rs:

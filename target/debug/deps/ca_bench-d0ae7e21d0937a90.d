@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/ca_bench-d0ae7e21d0937a90.d: crates/bench/src/lib.rs crates/bench/src/corpus.rs crates/bench/src/microbench.rs crates/bench/src/perf.rs crates/bench/src/report.rs crates/bench/src/tables.rs
+
+/root/repo/target/debug/deps/libca_bench-d0ae7e21d0937a90.rlib: crates/bench/src/lib.rs crates/bench/src/corpus.rs crates/bench/src/microbench.rs crates/bench/src/perf.rs crates/bench/src/report.rs crates/bench/src/tables.rs
+
+/root/repo/target/debug/deps/libca_bench-d0ae7e21d0937a90.rmeta: crates/bench/src/lib.rs crates/bench/src/corpus.rs crates/bench/src/microbench.rs crates/bench/src/perf.rs crates/bench/src/report.rs crates/bench/src/tables.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/corpus.rs:
+crates/bench/src/microbench.rs:
+crates/bench/src/perf.rs:
+crates/bench/src/report.rs:
+crates/bench/src/tables.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/ca_bench-ee95484ed055776b.d: crates/bench/src/lib.rs crates/bench/src/corpus.rs crates/bench/src/microbench.rs crates/bench/src/perf.rs crates/bench/src/report.rs crates/bench/src/tables.rs Cargo.toml
+
+/root/repo/target/debug/deps/libca_bench-ee95484ed055776b.rmeta: crates/bench/src/lib.rs crates/bench/src/corpus.rs crates/bench/src/microbench.rs crates/bench/src/perf.rs crates/bench/src/report.rs crates/bench/src/tables.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/corpus.rs:
+crates/bench/src/microbench.rs:
+crates/bench/src/perf.rs:
+crates/bench/src/report.rs:
+crates/bench/src/tables.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ca_bench-fff12459f03c183e.d: crates/bench/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libca_bench-fff12459f03c183e.rmeta: crates/bench/src/main.rs Cargo.toml
+
+crates/bench/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

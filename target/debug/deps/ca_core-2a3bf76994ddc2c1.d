@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/ca_core-2a3bf76994ddc2c1.d: crates/core/src/lib.rs crates/core/src/activation.rs crates/core/src/cache.rs crates/core/src/canonical.rs crates/core/src/charlib.rs crates/core/src/cost.rs crates/core/src/error.rs crates/core/src/flow.rs crates/core/src/matrix.rs crates/core/src/robust.rs crates/core/src/session.rs
+
+/root/repo/target/debug/deps/ca_core-2a3bf76994ddc2c1: crates/core/src/lib.rs crates/core/src/activation.rs crates/core/src/cache.rs crates/core/src/canonical.rs crates/core/src/charlib.rs crates/core/src/cost.rs crates/core/src/error.rs crates/core/src/flow.rs crates/core/src/matrix.rs crates/core/src/robust.rs crates/core/src/session.rs
+
+crates/core/src/lib.rs:
+crates/core/src/activation.rs:
+crates/core/src/cache.rs:
+crates/core/src/canonical.rs:
+crates/core/src/charlib.rs:
+crates/core/src/cost.rs:
+crates/core/src/error.rs:
+crates/core/src/flow.rs:
+crates/core/src/matrix.rs:
+crates/core/src/robust.rs:
+crates/core/src/session.rs:

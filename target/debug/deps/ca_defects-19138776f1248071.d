@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/ca_defects-19138776f1248071.d: crates/defects/src/lib.rs crates/defects/src/classes.rs crates/defects/src/diagnosis.rs crates/defects/src/io.rs crates/defects/src/model.rs crates/defects/src/patterns.rs crates/defects/src/table.rs crates/defects/src/universe.rs Cargo.toml
+
+/root/repo/target/debug/deps/libca_defects-19138776f1248071.rmeta: crates/defects/src/lib.rs crates/defects/src/classes.rs crates/defects/src/diagnosis.rs crates/defects/src/io.rs crates/defects/src/model.rs crates/defects/src/patterns.rs crates/defects/src/table.rs crates/defects/src/universe.rs Cargo.toml
+
+crates/defects/src/lib.rs:
+crates/defects/src/classes.rs:
+crates/defects/src/diagnosis.rs:
+crates/defects/src/io.rs:
+crates/defects/src/model.rs:
+crates/defects/src/patterns.rs:
+crates/defects/src/table.rs:
+crates/defects/src/universe.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

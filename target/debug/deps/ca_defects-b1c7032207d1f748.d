@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/ca_defects-b1c7032207d1f748.d: crates/defects/src/lib.rs crates/defects/src/classes.rs crates/defects/src/diagnosis.rs crates/defects/src/io.rs crates/defects/src/model.rs crates/defects/src/patterns.rs crates/defects/src/table.rs crates/defects/src/universe.rs
+
+/root/repo/target/debug/deps/ca_defects-b1c7032207d1f748: crates/defects/src/lib.rs crates/defects/src/classes.rs crates/defects/src/diagnosis.rs crates/defects/src/io.rs crates/defects/src/model.rs crates/defects/src/patterns.rs crates/defects/src/table.rs crates/defects/src/universe.rs
+
+crates/defects/src/lib.rs:
+crates/defects/src/classes.rs:
+crates/defects/src/diagnosis.rs:
+crates/defects/src/io.rs:
+crates/defects/src/model.rs:
+crates/defects/src/patterns.rs:
+crates/defects/src/table.rs:
+crates/defects/src/universe.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/ca_store-984697ff14d14328.d: crates/store/src/lib.rs crates/store/src/corrupt.rs
+
+/root/repo/target/debug/deps/ca_store-984697ff14d14328: crates/store/src/lib.rs crates/store/src/corrupt.rs
+
+crates/store/src/lib.rs:
+crates/store/src/corrupt.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ca_store-d852814975724f21.d: crates/store/src/lib.rs crates/store/src/corrupt.rs Cargo.toml
+
+/root/repo/target/debug/deps/libca_store-d852814975724f21.rmeta: crates/store/src/lib.rs crates/store/src/corrupt.rs Cargo.toml
+
+crates/store/src/lib.rs:
+crates/store/src/corrupt.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/ca_store-ebc5bb8d2d052c26.d: crates/store/src/lib.rs crates/store/src/corrupt.rs
+
+/root/repo/target/debug/deps/libca_store-ebc5bb8d2d052c26.rlib: crates/store/src/lib.rs crates/store/src/corrupt.rs
+
+/root/repo/target/debug/deps/libca_store-ebc5bb8d2d052c26.rmeta: crates/store/src/lib.rs crates/store/src/corrupt.rs
+
+crates/store/src/lib.rs:
+crates/store/src/corrupt.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/camatrix_creation-394cb7c9f35b8bab.d: crates/bench/benches/camatrix_creation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcamatrix_creation-394cb7c9f35b8bab.rmeta: crates/bench/benches/camatrix_creation.rs Cargo.toml
+
+crates/bench/benches/camatrix_creation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

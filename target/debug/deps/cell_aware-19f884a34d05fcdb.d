@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cell_aware-19f884a34d05fcdb.d: src/lib.rs
+
+/root/repo/target/debug/deps/libcell_aware-19f884a34d05fcdb.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libcell_aware-19f884a34d05fcdb.rmeta: src/lib.rs
+
+src/lib.rs:

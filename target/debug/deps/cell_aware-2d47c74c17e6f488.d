@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cell_aware-2d47c74c17e6f488.d: src/lib.rs
+
+/root/repo/target/debug/deps/cell_aware-2d47c74c17e6f488: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cell_aware-65302701570a1a12.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcell_aware-65302701570a1a12.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

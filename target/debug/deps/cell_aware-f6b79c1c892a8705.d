@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cell_aware-f6b79c1c892a8705.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcell_aware-f6b79c1c892a8705.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/conventional_flow-951bd71e0df3b2ae.d: crates/bench/benches/conventional_flow.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconventional_flow-951bd71e0df3b2ae.rmeta: crates/bench/benches/conventional_flow.rs Cargo.toml
+
+crates/bench/benches/conventional_flow.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crash_recovery-c972e450b95718f3.d: tests/crash_recovery.rs
+
+/root/repo/target/debug/deps/crash_recovery-c972e450b95718f3: tests/crash_recovery.rs
+
+tests/crash_recovery.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/crash_recovery-cb2ea2ca83eb8898.d: tests/crash_recovery.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcrash_recovery-cb2ea2ca83eb8898.rmeta: tests/crash_recovery.rs Cargo.toml
+
+tests/crash_recovery.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

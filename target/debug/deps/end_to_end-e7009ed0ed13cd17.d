@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-e7009ed0ed13cd17.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-e7009ed0ed13cd17: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/forest-1e70f32a06a1b57f.d: crates/bench/benches/forest.rs Cargo.toml
+
+/root/repo/target/debug/deps/libforest-1e70f32a06a1b57f.rmeta: crates/bench/benches/forest.rs Cargo.toml
+
+crates/bench/benches/forest.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

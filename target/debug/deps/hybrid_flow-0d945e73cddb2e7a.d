@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hybrid_flow-0d945e73cddb2e7a.d: tests/hybrid_flow.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhybrid_flow-0d945e73cddb2e7a.rmeta: tests/hybrid_flow.rs Cargo.toml
+
+tests/hybrid_flow.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hybrid_flow-32ea70dceec14913.d: crates/bench/benches/hybrid_flow.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhybrid_flow-32ea70dceec14913.rmeta: crates/bench/benches/hybrid_flow.rs Cargo.toml
+
+crates/bench/benches/hybrid_flow.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

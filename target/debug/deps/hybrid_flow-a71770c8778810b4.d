@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hybrid_flow-a71770c8778810b4.d: tests/hybrid_flow.rs
+
+/root/repo/target/debug/deps/hybrid_flow-a71770c8778810b4: tests/hybrid_flow.rs
+
+tests/hybrid_flow.rs:

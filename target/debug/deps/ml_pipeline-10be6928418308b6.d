@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ml_pipeline-10be6928418308b6.d: tests/ml_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libml_pipeline-10be6928418308b6.rmeta: tests/ml_pipeline.rs Cargo.toml
+
+tests/ml_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ml_pipeline-df20cf4924174d96.d: tests/ml_pipeline.rs
+
+/root/repo/target/debug/deps/ml_pipeline-df20cf4924174d96: tests/ml_pipeline.rs
+
+tests/ml_pipeline.rs:

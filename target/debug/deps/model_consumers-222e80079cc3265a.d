@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/model_consumers-222e80079cc3265a.d: tests/model_consumers.rs
+
+/root/repo/target/debug/deps/model_consumers-222e80079cc3265a: tests/model_consumers.rs
+
+tests/model_consumers.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/model_consumers-83643a050a6a58b1.d: tests/model_consumers.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmodel_consumers-83643a050a6a58b1.rmeta: tests/model_consumers.rs Cargo.toml
+
+tests/model_consumers.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

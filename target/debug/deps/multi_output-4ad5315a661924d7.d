@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/multi_output-4ad5315a661924d7.d: tests/multi_output.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmulti_output-4ad5315a661924d7.rmeta: tests/multi_output.rs Cargo.toml
+
+tests/multi_output.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

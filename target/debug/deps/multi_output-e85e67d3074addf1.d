@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/multi_output-e85e67d3074addf1.d: tests/multi_output.rs
+
+/root/repo/target/debug/deps/multi_output-e85e67d3074addf1: tests/multi_output.rs
+
+tests/multi_output.rs:

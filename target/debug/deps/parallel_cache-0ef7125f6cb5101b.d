@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parallel_cache-0ef7125f6cb5101b.d: tests/parallel_cache.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparallel_cache-0ef7125f6cb5101b.rmeta: tests/parallel_cache.rs Cargo.toml
+
+tests/parallel_cache.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

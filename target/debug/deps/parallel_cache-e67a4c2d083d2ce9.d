@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel_cache-e67a4c2d083d2ce9.d: tests/parallel_cache.rs
+
+/root/repo/target/debug/deps/parallel_cache-e67a4c2d083d2ce9: tests/parallel_cache.rs
+
+tests/parallel_cache.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel_determinism-028f2b27c34b8815.d: tests/parallel_determinism.rs
+
+/root/repo/target/debug/deps/parallel_determinism-028f2b27c34b8815: tests/parallel_determinism.rs
+
+tests/parallel_determinism.rs:

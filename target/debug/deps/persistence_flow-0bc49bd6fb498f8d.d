@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/persistence_flow-0bc49bd6fb498f8d.d: tests/persistence_flow.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpersistence_flow-0bc49bd6fb498f8d.rmeta: tests/persistence_flow.rs Cargo.toml
+
+tests/persistence_flow.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/persistence_flow-984184bd07b8655f.d: tests/persistence_flow.rs
+
+/root/repo/target/debug/deps/persistence_flow-984184bd07b8655f: tests/persistence_flow.rs
+
+tests/persistence_flow.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-cedfaabb36bcd865.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-cedfaabb36bcd865: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/robustness-7f75a6c25baf996a.d: tests/robustness.rs Cargo.toml
+
+/root/repo/target/debug/deps/librobustness-7f75a6c25baf996a.rmeta: tests/robustness.rs Cargo.toml
+
+tests/robustness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

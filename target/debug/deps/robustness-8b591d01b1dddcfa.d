@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/robustness-8b591d01b1dddcfa.d: tests/robustness.rs
+
+/root/repo/target/debug/deps/robustness-8b591d01b1dddcfa: tests/robustness.rs
+
+tests/robustness.rs:

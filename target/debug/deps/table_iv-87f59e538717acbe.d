@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table_iv-87f59e538717acbe.d: crates/bench/benches/table_iv.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable_iv-87f59e538717acbe.rmeta: crates/bench/benches/table_iv.rs Cargo.toml
+
+crates/bench/benches/table_iv.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

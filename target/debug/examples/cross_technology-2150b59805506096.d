@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/cross_technology-2150b59805506096.d: examples/cross_technology.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcross_technology-2150b59805506096.rmeta: examples/cross_technology.rs Cargo.toml
+
+examples/cross_technology.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cross_technology-930a23f18fcc9caa.d: examples/cross_technology.rs
+
+/root/repo/target/debug/examples/cross_technology-930a23f18fcc9caa: examples/cross_technology.rs
+
+examples/cross_technology.rs:

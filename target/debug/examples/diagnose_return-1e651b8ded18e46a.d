@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/diagnose_return-1e651b8ded18e46a.d: examples/diagnose_return.rs
+
+/root/repo/target/debug/examples/diagnose_return-1e651b8ded18e46a: examples/diagnose_return.rs
+
+examples/diagnose_return.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/diagnose_return-e0c7044d66d3b5da.d: examples/diagnose_return.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdiagnose_return-e0c7044d66d3b5da.rmeta: examples/diagnose_return.rs Cargo.toml
+
+examples/diagnose_return.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

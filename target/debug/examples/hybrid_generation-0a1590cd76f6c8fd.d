@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/hybrid_generation-0a1590cd76f6c8fd.d: examples/hybrid_generation.rs Cargo.toml
+
+/root/repo/target/debug/examples/libhybrid_generation-0a1590cd76f6c8fd.rmeta: examples/hybrid_generation.rs Cargo.toml
+
+examples/hybrid_generation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/hybrid_generation-cd2b831d531fc88b.d: examples/hybrid_generation.rs
+
+/root/repo/target/debug/examples/hybrid_generation-cd2b831d531fc88b: examples/hybrid_generation.rs
+
+examples/hybrid_generation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/inspect_camatrix-a0140e5cc9d9c59e.d: examples/inspect_camatrix.rs Cargo.toml
+
+/root/repo/target/debug/examples/libinspect_camatrix-a0140e5cc9d9c59e.rmeta: examples/inspect_camatrix.rs Cargo.toml
+
+examples/inspect_camatrix.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

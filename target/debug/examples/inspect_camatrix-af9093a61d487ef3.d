@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/inspect_camatrix-af9093a61d487ef3.d: examples/inspect_camatrix.rs
+
+/root/repo/target/debug/examples/inspect_camatrix-af9093a61d487ef3: examples/inspect_camatrix.rs
+
+examples/inspect_camatrix.rs:

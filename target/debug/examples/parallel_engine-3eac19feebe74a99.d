@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/parallel_engine-3eac19feebe74a99.d: examples/parallel_engine.rs
+
+/root/repo/target/debug/examples/parallel_engine-3eac19feebe74a99: examples/parallel_engine.rs
+
+examples/parallel_engine.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/parallel_engine-6bc1f1beb0f6bb82.d: examples/parallel_engine.rs Cargo.toml
+
+/root/repo/target/debug/examples/libparallel_engine-6bc1f1beb0f6bb82.rmeta: examples/parallel_engine.rs Cargo.toml
+
+examples/parallel_engine.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-f6fbd037de99dfa4.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-f6fbd037de99dfa4: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/robust_characterization-0975692649b235ab.d: examples/robust_characterization.rs Cargo.toml
+
+/root/repo/target/debug/examples/librobust_characterization-0975692649b235ab.rmeta: examples/robust_characterization.rs Cargo.toml
+
+examples/robust_characterization.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/robust_characterization-c5c4f9c46f7f2fc5.d: examples/robust_characterization.rs
+
+/root/repo/target/debug/examples/robust_characterization-c5c4f9c46f7f2fc5: examples/robust_characterization.rs
+
+examples/robust_characterization.rs:

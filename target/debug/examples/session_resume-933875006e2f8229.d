@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/session_resume-933875006e2f8229.d: examples/session_resume.rs
+
+/root/repo/target/debug/examples/session_resume-933875006e2f8229: examples/session_resume.rs
+
+examples/session_resume.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/session_resume-b6ce865d450bd076.d: examples/session_resume.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsession_resume-b6ce865d450bd076.rmeta: examples/session_resume.rs Cargo.toml
+
+examples/session_resume.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

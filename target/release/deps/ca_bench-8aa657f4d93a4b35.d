@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ca_bench-8aa657f4d93a4b35.d: crates/bench/src/main.rs
+
+/root/repo/target/release/deps/ca_bench-8aa657f4d93a4b35: crates/bench/src/main.rs
+
+crates/bench/src/main.rs:

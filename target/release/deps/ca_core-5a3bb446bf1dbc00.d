@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/ca_core-5a3bb446bf1dbc00.d: crates/core/src/lib.rs crates/core/src/activation.rs crates/core/src/cache.rs crates/core/src/canonical.rs crates/core/src/charlib.rs crates/core/src/cost.rs crates/core/src/error.rs crates/core/src/flow.rs crates/core/src/matrix.rs crates/core/src/robust.rs crates/core/src/session.rs
+
+/root/repo/target/release/deps/libca_core-5a3bb446bf1dbc00.rlib: crates/core/src/lib.rs crates/core/src/activation.rs crates/core/src/cache.rs crates/core/src/canonical.rs crates/core/src/charlib.rs crates/core/src/cost.rs crates/core/src/error.rs crates/core/src/flow.rs crates/core/src/matrix.rs crates/core/src/robust.rs crates/core/src/session.rs
+
+/root/repo/target/release/deps/libca_core-5a3bb446bf1dbc00.rmeta: crates/core/src/lib.rs crates/core/src/activation.rs crates/core/src/cache.rs crates/core/src/canonical.rs crates/core/src/charlib.rs crates/core/src/cost.rs crates/core/src/error.rs crates/core/src/flow.rs crates/core/src/matrix.rs crates/core/src/robust.rs crates/core/src/session.rs
+
+crates/core/src/lib.rs:
+crates/core/src/activation.rs:
+crates/core/src/cache.rs:
+crates/core/src/canonical.rs:
+crates/core/src/charlib.rs:
+crates/core/src/cost.rs:
+crates/core/src/error.rs:
+crates/core/src/flow.rs:
+crates/core/src/matrix.rs:
+crates/core/src/robust.rs:
+crates/core/src/session.rs:

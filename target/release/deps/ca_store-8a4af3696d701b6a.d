@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/ca_store-8a4af3696d701b6a.d: crates/store/src/lib.rs crates/store/src/corrupt.rs
+
+/root/repo/target/release/deps/libca_store-8a4af3696d701b6a.rlib: crates/store/src/lib.rs crates/store/src/corrupt.rs
+
+/root/repo/target/release/deps/libca_store-8a4af3696d701b6a.rmeta: crates/store/src/lib.rs crates/store/src/corrupt.rs
+
+crates/store/src/lib.rs:
+crates/store/src/corrupt.rs:

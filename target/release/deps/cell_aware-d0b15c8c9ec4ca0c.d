@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/cell_aware-d0b15c8c9ec4ca0c.d: src/lib.rs
+
+/root/repo/target/release/deps/libcell_aware-d0b15c8c9ec4ca0c.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libcell_aware-d0b15c8c9ec4ca0c.rmeta: src/lib.rs
+
+src/lib.rs:

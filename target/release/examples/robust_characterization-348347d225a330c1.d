@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/robust_characterization-348347d225a330c1.d: examples/robust_characterization.rs
+
+/root/repo/target/release/examples/robust_characterization-348347d225a330c1: examples/robust_characterization.rs
+
+examples/robust_characterization.rs:

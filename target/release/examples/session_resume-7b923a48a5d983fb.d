@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/session_resume-7b923a48a5d983fb.d: examples/session_resume.rs
+
+/root/repo/target/release/examples/session_resume-7b923a48a5d983fb: examples/session_resume.rs
+
+examples/session_resume.rs:

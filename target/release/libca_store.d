@@ -1,0 +1,1 @@
+/root/repo/target/release/libca_store.rlib: /root/repo/crates/rng/src/lib.rs /root/repo/crates/store/src/corrupt.rs /root/repo/crates/store/src/lib.rs
