@@ -8,6 +8,7 @@
 pub mod corpus;
 pub mod microbench;
 pub mod perf;
+pub mod profiling;
 pub mod report;
 pub mod tables;
 

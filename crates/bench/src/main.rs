@@ -16,9 +16,15 @@
 //!   library          per-technology characterization summaries
 //!   parallel         parallel engine + cache benchmark -> BENCH_parallel.json
 //!   all              everything above
+//!   profile          end-to-end flow profile -> BENCH_profile.json
+//!                    (not part of `all`; `--quick` = `--profile quick`)
+//!   profile-check    validate BENCH_profile.json (or an explicit path)
+//!                    against schema ca-obs-profile/1; exits 2 on failure
 //! ```
 //!
-//! `parallel` honours `CA_THREADS` for the engine's worker count.
+//! `parallel` and `profile` honour `CA_THREADS` for the worker count.
+//! With `CA_OBS_PATH` set, buffered observability events are flushed
+//! there as JSONL on exit.
 
 use ca_bench::corpus::Profile;
 use ca_bench::tables;
@@ -41,9 +47,11 @@ fn main() {
     let mut train = Technology::Soi28;
     let mut eval_b = Technology::C28;
     let mut eval_c = Technology::C40;
+    let mut check_path = String::from("BENCH_profile.json");
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--quick" => profile = Profile::Quick,
             "--profile" => {
                 i += 1;
                 profile = args
@@ -68,7 +76,15 @@ fn main() {
                 eval_c = t;
             }
             flag if flag.starts_with('-') => die(&format!("unknown flag {flag}")),
-            cmd => command = cmd.to_string(),
+            cmd => {
+                if command == "profile-check" {
+                    // `profile-check [path]`: the word after the command
+                    // is the document to validate.
+                    check_path = cmd.to_string();
+                } else {
+                    command = cmd.to_string();
+                }
+            }
         }
         i += 1;
     }
@@ -173,8 +189,34 @@ fn main() {
         // Atomic (tmp + fsync + rename): a crash mid-bench must never
         // leave a torn JSON for the trend tooling to choke on.
         match ca_store::write_atomic(path, bench.to_json()) {
-            Ok(()) => eprintln!("[ca-bench] wrote {path}"),
+            Ok(()) => ca_obs::info_status("ca_bench", &format!("wrote {path}"), &[]),
             Err(e) => die(&format!("cannot write {path}: {e}")),
+        }
+    }
+    // `profile` and `profile-check` are deliberately not part of `all`:
+    // one measures the flow, the other gates on its artifact.
+    if command == "profile" {
+        matched = true;
+        match ca_bench::profiling::run(profile) {
+            Ok(fp) => {
+                print!("{}", fp.render());
+                let path = "BENCH_profile.json";
+                match ca_store::write_atomic(path, fp.to_json()) {
+                    Ok(()) => ca_obs::info_status("ca_bench", &format!("wrote {path}"), &[]),
+                    Err(e) => die(&format!("cannot write {path}: {e}")),
+                }
+            }
+            Err(e) => die(&format!("profile run failed: {e}")),
+        }
+    }
+    if command == "profile-check" {
+        matched = true;
+        match std::fs::read_to_string(&check_path) {
+            Ok(text) => match ca_obs::validate_profile_json(&text) {
+                Ok(()) => ca_obs::info_status("ca_bench", &format!("{check_path} is valid"), &[]),
+                Err(e) => die(&format!("{check_path} invalid: {e}")),
+            },
+            Err(e) => die(&format!("cannot read {check_path}: {e}")),
         }
     }
     if !matched {
@@ -182,10 +224,34 @@ fn main() {
             "unknown command `{command}` (see the doc comment for the list)"
         ));
     }
-    eprintln!("[ca-bench] done in {:.1} s", start.elapsed().as_secs_f64());
+    ca_obs::info_status(
+        "ca_bench",
+        &format!("done in {:.1} s", start.elapsed().as_secs_f64()),
+        &[],
+    );
+    flush_events();
+}
+
+/// Flushes buffered observability events to `CA_OBS_PATH` (if set).
+fn flush_events() {
+    match ca_obs::flush() {
+        Ok(Some(path)) => eprintln!("[ca-bench] events -> {}", path.display()),
+        Ok(None) => {}
+        Err(e) => eprintln!("[ca-bench] event flush failed: {e}"),
+    }
 }
 
 fn die(msg: &str) -> ! {
+    ca_obs::event(
+        ca_obs::Level::Error,
+        "ca_bench",
+        msg,
+        &[],
+        ca_obs::Mirror::Never,
+    );
+    // Plain stderr (not a mirrored event): fatal usage errors must stay
+    // visible even under `CA_OBS=off`.
     eprintln!("ca-bench: {msg}");
+    flush_events();
     std::process::exit(2);
 }

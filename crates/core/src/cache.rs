@@ -169,13 +169,34 @@ pub struct CacheStats {
 }
 
 impl CacheStats {
-    /// Hits over all keyed lookups, in `[0, 1]`.
+    /// Every lookup that entered the cache API: `hits + misses +
+    /// bypassed`. (`rejected` lookups are already inside `misses`, so
+    /// they are not added again.) Profile rates computed over this
+    /// denominator sum to 100%.
+    pub fn lookup_total(&self) -> usize {
+        self.hits + self.misses + self.bypassed
+    }
+
+    /// Hits over *all* lookups — bypassed included — in `[0, 1]`. A
+    /// bypass is a lookup the cache declined to serve, so counting it
+    /// in the denominator keeps this rate and
+    /// [`CacheStats::bypass_rate`] summing with the miss share to 1.
     pub fn hit_rate(&self) -> f64 {
-        let total = self.hits + self.misses;
+        let total = self.lookup_total();
         if total == 0 {
             0.0
         } else {
             self.hits as f64 / total as f64
+        }
+    }
+
+    /// Bypassed lookups over all lookups, in `[0, 1]`.
+    pub fn bypass_rate(&self) -> f64 {
+        let total = self.lookup_total();
+        if total == 0 {
+            0.0
+        } else {
+            self.bypassed as f64 / total as f64
         }
     }
 }
@@ -224,6 +245,30 @@ impl CharCache {
         }
     }
 
+    // Each bump lands in both this cache's own stats and the global
+    // metric registry — the registry aggregates across every cache in
+    // the process, `stats()` stays per-batch. Leader election makes
+    // all four counts scheduling-invariant, hence `work`-class.
+    fn note_hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        ca_obs::counter!("ca_core.cache.hits", Work).inc();
+    }
+
+    fn note_miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        ca_obs::counter!("ca_core.cache.misses", Work).inc();
+    }
+
+    fn note_rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+        ca_obs::counter!("ca_core.cache.rejected", Work).inc();
+    }
+
+    fn note_bypassed(&self) {
+        self.bypassed.fetch_add(1, Ordering::Relaxed);
+        ca_obs::counter!("ca_core.cache.bypassed", Work).inc();
+    }
+
     /// Drop-in replacement for [`PreparedCell::characterize`] that serves
     /// structurally identical cells from the cache.
     ///
@@ -237,7 +282,7 @@ impl CharCache {
     ) -> Result<PreparedCell, CoreError> {
         let mut prepared = PreparedCell::prepare(cell)?;
         let Some(key) = CacheKey::for_canonical(&prepared.canonical, options) else {
-            self.bypassed.fetch_add(1, Ordering::Relaxed);
+            self.note_bypassed();
             prepared.model = Some(CaModel::generate(&prepared.cell, options));
             return Ok(prepared);
         };
@@ -256,20 +301,20 @@ impl CharCache {
                         model: model.clone(),
                     })));
                 }
-                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.note_miss();
                 prepared.model = Some(model);
                 Ok(prepared)
             }
             Claim::Follower(slot) => {
                 if let Some(donor) = slot.wait() {
                     if let Some(model) = remap_model(&donor, &prepared, options) {
-                        self.hits.fetch_add(1, Ordering::Relaxed);
+                        self.note_hit();
                         prepared.model = Some(model);
                         return Ok(prepared);
                     }
-                    self.rejected.fetch_add(1, Ordering::Relaxed);
+                    self.note_rejected();
                 }
-                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.note_miss();
                 prepared.model = Some(CaModel::generate(&prepared.cell, options));
                 Ok(prepared)
             }
@@ -295,7 +340,7 @@ impl CharCache {
             || budget.max_defects.is_some()
             || budget.max_solver_iterations.is_some()
         {
-            self.bypassed.fetch_add(1, Ordering::Relaxed);
+            self.note_bypassed();
             return PreparedCell::characterize_budgeted(cell, options, budget);
         }
         let prepared = match PreparedCell::prepare(cell.clone()) {
@@ -306,7 +351,7 @@ impl CharCache {
             Err(_) => return PreparedCell::characterize_budgeted(cell, options, budget),
         };
         let Some(key) = CacheKey::for_canonical(&prepared.canonical, options) else {
-            self.bypassed.fetch_add(1, Ordering::Relaxed);
+            self.note_bypassed();
             return PreparedCell::characterize_budgeted(cell, options, budget);
         };
         let mut prepared = prepared;
@@ -327,20 +372,20 @@ impl CharCache {
                         })));
                     }
                 }
-                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.note_miss();
                 result
             }
             Claim::Follower(slot) => {
                 if let Some(donor) = slot.wait() {
                     if let Some(model) = remap_model(&donor, &prepared, options) {
-                        self.hits.fetch_add(1, Ordering::Relaxed);
+                        self.note_hit();
                         prepared.universe = model.universe.clone();
                         prepared.model = Some(model);
                         return Ok(prepared);
                     }
-                    self.rejected.fetch_add(1, Ordering::Relaxed);
+                    self.note_rejected();
                 }
-                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.note_miss();
                 PreparedCell::characterize_budgeted(cell, options, budget)
             }
         }
@@ -468,6 +513,7 @@ fn certify_isomorphism(
     cand: &Cell,
     cand_canon: &CanonicalCell,
 ) -> Option<IsoCert> {
+    ca_obs::counter!("ca_core.iso.attempts", Work).inc();
     if donor.num_transistors() != cand.num_transistors()
         || donor.num_inputs() != cand.num_inputs()
         || donor.outputs().len() != cand.outputs().len()
@@ -515,8 +561,12 @@ fn certify_isomorphism(
     }
     let mut budget = ISO_SEARCH_BUDGET;
     if !solve(&pairs, 0, &mut state, donor, cand, &mut budget) {
+        if budget == 0 {
+            ca_obs::counter!("ca_core.iso.budget_exhausted", Work).inc();
+        }
         return None;
     }
+    ca_obs::counter!("ca_core.iso.certified", Work).inc();
     Some(IsoCert {
         c2d: state.c2d,
         swapped: state.swapped,

@@ -342,13 +342,27 @@ fn robust_driver(
     });
     let mut prepared = Vec::with_capacity(library.len());
     let mut quarantine = Quarantine::default();
+    // The merge runs on one thread in library order, so these totals are
+    // `Outcome` class: they describe the converged result of the run and
+    // hold across thread counts *and* crash-resume (a replayed verdict
+    // counts exactly like the fresh diagnosis it replaces).
+    ca_obs::counter!("ca_core.flow.cells", Outcome).add(library.len() as u64);
     for (lc, item) in library.cells.iter().zip(results) {
         match item {
-            Item::Done(p) => prepared.push(*p),
+            Item::Done(p) => {
+                if p.model.as_ref().is_some_and(|m| m.degraded) {
+                    ca_obs::counter!("ca_core.flow.models_degraded", Outcome).inc();
+                } else {
+                    ca_obs::counter!("ca_core.flow.models_complete", Outcome).inc();
+                }
+                prepared.push(*p);
+            }
             Item::Fail(phase, err, elapsed, retries) => {
                 if policy == FaultPolicy::FailFast {
                     return Err(err);
                 }
+                ca_obs::counter!("ca_core.flow.quarantined", Outcome).inc();
+                ca_obs::counter!("ca_core.flow.retries", Work).add(u64::from(retries));
                 quarantine.entries.push(QuarantineEntry {
                     cell: lc.cell.name().to_string(),
                     phase,
@@ -358,6 +372,7 @@ fn robust_driver(
                 });
             }
             Item::Replay(phase, reason, retries) => {
+                ca_obs::counter!("ca_core.flow.quarantined", Outcome).inc();
                 quarantine.entries.push(QuarantineEntry {
                     cell: lc.cell.name().to_string(),
                     phase,
@@ -408,6 +423,7 @@ fn characterize_cell_guarded(
         .into_iter()
         .find(|f| f.severity == Severity::Error)
     {
+        ca_obs::counter!("ca_core.flow.lint_rejects", Work).inc();
         return Err((
             FailurePhase::Lint,
             CoreError::PrepareFailed {

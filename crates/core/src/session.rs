@@ -41,7 +41,7 @@ use ca_defects::{from_cam, to_cam, GenerateOptions};
 use ca_netlist::library::Library;
 use ca_netlist::Cell;
 use ca_sim::SimBudget;
-use ca_store::{Payload, Record, RecoveryReport, Store};
+use ca_store::{Payload, Record, RecoveryReport, Store, StoreStats};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -68,6 +68,9 @@ pub struct Session {
     journal_errors: Mutex<Vec<String>>,
     halt_after: AtomicUsize,
     appended: AtomicUsize,
+    /// Last [`StoreStats`] values already mirrored into the global metric
+    /// registry; [`Session::lift_store_stats`] publishes only the delta.
+    lifted_store: Mutex<StoreStats>,
 }
 
 /// Snapshot of a session's lifetime counters, for reporting.
@@ -162,7 +165,7 @@ impl Session {
             source: e.to_string(),
         })?;
         let recovery = store.recovery().clone();
-        Ok(Session {
+        let session = Session {
             store: Mutex::new(store),
             path,
             recovery,
@@ -176,7 +179,15 @@ impl Session {
             journal_errors: Mutex::new(Vec::new()),
             halt_after: AtomicUsize::new(0),
             appended: AtomicUsize::new(0),
-        })
+            lifted_store: Mutex::new(StoreStats::default()),
+        };
+        // Publish the open/recovery I/O (header fsyncs, torn-tail
+        // truncation) before the first append.
+        {
+            let store = session.lock_store();
+            session.lift_store_stats(&store);
+        }
+        Ok(session)
     }
 
     /// Path of the underlying store file.
@@ -267,6 +278,7 @@ impl Session {
                         continue;
                     };
                     self.planned_quarantined.fetch_add(1, Ordering::Relaxed);
+                    ca_obs::counter!("ca_core.session.reused_quarantined", Work).inc();
                     plan.reuse.insert(
                         name.to_string(),
                         Reuse::Quarantined {
@@ -307,6 +319,7 @@ impl Session {
                     }
                     if degraded_record {
                         self.planned_degraded.fetch_add(1, Ordering::Relaxed);
+                        ca_obs::counter!("ca_core.session.reused_degraded", Work).inc();
                         prepared.universe = model.universe.clone();
                         prepared.model = Some(model);
                         plan.reuse
@@ -319,6 +332,7 @@ impl Session {
                             options,
                         );
                         self.planned_complete.fetch_add(1, Ordering::Relaxed);
+                        ca_obs::counter!("ca_core.session.reused_complete", Work).inc();
                         plan.reuse.insert(name.to_string(), Reuse::Complete);
                     }
                 }
@@ -398,6 +412,7 @@ impl Session {
         if let Err(e) = store.compact() {
             self.lock_errors().push(format!("compaction failed: {e}"));
         }
+        self.lift_store_stats(&store);
     }
 
     fn append(&self, record: &Record) {
@@ -405,6 +420,8 @@ impl Session {
         match store.append(record) {
             Ok(()) => {
                 self.journaled.fetch_add(1, Ordering::Relaxed);
+                ca_obs::counter!("ca_core.session.journaled", Work).inc();
+                self.lift_store_stats(&store);
                 let count = self.appended.fetch_add(1, Ordering::SeqCst) + 1;
                 let halt = self.halt_after.load(Ordering::SeqCst);
                 if halt != 0 && count == halt {
@@ -420,6 +437,9 @@ impl Session {
                 }
             }
             Err(e) => {
+                // I/O failures are environment accidents, not work done:
+                // `Ops`, so they never join determinism fingerprints.
+                ca_obs::counter!("ca_core.session.journal_errors", Ops).inc();
                 self.lock_errors()
                     .push(format!("journal append for `{}` failed: {e}", record.cell));
             }
@@ -430,6 +450,61 @@ impl Session {
         store.evict(cell);
         counter.fetch_add(1, Ordering::Relaxed);
         self.evicted_this_run.fetch_add(1, Ordering::Relaxed);
+        // One call site serves both eviction kinds, so the metric name
+        // varies and the site-cached `counter!` macro cannot be used.
+        let metric = if std::ptr::eq(counter, &self.evicted_stale) {
+            "ca_core.session.evicted_stale"
+        } else {
+            "ca_core.session.evicted_invalid"
+        };
+        ca_obs::global()
+            .counter(metric, ca_obs::MetricClass::Work)
+            .inc();
+        self.lift_store_stats(store);
+    }
+
+    /// Mirrors the underlying store's I/O counters into the global metric
+    /// registry as `ca_store.*` deltas. `ca-store` itself carries no
+    /// `ca-obs` dependency (the dependency points the other way: `ca-obs`
+    /// uses its `write_atomic`), so the session layer lifts the plain
+    /// [`StoreStats`] fields here. Idempotent: only growth since the last
+    /// lift is added.
+    fn lift_store_stats(&self, store: &Store) {
+        let stats = store.stats();
+        let mut last = self
+            .lifted_store
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        let lift = |name: &str, now: u64, then: u64| {
+            if now > then {
+                ca_obs::global()
+                    .counter(name, ca_obs::MetricClass::Work)
+                    .add(now - then);
+            }
+        };
+        lift("ca_store.journal.appends", stats.appends, last.appends);
+        lift(
+            "ca_store.journal.append_bytes",
+            stats.append_bytes,
+            last.append_bytes,
+        );
+        lift("ca_store.journal.fsyncs", stats.fsyncs, last.fsyncs);
+        lift(
+            "ca_store.journal.compactions",
+            stats.compactions,
+            last.compactions,
+        );
+        lift(
+            "ca_store.journal.evictions",
+            stats.evictions,
+            last.evictions,
+        );
+        lift(
+            "ca_store.recovery.truncated_bytes",
+            stats.recovery_truncated_bytes,
+            last.recovery_truncated_bytes,
+        );
+        *last = stats;
     }
 
     fn lock_store(&self) -> MutexGuard<'_, Store> {

@@ -67,7 +67,11 @@ impl Executor {
         match Executor::try_from_env() {
             Ok(exec) => exec,
             Err(err) => {
-                eprintln!("warning: {err}; falling back to auto-detected parallelism");
+                ca_obs::warn(
+                    "ca_exec",
+                    &format!("warning: {err}; falling back to auto-detected parallelism"),
+                    &[("raw", &err.value)],
+                );
                 Executor::auto()
             }
         }
@@ -163,27 +167,72 @@ impl Executor {
         R: Send,
         F: Fn(usize, &T) -> R + Sync,
     {
+        // Batch/item/panic counts are `work`-class: what ran is fixed
+        // by the input, not by scheduling (DESIGN.md §9). Worker and
+        // steal telemetry is `ops`-class — it legitimately varies with
+        // CA_THREADS and carries no determinism promise.
+        ca_obs::counter!("ca_exec.batches", Work).inc();
+        ca_obs::counter!("ca_exec.items", Work).add(items.len() as u64);
+        let results = self.run_inner(items, f);
+        let panics = results.iter().filter(|r| r.is_err()).count();
+        ca_obs::counter!("ca_exec.panics", Work).add(panics as u64);
+        results
+    }
+
+    fn run_inner<T, R, F>(
+        &self,
+        items: &[T],
+        f: &F,
+    ) -> Vec<Result<R, Box<dyn std::any::Any + Send>>>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
         let workers = self.threads.min(items.len()).max(1);
         if workers == 1 {
+            ca_obs::counter!("ca_exec.inline_batches", Ops).inc();
             return items
                 .iter()
                 .enumerate()
                 .map(|(i, item)| catch_unwind(AssertUnwindSafe(|| f(i, item))))
                 .collect();
         }
+        ca_obs::counter!("ca_exec.workers_spawned", Ops).add(workers as u64);
         let cursor = AtomicUsize::new(0);
+        let batch_start = std::time::Instant::now();
         let mut parts: Vec<Vec<(usize, Result<R, _>)>> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     scope.spawn(|| {
+                        // Queue wait: spawn-to-first-pull latency, the
+                        // scheduling overhead a work-pulling design pays
+                        // per worker rather than per item.
+                        let mut first_pull = true;
                         let mut local = Vec::new();
                         loop {
                             let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            if first_pull {
+                                first_pull = false;
+                                let ns = u64::try_from(batch_start.elapsed().as_nanos())
+                                    .unwrap_or(u64::MAX);
+                                ca_obs::timer!("ca_exec.queue_wait").record_ns(ns);
+                            }
                             if i >= items.len() {
                                 break;
                             }
                             local.push((i, catch_unwind(AssertUnwindSafe(|| f(i, &items[i])))));
                         }
+                        // Every pull after a worker's first competes on
+                        // the shared cursor: count those as steals.
+                        ca_obs::counter!("ca_exec.steals", Ops)
+                            .add(local.len().saturating_sub(1) as u64);
+                        ca_obs::histogram!(
+                            "ca_exec.worker_items",
+                            Ops,
+                            &[0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024]
+                        )
+                        .observe(local.len() as u64);
                         local
                     })
                 })
@@ -384,6 +433,30 @@ mod tests {
                 assert_eq!(Executor::from_env().threads(), Executor::auto().threads());
             });
         }
+    }
+
+    /// Batch metrics land in the global `ca-obs` registry. Sibling
+    /// tests run concurrently against the same registry, so this
+    /// checks growth bounds, not exact deltas — the strict
+    /// thread-invariance contract is enforced by the dedicated
+    /// `obs_determinism` integration suite.
+    #[test]
+    fn batches_feed_the_metric_registry() {
+        let before = ca_obs::global().snapshot();
+        let items: Vec<usize> = (0..40).collect();
+        let out = Executor::with_threads(4).map_isolated(&items, |_, &x| {
+            if x == 3 {
+                panic!("instrumented panic");
+            }
+            x
+        });
+        assert_eq!(out.iter().filter(|r| r.is_err()).count(), 1);
+        let delta = ca_obs::global().snapshot().delta(&before);
+        let count = |name: &str| delta.counters.get(name).map(|(_, v)| *v).unwrap_or(0);
+        assert!(count("ca_exec.batches") >= 1);
+        assert!(count("ca_exec.items") >= 40);
+        assert!(count("ca_exec.panics") >= 1);
+        assert!(count("ca_exec.workers_spawned") >= 4);
     }
 
     #[test]

@@ -102,6 +102,7 @@ impl RandomForest {
     /// Panics if called before [`Classifier::fit`].
     pub fn predict_proba(&self, row: &[f32]) -> Vec<f64> {
         assert!(!self.trees.is_empty(), "predict before fit");
+        ca_obs::counter!("ca_ml.predict.rows", Work).inc();
         let mut votes = vec![0usize; self.num_classes.max(1)];
         for tree in &self.trees {
             let label = tree.predict(row) as usize;
@@ -150,7 +151,12 @@ impl RandomForest {
             self.params.min_samples_leaf,
             self.params.seed,
         );
+        let _span = ca_obs::span_root("ca_ml.forest.fit");
         self.trees = executor.map(&bootstraps, |t, indices| {
+            // Per-tree fit time is a wall-clock observation (excluded
+            // from determinism checks); the tree count is `work`.
+            let _tree_span = ca_obs::span_root("ca_ml.forest.fit_tree");
+            ca_obs::counter!("ca_ml.forest.trees_fitted", Work).inc();
             let sample = data.subset(indices);
             let mut tree = DecisionTree::new(TreeParams {
                 max_depth,

@@ -1,0 +1,45 @@
+//! `ca-obs` — dependency-light observability for the cell-aware stack.
+//!
+//! One crate, four pieces (DESIGN.md §9):
+//!
+//! - [`MetricRegistry`]: thread-safe counters, gauges and fixed-bucket
+//!   histograms, each counter tagged with a [`MetricClass`] stating its
+//!   determinism contract (`outcome` / `work` / `ops`). The hot path is
+//!   a single relaxed atomic op via site-cached handles
+//!   ([`counter!`] / [`histogram!`]), cheap enough to stay always-on.
+//! - Span timers ([`span`] / [`timed`]): RAII wall-clock phases that
+//!   nest via a thread-local stack into `parent/child` paths. Timings
+//!   are always reported apart from counts and never enter determinism
+//!   checks.
+//! - A structured JSONL event sink ([`event`], [`warn`],
+//!   [`info_status`], [`flush`]) controlled by `CA_OBS` /
+//!   `CA_OBS_PATH`, replacing ad-hoc `eprintln!`s; warn/error events
+//!   mirror to stderr so default behavior is unchanged, and flushes go
+//!   through `ca_store::write_atomic` so the log file is never torn.
+//! - [`FlowProfile`]: per-stage registry snapshots + wall/CPU clocks,
+//!   rendered as `BENCH_profile.json` (schema `ca-obs-profile/1`, see
+//!   [`validate_profile_json`]) and a human-readable table.
+//!
+//! The determinism invariant the whole design serves: every `outcome`
+//! and `work` counter is byte-identical across `CA_THREADS` settings,
+//! and `outcome` counters additionally survive a crash-resume cycle
+//! unchanged. `tests/obs_determinism.rs` and the crash-recovery
+//! harness enforce this.
+
+pub mod event;
+pub mod json;
+pub mod profile;
+pub mod registry;
+pub mod span;
+
+pub use event::{buffered_events, event, flush, flush_to, info, info_status, warn, Level, Mirror};
+pub use json::{escape_json, parse as parse_json, JsonValue};
+pub use profile::{
+    cpu_time_s, validate_profile_json, FlowProfile, StageProfile, INSTRUMENTED_PREFIXES,
+    PROFILE_SCHEMA,
+};
+pub use registry::{
+    global, Counter, Gauge, Histogram, HistogramSnapshot, MetricClass, MetricRegistry, Snapshot,
+    Timer, TimerSnapshot,
+};
+pub use span::{span, span_root, timed, Span};

@@ -1,0 +1,494 @@
+//! Per-stage flow profiling.
+//!
+//! A [`FlowProfile`] wraps each pipeline stage in a registry snapshot
+//! pair plus wall/CPU clocks, producing per-stage metric deltas. It
+//! renders both the machine artifact (`BENCH_profile.json`, schema
+//! `ca-obs-profile/1`) and a human-readable table, and exposes the
+//! canonical count fingerprints the determinism tests byte-compare.
+//!
+//! Counts and timings are kept strictly apart: the JSON carries
+//! `counts` (outcome), `work` and `ops` sections per stage for the
+//! count metrics, and `timers`/`wall_s`/`cpu_s` for the wall-clock
+//! side that is excluded from every determinism check.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+use crate::json::{escape_json, JsonValue};
+use crate::registry::{global, MetricClass, Snapshot};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Schema tag embedded in (and required from) `BENCH_profile.json`.
+pub const PROFILE_SCHEMA: &str = "ca-obs-profile/1";
+
+/// Process CPU time (user + system) in seconds, read from
+/// `/proc/self/stat`. Best-effort: `None` off Linux or on parse
+/// trouble. Assumes the (universal in practice) USER_HZ of 100.
+pub fn cpu_time_s() -> Option<f64> {
+    let stat = std::fs::read_to_string("/proc/self/stat").ok()?;
+    // comm may contain spaces/parens; fields resume after the last ')'.
+    let rest = &stat[stat.rfind(')')? + 1..];
+    let fields: Vec<&str> = rest.split_whitespace().collect();
+    let utime: u64 = fields.get(11)?.parse().ok()?;
+    let stime: u64 = fields.get(12)?.parse().ok()?;
+    Some((utime + stime) as f64 / 100.0)
+}
+
+/// One profiled stage: the registry delta it produced plus its clocks.
+#[derive(Debug, Clone)]
+pub struct StageProfile {
+    pub name: String,
+    pub wall_s: f64,
+    /// Process-wide CPU seconds spent during the stage; `None` when
+    /// the platform offers no cheap reading.
+    pub cpu_s: Option<f64>,
+    pub delta: Snapshot,
+}
+
+/// Aggregates a run's stages into one report.
+#[derive(Debug, Clone)]
+pub struct FlowProfile {
+    pub label: String,
+    pub threads: usize,
+    /// Free-form integer facts about the run (cell count, …).
+    pub meta: BTreeMap<String, u64>,
+    /// Derived ratios (cache hit rate, quarantine rate, …) in [0, 1].
+    pub rates: BTreeMap<String, f64>,
+    pub stages: Vec<StageProfile>,
+}
+
+impl FlowProfile {
+    pub fn new(label: impl Into<String>, threads: usize) -> Self {
+        FlowProfile {
+            label: label.into(),
+            threads,
+            meta: BTreeMap::new(),
+            rates: BTreeMap::new(),
+            stages: Vec::new(),
+        }
+    }
+
+    /// Runs `f` as a named stage: snapshots the global registry and
+    /// both clocks around it and records the delta. Also opens a span
+    /// (`profile/<name>`) so nested span timings land under the stage.
+    pub fn stage<R>(&mut self, name: &str, f: impl FnOnce() -> R) -> R {
+        let before = global().snapshot();
+        let cpu_before = cpu_time_s();
+        let wall = Instant::now();
+        let result = crate::span::timed(name, f);
+        let wall_s = wall.elapsed().as_secs_f64();
+        let cpu_s = match (cpu_before, cpu_time_s()) {
+            (Some(a), Some(b)) => Some((b - a).max(0.0)),
+            _ => None,
+        };
+        self.stages.push(StageProfile {
+            name: name.to_string(),
+            wall_s,
+            cpu_s,
+            delta: global().snapshot().delta(&before),
+        });
+        result
+    }
+
+    pub fn set_meta(&mut self, key: impl Into<String>, value: u64) {
+        self.meta.insert(key.into(), value);
+    }
+
+    pub fn set_rate(&mut self, key: impl Into<String>, value: f64) {
+        self.rates.insert(key.into(), value);
+    }
+
+    /// Sum of one counter across all stages.
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.stages
+            .iter()
+            .filter_map(|s| s.delta.counters.get(name).map(|(_, v)| *v))
+            .sum()
+    }
+
+    /// All counters of `class`, summed across stages.
+    pub fn totals_of(&self, class: MetricClass) -> BTreeMap<String, u64> {
+        let mut out: BTreeMap<String, u64> = BTreeMap::new();
+        for stage in &self.stages {
+            for (name, value) in stage.delta.counts_of(class) {
+                *out.entry(name).or_insert(0) += value;
+            }
+        }
+        out
+    }
+
+    /// Canonical per-stage rendering of every deterministically
+    /// promised counter (`outcome` + `work`): the byte string that
+    /// must be identical across `CA_THREADS=1` and `4`.
+    pub fn deterministic_fingerprint(&self) -> String {
+        self.fingerprint(|snap| snap.deterministic_counts())
+    }
+
+    /// Canonical per-stage rendering of the `outcome` counters only:
+    /// the byte string that must additionally survive a crash-resume
+    /// cycle unchanged.
+    pub fn outcome_fingerprint(&self) -> String {
+        self.fingerprint(|snap| snap.counts_of(MetricClass::Outcome))
+    }
+
+    fn fingerprint(&self, pick: impl Fn(&Snapshot) -> BTreeMap<String, u64>) -> String {
+        let mut out = String::new();
+        for stage in &self.stages {
+            let _ = writeln!(out, "[{}]", stage.name);
+            out.push_str(&Snapshot::render_counts(&pick(&stage.delta)));
+        }
+        out
+    }
+
+    /// Renders the `BENCH_profile.json` document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"schema\": \"{PROFILE_SCHEMA}\",");
+        let _ = writeln!(out, "  \"profile\": \"{}\",", escape_json(&self.label));
+        let _ = writeln!(out, "  \"threads\": {},", self.threads);
+        for (k, v) in &self.meta {
+            let _ = writeln!(out, "  \"{}\": {},", escape_json(k), v);
+        }
+        let _ = writeln!(out, "  \"wall_s\": {:.6},", self.total_wall_s());
+        match self.total_cpu_s() {
+            Some(cpu) => {
+                let _ = writeln!(out, "  \"cpu_s\": {cpu:.6},");
+            }
+            None => {
+                let _ = writeln!(out, "  \"cpu_s\": null,");
+            }
+        }
+        out.push_str("  \"rates\": {");
+        let rates: Vec<String> = self
+            .rates
+            .iter()
+            .map(|(k, v)| format!("\"{}\": {:.6}", escape_json(k), v))
+            .collect();
+        out.push_str(&rates.join(", "));
+        out.push_str("},\n");
+        out.push_str("  \"stages\": [\n");
+        for (i, stage) in self.stages.iter().enumerate() {
+            out.push_str(&stage.to_json("    "));
+            out.push_str(if i + 1 < self.stages.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    pub fn total_wall_s(&self) -> f64 {
+        self.stages.iter().map(|s| s.wall_s).sum()
+    }
+
+    pub fn total_cpu_s(&self) -> Option<f64> {
+        self.stages.iter().map(|s| s.cpu_s).sum()
+    }
+
+    /// Human-readable report: stage table, rates, and the summed
+    /// deterministic counters.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "== flow profile: {} (threads={}) ==",
+            self.label, self.threads
+        );
+        for (k, v) in &self.meta {
+            let _ = writeln!(out, "   {k}: {v}");
+        }
+        let _ = writeln!(out, "{:<18} {:>9} {:>9}", "stage", "wall_s", "cpu_s");
+        for stage in &self.stages {
+            let cpu = stage
+                .cpu_s
+                .map(|c| format!("{c:.3}"))
+                .unwrap_or_else(|| "-".to_string());
+            let _ = writeln!(out, "{:<18} {:>9.3} {:>9}", stage.name, stage.wall_s, cpu);
+        }
+        let cpu = self
+            .total_cpu_s()
+            .map(|c| format!("{c:.3}"))
+            .unwrap_or_else(|| "-".to_string());
+        let _ = writeln!(
+            out,
+            "{:<18} {:>9.3} {:>9}",
+            "total",
+            self.total_wall_s(),
+            cpu
+        );
+        if !self.rates.is_empty() {
+            let rates: Vec<String> = self
+                .rates
+                .iter()
+                .map(|(k, v)| format!("{k}={:.1}%", v * 100.0))
+                .collect();
+            let _ = writeln!(out, "rates: {}", rates.join("  "));
+        }
+        for class in [MetricClass::Outcome, MetricClass::Work] {
+            let totals = self.totals_of(class);
+            if totals.is_empty() {
+                continue;
+            }
+            let _ = writeln!(out, "counters ({}):", class.as_str());
+            for (name, value) in totals {
+                let _ = writeln!(out, "  {name:<44} {value}");
+            }
+        }
+        out
+    }
+}
+
+impl StageProfile {
+    fn to_json(&self, indent: &str) -> String {
+        let mut out = format!("{indent}{{\n");
+        let _ = writeln!(out, "{indent}  \"name\": \"{}\",", escape_json(&self.name));
+        let _ = writeln!(out, "{indent}  \"wall_s\": {:.6},", self.wall_s);
+        match self.cpu_s {
+            Some(cpu) => {
+                let _ = writeln!(out, "{indent}  \"cpu_s\": {cpu:.6},");
+            }
+            None => {
+                let _ = writeln!(out, "{indent}  \"cpu_s\": null,");
+            }
+        }
+        for (key, class) in [
+            ("counts", MetricClass::Outcome),
+            ("work", MetricClass::Work),
+            ("ops", MetricClass::Ops),
+        ] {
+            let counts = self.delta.counts_of(class);
+            let members: Vec<String> = counts
+                .iter()
+                .map(|(k, v)| format!("\"{}\": {}", escape_json(k), v))
+                .collect();
+            let _ = writeln!(out, "{indent}  \"{key}\": {{{}}},", members.join(", "));
+        }
+        let hists: Vec<String> = self
+            .delta
+            .histograms
+            .iter()
+            .filter(|(_, h)| h.count > 0)
+            .map(|(k, h)| {
+                let bounds: Vec<String> = h.bounds.iter().map(u64::to_string).collect();
+                let buckets: Vec<String> = h.buckets.iter().map(u64::to_string).collect();
+                format!(
+                    "\"{}\": {{\"bounds\": [{}], \"buckets\": [{}], \"count\": {}, \"sum\": {}}}",
+                    escape_json(k),
+                    bounds.join(", "),
+                    buckets.join(", "),
+                    h.count,
+                    h.sum
+                )
+            })
+            .collect();
+        let _ = writeln!(out, "{indent}  \"hist\": {{{}}},", hists.join(", "));
+        let timers: Vec<String> = self
+            .delta
+            .timers
+            .iter()
+            .filter(|(_, t)| t.count > 0)
+            .map(|(k, t)| {
+                format!(
+                    "\"{}\": {{\"count\": {}, \"total_ms\": {:.3}, \"max_ms\": {:.3}}}",
+                    escape_json(k),
+                    t.count,
+                    t.total_ns as f64 / 1e6,
+                    t.max_ns as f64 / 1e6
+                )
+            })
+            .collect();
+        let _ = writeln!(out, "{indent}  \"timers\": {{{}}}", timers.join(", "));
+        let _ = write!(out, "{indent}}}");
+        out
+    }
+}
+
+/// The six crates whose counters a complete profile must carry.
+pub const INSTRUMENTED_PREFIXES: [&str; 6] = [
+    "ca_exec.",
+    "ca_sim.",
+    "ca_ml.",
+    "ca_core.",
+    "ca_store.",
+    "ca_bench.",
+];
+
+/// Validates a `BENCH_profile.json` document against schema
+/// `ca-obs-profile/1`, including coverage of all six instrumented
+/// crates. Used by the `ca-bench profile-check` CI gate.
+pub fn validate_profile_json(text: &str) -> Result<(), String> {
+    validate_profile_json_with(text, &INSTRUMENTED_PREFIXES)
+}
+
+fn validate_profile_json_with(text: &str, required_prefixes: &[&str]) -> Result<(), String> {
+    let doc = crate::json::parse(text)?;
+    let obj = doc.as_object().ok_or("top level must be an object")?;
+    match obj.get("schema").and_then(JsonValue::as_str) {
+        Some(PROFILE_SCHEMA) => {}
+        other => return Err(format!("schema must be {PROFILE_SCHEMA:?}, got {other:?}")),
+    }
+    obj.get("profile")
+        .and_then(JsonValue::as_str)
+        .ok_or("missing string field: profile")?;
+    let threads = obj
+        .get("threads")
+        .and_then(JsonValue::as_u64)
+        .ok_or("missing integer field: threads")?;
+    if threads == 0 {
+        return Err("threads must be >= 1".to_string());
+    }
+    obj.get("wall_s")
+        .and_then(JsonValue::as_f64)
+        .ok_or("missing number field: wall_s")?;
+    match obj.get("cpu_s") {
+        Some(JsonValue::Null) | Some(JsonValue::Number(_)) => {}
+        other => return Err(format!("cpu_s must be number or null, got {other:?}")),
+    }
+    let rates = obj
+        .get("rates")
+        .and_then(JsonValue::as_object)
+        .ok_or("missing object field: rates")?;
+    for (key, value) in rates {
+        let v = value
+            .as_f64()
+            .ok_or_else(|| format!("rate {key:?} must be a number"))?;
+        if !(0.0..=1.0).contains(&v) {
+            return Err(format!("rate {key:?} out of [0,1]: {v}"));
+        }
+    }
+    let stages = obj
+        .get("stages")
+        .and_then(JsonValue::as_array)
+        .ok_or("missing array field: stages")?;
+    if stages.is_empty() {
+        return Err("stages must be non-empty".to_string());
+    }
+    let mut seen_counters: Vec<String> = Vec::new();
+    for stage in stages {
+        let name = stage
+            .get("name")
+            .and_then(JsonValue::as_str)
+            .ok_or("stage missing string field: name")?;
+        stage
+            .get("wall_s")
+            .and_then(JsonValue::as_f64)
+            .ok_or_else(|| format!("stage {name:?} missing number field: wall_s"))?;
+        match stage.get("cpu_s") {
+            Some(JsonValue::Null) | Some(JsonValue::Number(_)) => {}
+            other => return Err(format!("stage {name:?} cpu_s invalid: {other:?}")),
+        }
+        for section in ["counts", "work", "ops"] {
+            let map = stage
+                .get(section)
+                .and_then(JsonValue::as_object)
+                .ok_or_else(|| format!("stage {name:?} missing object field: {section}"))?;
+            for (counter, value) in map {
+                value.as_u64().ok_or_else(|| {
+                    format!("stage {name:?} counter {counter:?} must be a non-negative integer")
+                })?;
+                seen_counters.push(counter.clone());
+            }
+        }
+        let timers = stage
+            .get("timers")
+            .and_then(JsonValue::as_object)
+            .ok_or_else(|| format!("stage {name:?} missing object field: timers"))?;
+        for (timer, value) in timers {
+            for field in ["count", "total_ms", "max_ms"] {
+                value
+                    .get(field)
+                    .and_then(JsonValue::as_f64)
+                    .ok_or_else(|| format!("timer {timer:?} missing number field: {field}"))?;
+            }
+        }
+    }
+    for prefix in required_prefixes {
+        if !seen_counters.iter().any(|c| c.starts_with(prefix)) {
+            return Err(format!("no counters from instrumented crate {prefix:?}"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpu_time_reads_on_linux() {
+        if cfg!(target_os = "linux") {
+            let cpu = cpu_time_s().expect("/proc/self/stat parses");
+            assert!(cpu >= 0.0);
+        }
+    }
+
+    #[test]
+    fn stage_captures_deltas_and_fingerprints() {
+        let mut profile = FlowProfile::new("test", 2);
+        profile.stage("alpha", || {
+            crate::counter!("obs_test.profile.outcome", Outcome).add(2);
+            crate::counter!("obs_test.profile.work", Work).add(3);
+            crate::counter!("obs_test.profile.ops", Ops).add(5);
+        });
+        profile.stage("beta", || {
+            crate::counter!("obs_test.profile.outcome", Outcome).inc();
+        });
+        assert_eq!(profile.counter_total("obs_test.profile.outcome"), 3);
+        let det = profile.deterministic_fingerprint();
+        assert!(det.contains("[alpha]"));
+        assert!(det.contains("obs_test.profile.work=3"));
+        assert!(!det.contains("obs_test.profile.ops"));
+        let outcome = profile.outcome_fingerprint();
+        assert!(outcome.contains("obs_test.profile.outcome=2"));
+        assert!(!outcome.contains("obs_test.profile.work"));
+    }
+
+    /// A profile whose counters cover all six instrumented crates must
+    /// round-trip through its own validator.
+    #[test]
+    fn emitted_json_passes_validator() {
+        let mut profile = FlowProfile::new("quick", 4);
+        profile.set_meta("cells", 8);
+        profile.set_rate("cache_hit_rate", 0.5);
+        profile.stage("all", || {
+            for prefix in INSTRUMENTED_PREFIXES {
+                global()
+                    .counter(&format!("{prefix}validator_probe"), MetricClass::Work)
+                    .inc();
+            }
+            crate::span::timed("probe", || ());
+        });
+        let json = profile.to_json();
+        validate_profile_json(&json).expect("emitted profile validates");
+        let parsed = crate::json::parse(&json).expect("parses");
+        assert_eq!(parsed.get("threads").and_then(JsonValue::as_u64), Some(4));
+        assert_eq!(parsed.get("cells").and_then(JsonValue::as_u64), Some(8));
+    }
+
+    #[test]
+    fn validator_rejects_missing_sections() {
+        let bad = format!(
+            "{{\"schema\": \"{PROFILE_SCHEMA}\", \"profile\": \"q\", \"threads\": 1, \
+             \"wall_s\": 0.1, \"cpu_s\": null, \"rates\": {{}}, \"stages\": []}}"
+        );
+        let err = validate_profile_json(&bad).expect_err("empty stages rejected");
+        assert!(err.contains("non-empty"), "{err}");
+        let err = validate_profile_json("{}").expect_err("schema required");
+        assert!(err.contains("schema"), "{err}");
+    }
+
+    #[test]
+    fn validator_rejects_out_of_range_rates() {
+        let bad = format!(
+            "{{\"schema\": \"{PROFILE_SCHEMA}\", \"profile\": \"q\", \"threads\": 1, \
+             \"wall_s\": 0.1, \"cpu_s\": 0.2, \"rates\": {{\"x\": 1.5}}, \
+             \"stages\": [{{\"name\": \"s\", \"wall_s\": 0.1, \"cpu_s\": null, \
+             \"counts\": {{}}, \"work\": {{}}, \"ops\": {{}}, \"timers\": {{}}}}]}}"
+        );
+        let err = validate_profile_json(&bad).expect_err("rate 1.5 rejected");
+        assert!(err.contains("out of [0,1]"), "{err}");
+    }
+}

@@ -1,0 +1,125 @@
+//! RAII span timers with nesting.
+//!
+//! A [`Span`] measures wall time from creation to drop and records it
+//! into a [`Timer`] aggregate in the global registry. Spans nest via a
+//! thread-local stack: a span opened while another is live on the same
+//! thread records under the dotted path `parent/child`, so profiles
+//! show where inner phases sit without any explicit plumbing.
+//!
+//! Span timings are wall-clock observations: they are always reported
+//! separately from count metrics and never take part in determinism
+//! checks (DESIGN.md §9).
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+use crate::registry::{global, Timer};
+use std::cell::RefCell;
+use std::time::Instant;
+
+thread_local! {
+    static SPAN_STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Live timing span; records its elapsed time on drop. Use as an RAII
+/// guard (`let _span = ca_obs::span("fit");`) so nesting stays LIFO.
+#[derive(Debug)]
+pub struct Span {
+    timer: Timer,
+    start: Instant,
+}
+
+/// Opens a span named `name`, nested under any span already live on
+/// this thread.
+pub fn span(name: &str) -> Span {
+    open(name, true)
+}
+
+/// Opens a span that ignores any enclosing span on this thread. For
+/// per-item work that runs inline at `CA_THREADS=1` but on a worker
+/// thread otherwise: the recorded timer name stays the same either
+/// way. Children opened inside it still nest under it.
+pub fn span_root(name: &str) -> Span {
+    open(name, false)
+}
+
+fn open(name: &str, nest: bool) -> Span {
+    let path = SPAN_STACK.with(|stack| {
+        let mut stack = stack.borrow_mut();
+        let path = match stack.last() {
+            Some(parent) if nest => format!("{parent}/{name}"),
+            _ => name.to_string(),
+        };
+        stack.push(path.clone());
+        path
+    });
+    Span {
+        timer: global().timer(&path),
+        start: Instant::now(),
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let ns = u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.timer.record_ns(ns);
+        SPAN_STACK.with(|stack| {
+            stack.borrow_mut().pop();
+        });
+    }
+}
+
+/// Times a closure under a span and returns its result; convenience
+/// over the RAII guard when the phase is a single call.
+pub fn timed<R>(name: &str, f: impl FnOnce() -> R) -> R {
+    let _span = span(name);
+    f()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_nest_into_dotted_paths() {
+        let before = global().snapshot();
+        timed("obs-test-outer", || {
+            timed("inner", || {
+                std::thread::sleep(std::time::Duration::from_millis(1))
+            });
+        });
+        let delta = global().snapshot().delta(&before);
+        assert_eq!(delta.timers["obs-test-outer"].count, 1);
+        let inner = delta.timers["obs-test-outer/inner"];
+        assert_eq!(inner.count, 1);
+        assert!(inner.total_ns >= 1_000_000, "slept >= 1ms: {inner:?}");
+        assert!(delta.timers["obs-test-outer"].total_ns >= inner.total_ns);
+    }
+
+    #[test]
+    fn span_root_ignores_enclosing_spans() {
+        let before = global().snapshot();
+        timed("obs-test-enclosing", || {
+            drop(span_root("obs-test-rooted"));
+        });
+        let delta = global().snapshot().delta(&before);
+        assert_eq!(delta.timers["obs-test-rooted"].count, 1);
+        assert!(!delta
+            .timers
+            .contains_key("obs-test-enclosing/obs-test-rooted"));
+    }
+
+    #[test]
+    fn sibling_threads_do_not_share_nesting() {
+        let before = global().snapshot();
+        let _outer = span("obs-test-main");
+        std::thread::scope(|s| {
+            s.spawn(|| timed("obs-test-worker", || ()));
+        });
+        drop(_outer);
+        let delta = global().snapshot().delta(&before);
+        // The worker thread has its own empty stack, so its span is
+        // top-level, not nested under the main thread's.
+        assert_eq!(delta.timers["obs-test-worker"].count, 1);
+        assert!(!delta.timers.contains_key("obs-test-main/obs-test-worker"));
+    }
+}

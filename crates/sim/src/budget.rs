@@ -58,13 +58,26 @@ impl SimBudget {
     }
 
     /// Applies `max_stimuli` to a count, returning the number to keep.
+    /// An actual truncation — the budget spend that marks a result
+    /// degraded — is counted in the metric registry.
     pub fn clamp_stimuli(&self, n: usize) -> usize {
-        self.max_stimuli.map_or(n, |cap| n.min(cap))
+        let kept = self.max_stimuli.map_or(n, |cap| n.min(cap));
+        if kept < n {
+            ca_obs::counter!("ca_sim.budget.stimuli_clamped", Work).inc();
+            ca_obs::counter!("ca_sim.budget.stimuli_dropped", Work).add((n - kept) as u64);
+        }
+        kept
     }
 
     /// Applies `max_defects` to a count, returning the number to keep.
+    /// Truncations are counted like [`SimBudget::clamp_stimuli`].
     pub fn clamp_defects(&self, n: usize) -> usize {
-        self.max_defects.map_or(n, |cap| n.min(cap))
+        let kept = self.max_defects.map_or(n, |cap| n.min(cap));
+        if kept < n {
+            ca_obs::counter!("ca_sim.budget.defects_clamped", Work).inc();
+            ca_obs::counter!("ca_sim.budget.defects_dropped", Work).add((n - kept) as u64);
+        }
+        kept
     }
 }
 
@@ -76,9 +89,14 @@ pub struct BudgetClock {
 
 impl BudgetClock {
     /// Whether the deadline has passed. Always `false` for unlimited
-    /// budgets.
+    /// budgets. Expiries are wall-clock events, so their counter is
+    /// `ops`-class: no determinism promise.
     pub fn expired(&self) -> bool {
-        self.deadline.is_some_and(|d| Instant::now() >= d)
+        let expired = self.deadline.is_some_and(|d| Instant::now() >= d);
+        if expired {
+            ca_obs::counter!("ca_sim.budget.wall_clock_expired", Ops).inc();
+        }
+        expired
     }
 }
 

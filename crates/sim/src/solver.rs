@@ -182,6 +182,11 @@ impl<'c> CellGraph<'c> {
     pub fn solve_phase_checked(&self, inputs: &[bool], stored: &[Value]) -> SolveOutcome {
         debug_assert_eq!(inputs.len(), self.cell.num_inputs());
         debug_assert_eq!(stored.len(), self.cell.nets().len());
+        // Solve and sweep counts are `work`-class: the synchronous
+        // fixpoint sweep count is a function of the graph and stimulus
+        // alone (all nets update per sweep), so it is invariant across
+        // thread counts and net orderings (DESIGN.md §9).
+        ca_obs::counter!("ca_sim.solver.solves", Work).inc();
         let mut values = stored.to_vec();
         // Seed with driver levels so the first conduction pass sees them.
         self.apply_drivers(&mut values, inputs);
@@ -190,9 +195,11 @@ impl<'c> CellGraph<'c> {
             let conduction = self.conduction(&values);
             let next = self.net_values(&conduction, inputs, stored);
             if next == values {
+                ca_obs::counter!("ca_sim.solver.iterations", Work).add(iteration as u64 + 1);
                 return SolveOutcome::Converged(next);
             }
             if iteration + 1 == self.max_iterations {
+                ca_obs::counter!("ca_sim.solver.iterations", Work).add(self.max_iterations as u64);
                 // No fixpoint within the cap: conservatively mark the
                 // unstable nets as driven-unknown and report why.
                 let mut unstable = Vec::new();
@@ -205,8 +212,10 @@ impl<'c> CellGraph<'c> {
                 }
                 let natural = CellGraph::natural_iterations(self.cell.nets().len());
                 return if self.max_iterations < natural {
+                    ca_obs::counter!("ca_sim.solver.budget_exceeded", Work).inc();
                     SolveOutcome::BudgetExceeded { values: forced }
                 } else {
+                    ca_obs::counter!("ca_sim.solver.oscillations", Work).inc();
                     SolveOutcome::Oscillated {
                         values: forced,
                         nets: unstable,

@@ -392,6 +392,28 @@ impl RecoveryReport {
 // The store
 // ---------------------------------------------------------------------
 
+/// Plain I/O counters a [`Store`] keeps about itself: journal appends,
+/// fsyncs, compactions and evictions, plus the recovery truncation from
+/// open. Kept as ordinary fields (not an observability dependency) so
+/// this crate stays at the bottom of the workspace graph; the session
+/// layer lifts them into the `ca-obs` metric registry.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Frames appended to the journal.
+    pub appends: u64,
+    /// Bytes written by those appends (frame headers included).
+    pub append_bytes: u64,
+    /// `fsync`/`fdatasync` calls issued (header writes, appends,
+    /// recovery truncations).
+    pub fsyncs: u64,
+    /// Snapshot compactions completed.
+    pub compactions: u64,
+    /// Records dropped from the live view by [`Store::evict`].
+    pub evictions: u64,
+    /// Bytes discarded by torn-tail/corruption truncation at open.
+    pub recovery_truncated_bytes: u64,
+}
+
 /// A journaled on-disk store of per-cell characterization records.
 ///
 /// Opening replays the journal (recovering from any torn tail), appends
@@ -403,6 +425,7 @@ pub struct Store {
     file: File,
     live: BTreeMap<String, Record>,
     recovery: RecoveryReport,
+    stats: StoreStats,
 }
 
 impl Store {
@@ -426,12 +449,14 @@ impl Store {
         let mut bytes = Vec::new();
         file.read_to_end(&mut bytes)?;
         let mut recovery = RecoveryReport::default();
+        let mut stats = StoreStats::default();
         let mut live = BTreeMap::new();
         if bytes.is_empty() {
             // Fresh store: persist the header (and its directory entry)
             // immediately so a crash right after creation replays cleanly.
             file.write_all(&MAGIC)?;
             file.sync_all()?;
+            stats.fsyncs += 2; // header + parent directory
             sync_parent_dir(&path);
         } else if bytes.len() < HEADER_LEN as usize || bytes[..8] != MAGIC {
             recovery.corruption = Some(CorruptionEvent {
@@ -444,6 +469,7 @@ impl Store {
             file.seek(SeekFrom::Start(0))?;
             file.write_all(&MAGIC)?;
             file.sync_all()?;
+            stats.fsyncs += 1;
         } else {
             let mut offset = HEADER_LEN as usize;
             while offset < bytes.len() {
@@ -460,18 +486,27 @@ impl Store {
                         recovery.corruption = Some(event);
                         file.set_len(offset as u64)?;
                         file.sync_all()?;
+                        stats.fsyncs += 1;
                         break;
                     }
                 }
             }
         }
         file.seek(SeekFrom::End(0))?;
+        stats.recovery_truncated_bytes = recovery.truncated_bytes;
         Ok(Store {
             path,
             file,
             live,
             recovery,
+            stats,
         })
+    }
+
+    /// I/O counters accumulated by this handle (appends, fsyncs,
+    /// compactions, evictions, recovery truncation).
+    pub fn stats(&self) -> StoreStats {
+        self.stats
     }
 
     /// The replay/recovery outcome of [`open`](Store::open).
@@ -522,6 +557,9 @@ impl Store {
         self.file.seek(SeekFrom::End(0))?;
         self.file.write_all(&frame)?;
         self.file.sync_data()?;
+        self.stats.appends += 1;
+        self.stats.append_bytes += frame.len() as u64;
+        self.stats.fsyncs += 1;
         self.live.insert(record.cell.clone(), record.clone());
         Ok(())
     }
@@ -530,7 +568,11 @@ impl Store {
     /// until the next [`compact`](Store::compact)). Used by the session
     /// layer to evict stale records whose hashes no longer match.
     pub fn evict(&mut self, cell: &str) -> bool {
-        self.live.remove(cell).is_some()
+        let evicted = self.live.remove(cell).is_some();
+        if evicted {
+            self.stats.evictions += 1;
+        }
+        evicted
     }
 
     /// Atomically rewrites the journal as a snapshot of the live records
@@ -557,6 +599,8 @@ impl Store {
         let mut file = OpenOptions::new().read(true).write(true).open(&self.path)?;
         file.seek(SeekFrom::End(0))?;
         self.file = file;
+        self.stats.compactions += 1;
+        self.stats.fsyncs += 2; // write_atomic: tmp file + parent dir
         Ok(())
     }
 }
@@ -713,6 +757,35 @@ mod tests {
                 cam: cam.to_string(),
             },
         }
+    }
+
+    #[test]
+    fn store_stats_count_io() {
+        let tmp = TempDir::new("stats");
+        let path = tmp.path("store.caj");
+        let mut store = Store::open(&path).unwrap();
+        assert_eq!(store.stats().fsyncs, 2, "fresh header + parent dir");
+        store.append(&record("a", 1, "CAM-A")).unwrap();
+        store.append(&record("b", 2, "CAM-B")).unwrap();
+        let stats = store.stats();
+        assert_eq!(stats.appends, 2);
+        assert_eq!(stats.fsyncs, 4);
+        assert!(stats.append_bytes > 16, "two framed payloads");
+        assert!(store.evict("a"));
+        assert!(!store.evict("a"));
+        store.compact().unwrap();
+        let stats = store.stats();
+        assert_eq!((stats.evictions, stats.compactions), (1, 1));
+        assert_eq!(stats.recovery_truncated_bytes, 0);
+
+        // A torn tail shows up in the next handle's recovery stats.
+        drop(store);
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.extend_from_slice(&[0xAA; 5]);
+        std::fs::write(&path, &bytes).unwrap();
+        let reopened = Store::open(&path).unwrap();
+        assert_eq!(reopened.stats().recovery_truncated_bytes, 5);
+        assert_eq!(reopened.stats().appends, 0);
     }
 
     #[test]

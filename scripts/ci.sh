@@ -40,4 +40,17 @@ cargo clippy --all-targets --workspace --offline -- -D warnings
 echo "==> cargo clippy (ca-store, standalone gate)"
 cargo clippy -p ca-store --all-targets --offline -- -D warnings
 
+# Observability is always-on in every crate; its own clippy debt would
+# spread everywhere, so gate it standalone like the store.
+echo "==> cargo clippy (ca-obs, standalone gate)"
+cargo clippy -p ca-obs --all-targets --offline -- -D warnings
+
+# End-to-end profile gate: the instrumented flow must run, emit
+# BENCH_profile.json, and that artifact must validate against schema
+# ca-obs-profile/1 with counters from all six instrumented crates
+# (DESIGN.md §9).
+echo "==> ca-bench profile --quick (flow profile + schema check)"
+cargo run -q --release --offline -p ca-bench -- profile --quick
+cargo run -q --release --offline -p ca-bench -- profile-check BENCH_profile.json
+
 echo "==> OK"

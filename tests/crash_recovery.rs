@@ -31,6 +31,8 @@ use std::time::Duration;
 /// unless `STORE_ENV` is set, so it stays inert in normal suite runs.
 const STORE_ENV: &str = "CA_CRASH_STORE";
 const HALT_ENV: &str = "CA_CRASH_HALT";
+/// Store path for the `profile_child` fingerprint protocol.
+const PROFILE_STORE_ENV: &str = "CA_PROFILE_STORE";
 
 /// The library every run (parent, child, reference) characterizes: small
 /// enough to be quick, with one deliberately broken cell so quarantine
@@ -119,6 +121,60 @@ fn crash_child() {
     // harness only asks for halts below the library size, so this is a
     // protocol bug worth failing loudly over.
     panic!("child was expected to freeze before finishing: {outcome:?}");
+}
+
+/// CHILD ENTRY POINT — inert unless spawned with `CA_PROFILE_STORE`.
+/// Runs the session flow wrapped in a [`ca_obs::FlowProfile`] stage and
+/// prints the outcome-counter fingerprint between markers. It runs in
+/// its own process because stage deltas snapshot the process-global
+/// metric registry: sibling tests of this binary would otherwise leak
+/// their counts into the stage and poison the byte comparison.
+#[test]
+fn profile_child() {
+    let Ok(store) = std::env::var(PROFILE_STORE_ENV) else {
+        return;
+    };
+    let threads: usize = std::env::var("CA_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2);
+    let lib = crash_library();
+    let session = Session::open(&store).expect("child opens store");
+    let mut fp = ca_obs::FlowProfile::new("crash-harness", threads);
+    fp.stage("characterize", || run_session(&lib, threads, &session));
+    println!("CA-OBS-FPR-BEGIN");
+    print!("{}", fp.outcome_fingerprint());
+    println!("CA-OBS-FPR-END");
+}
+
+/// Spawns `profile_child` against `store` and returns the fingerprint
+/// it prints.
+fn profile_fingerprint(store: &Path, threads: usize) -> String {
+    let exe = std::env::current_exe().expect("own test binary");
+    let output = Command::new(exe)
+        .args([
+            "profile_child",
+            "--exact",
+            "--test-threads=1",
+            "--nocapture",
+        ])
+        .env(PROFILE_STORE_ENV, store)
+        .env("CA_THREADS", threads.to_string())
+        .stderr(Stdio::null())
+        .output()
+        .expect("run profile child");
+    assert!(output.status.success(), "profile child must pass");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let begin = stdout
+        .find("CA-OBS-FPR-BEGIN")
+        .expect("fingerprint begin marker")
+        + "CA-OBS-FPR-BEGIN".len();
+    let end = stdout
+        .find("CA-OBS-FPR-END")
+        .expect("fingerprint end marker");
+    stdout[begin..end]
+        .trim_start_matches(['\r', '\n'])
+        .to_string()
 }
 
 /// Spawns this test binary as a crash child and returns it plus its
@@ -233,6 +289,44 @@ fn sigkilled_run_resumes_to_identical_outputs_single_thread() {
 #[test]
 fn sigkilled_run_resumes_to_identical_outputs_four_threads() {
     crash_resume_converges(4);
+}
+
+/// DESIGN.md §9: `outcome`-class counters must survive a crash-resume
+/// cycle byte-identically — a replayed quarantine verdict or a
+/// store-served model counts exactly like the fresh work it replaces.
+/// (`work`-class counters legitimately shrink on resume: doing less
+/// simulation is the whole point of the session store.)
+#[test]
+fn outcome_counters_survive_crash_resume() {
+    let dir = scratch_dir("fingerprint");
+
+    // Uninterrupted reference run in a pristine child process.
+    let reference = profile_fingerprint(&dir.join("reference.caj"), 2);
+    for needle in [
+        "[characterize]",
+        "ca_core.flow.cells=8",
+        "ca_core.flow.quarantined=1",
+        "ca_core.flow.models_complete",
+    ] {
+        assert!(
+            reference.contains(needle),
+            "reference fingerprint must mention {needle}:\n{reference}"
+        );
+    }
+
+    // Crash a second run mid-journal, then resume it on the orphaned
+    // store; the resumed run's outcome counters must match the
+    // uninterrupted reference's exactly.
+    let store = dir.join("killed.caj");
+    let (child, reader) = spawn_child(&store, 3, 2);
+    await_halt_marker(reader, 3);
+    kill_and_reap(child);
+    let resumed = profile_fingerprint(&store, 2);
+    assert_eq!(
+        reference, resumed,
+        "outcome counters must be byte-identical across crash-resume"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 /// Store-corruptor sweep: after a complete run, damage the store file in
