@@ -1,0 +1,353 @@
+//! `ca-audit` — the workspace's invariant auditor (DESIGN.md §10).
+//!
+//! The reproduction's core guarantees — canonical CA-matrix bytes and
+//! `.cam` exports identical at any thread count and across crash-resume
+//! — rest on conventions the compiler cannot check: no hash-ordered
+//! iteration feeding canonical output, no ambient clocks or randomness,
+//! no raw durable writes, no ad-hoc stdout/stderr in library crates.
+//! This crate enforces those conventions as machine-checked rules over
+//! the workspace's own sources.
+//!
+//! The analyzer is a comment- and string-literal-aware token scanner:
+//! no rustc internals, no nightly, no dependencies. It scrubs comments
+//! and string/char literals out of each source file (so rule tokens in
+//! docs, messages and fixtures never fire), tracks `#[cfg(test)]`
+//! regions, and then searches the remaining code text for each rule's
+//! forbidden tokens with identifier-boundary checks.
+//!
+//! Suppressions are explicit and audited themselves:
+//!
+//! ```text
+//! // ca-audit: allow(D4, deliberate corruption harness)
+//! std::fs::write(&path, &bytes)?;
+//! ```
+//!
+//! A pragma covers its own line and the next line, must name a known
+//! rule, must carry a non-empty reason, and must actually suppress
+//! something — malformed or unused pragmas are findings in their own
+//! right. See [`rules::rules`] for the rule table.
+
+pub mod rules;
+pub mod scrub;
+
+use rules::RuleSpec;
+use scrub::ScrubbedSource;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// How bad a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// An invariant violation; fails CI under `--deny warn`.
+    Warning,
+    /// A broken suppression pragma; always fails CI.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warn"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// One audit finding, pointing at a `file:line`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Path relative to the audited root.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Rule id (`D1`..`D7`, or `A0`/`A1` for pragma hygiene).
+    pub rule: &'static str,
+    /// Severity.
+    pub severity: Severity,
+    /// What was found.
+    pub message: String,
+    /// One-line fix hint.
+    pub hint: &'static str,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}] {}:{}: {} (fix: {})",
+            self.severity, self.rule, self.file, self.line, self.message, self.hint
+        )
+    }
+}
+
+/// Scans one file's content as crate `crate_name`.
+///
+/// `path_label` is only used to label findings. This is the unit the
+/// fixture self-tests drive; [`audit_workspace`] feeds it every file.
+pub fn scan_source(
+    crate_name: &str,
+    path_label: &str,
+    content: &str,
+    rules: &[RuleSpec],
+) -> Vec<Finding> {
+    let src = ScrubbedSource::new(content);
+    let mut findings = Vec::new();
+    let mut used_pragma_lines: Vec<usize> = Vec::new();
+
+    for rule in rules {
+        if !rule.scope.applies(crate_name) {
+            continue;
+        }
+        for token in rule.tokens {
+            for line in src.token_lines(token) {
+                if !rule.include_tests && src.is_test_line(line) {
+                    continue;
+                }
+                if rule.id == "D6" && src.has_safety_comment(line) {
+                    continue;
+                }
+                if let Some(pline) = src.allow_covering(line, rule.id) {
+                    used_pragma_lines.push(pline);
+                    continue;
+                }
+                findings.push(Finding {
+                    file: path_label.to_string(),
+                    line,
+                    rule: rule.id,
+                    severity: Severity::Warning,
+                    message: format!("`{}`: {}", token, rule.summary),
+                    hint: rule.hint,
+                });
+            }
+        }
+    }
+
+    // Pragma hygiene: malformed pragmas are errors, pragmas naming an
+    // unknown rule are errors, pragmas that suppressed nothing are
+    // warnings (stale suppressions hide future violations).
+    for bad in &src.malformed_pragmas {
+        findings.push(Finding {
+            file: path_label.to_string(),
+            line: bad.line,
+            rule: "A0",
+            severity: Severity::Error,
+            message: format!("malformed ca-audit pragma: {}", bad.problem),
+            hint: "write `// ca-audit: allow(<rule-id>, <reason>)` with a non-empty reason",
+        });
+    }
+    for allow in &src.allows {
+        if !rules.iter().any(|r| r.id == allow.rule) {
+            findings.push(Finding {
+                file: path_label.to_string(),
+                line: allow.line,
+                rule: "A0",
+                severity: Severity::Error,
+                message: format!("pragma names unknown rule `{}`", allow.rule),
+                hint: "use a rule id from `ca-audit --list-rules`",
+            });
+        } else if !used_pragma_lines.contains(&allow.line) {
+            findings.push(Finding {
+                file: path_label.to_string(),
+                line: allow.line,
+                rule: "A1",
+                severity: Severity::Warning,
+                message: format!("unused suppression for rule `{}`", allow.rule),
+                hint: "delete the pragma; it no longer suppresses anything",
+            });
+        }
+    }
+
+    findings
+}
+
+/// One source file of the workspace, with its owning crate.
+#[derive(Debug, Clone)]
+pub struct WorkspaceFile {
+    /// Package name (`ca-core`, …, or `cell-aware` for the facade).
+    pub crate_name: String,
+    /// Absolute path.
+    pub path: PathBuf,
+    /// Path relative to the workspace root (label for findings).
+    pub label: String,
+}
+
+/// Lists the library sources the audit covers: `crates/*/src/**/*.rs`
+/// plus the facade's `src/**/*.rs`. Tests, examples and benches outside
+/// `src/` are not library code and are out of scope (DESIGN.md §10).
+///
+/// # Errors
+///
+/// I/O errors walking the tree.
+pub fn workspace_files(root: &Path) -> std::io::Result<Vec<WorkspaceFile>> {
+    let mut files = Vec::new();
+    let facade = root.join("src");
+    if facade.is_dir() {
+        collect_rs(&facade, &mut files, "cell-aware", root)?;
+    }
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        let mut dirs: Vec<PathBuf> = std::fs::read_dir(&crates)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.is_dir())
+            .collect();
+        dirs.sort();
+        for dir in dirs {
+            let src = dir.join("src");
+            if !src.is_dir() {
+                continue;
+            }
+            let name = format!(
+                "ca-{}",
+                dir.file_name().and_then(|n| n.to_str()).unwrap_or("?")
+            );
+            collect_rs(&src, &mut files, &name, root)?;
+        }
+    }
+    files.sort_by(|a, b| a.label.cmp(&b.label));
+    Ok(files)
+}
+
+fn collect_rs(
+    dir: &Path,
+    out: &mut Vec<WorkspaceFile>,
+    crate_name: &str,
+    root: &Path,
+) -> std::io::Result<()> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_rs(&path, out, crate_name, root)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            let label = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            out.push(WorkspaceFile {
+                crate_name: crate_name.to_string(),
+                path,
+                label,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Audits every library source under `root` with the standard rule set,
+/// returning findings sorted by `(file, line, rule)`.
+///
+/// # Errors
+///
+/// I/O errors reading the tree.
+pub fn audit_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
+    let rule_set = rules::rules();
+    let mut findings = Vec::new();
+    for file in workspace_files(root)? {
+        let content = std::fs::read_to_string(&file.path)?;
+        findings.extend(scan_source(
+            &file.crate_name,
+            &file.label,
+            &content,
+            rule_set,
+        ));
+    }
+    findings
+        .sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
+    Ok(findings)
+}
+
+/// Renders findings as a JSON report (`{"schema":"ca-audit/1",...}`).
+pub fn render_json(findings: &[Finding]) -> String {
+    let mut out = String::from("{\"schema\":\"ca-audit/1\",\"findings\":[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"file\":\"{}\",\"line\":{},\"rule\":\"{}\",\"severity\":\"{}\",\"message\":\"{}\",\"hint\":\"{}\"}}",
+            escape_json(&f.file),
+            f.line,
+            f.rule,
+            f.severity,
+            escape_json(&f.message),
+            escape_json(f.hint),
+        ));
+    }
+    let errors = findings
+        .iter()
+        .filter(|f| f.severity == Severity::Error)
+        .count();
+    out.push_str(&format!(
+        "],\"total\":{},\"errors\":{},\"warnings\":{}}}",
+        findings.len(),
+        errors,
+        findings.len() - errors
+    ));
+    out
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+pub fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// `Scope` re-exported for rule-table consumers.
+pub use rules::rules as rule_table;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rules::Scope;
+
+    #[test]
+    fn findings_display_as_file_line() {
+        let f = Finding {
+            file: "crates/x/src/lib.rs".into(),
+            line: 7,
+            rule: "D1",
+            severity: Severity::Warning,
+            message: "m".into(),
+            hint: "h",
+        };
+        assert_eq!(f.to_string(), "warn[D1] crates/x/src/lib.rs:7: m (fix: h)");
+    }
+
+    #[test]
+    fn json_report_escapes_and_counts() {
+        let f = Finding {
+            file: "a\"b.rs".into(),
+            line: 1,
+            rule: "A0",
+            severity: Severity::Error,
+            message: "x".into(),
+            hint: "h",
+        };
+        let json = render_json(&[f]);
+        assert!(json.contains("\\\"b.rs"));
+        assert!(json.contains("\"errors\":1"));
+        assert!(json.contains("\"schema\":\"ca-audit/1\""));
+    }
+
+    #[test]
+    fn scope_matching() {
+        assert!(Scope::Except(&["ca-obs"]).applies("ca-core"));
+        assert!(!Scope::Except(&["ca-obs"]).applies("ca-obs"));
+        assert!(Scope::Only(&["ca-core"]).applies("ca-core"));
+        assert!(!Scope::Only(&["ca-core"]).applies("ca-ml"));
+    }
+}

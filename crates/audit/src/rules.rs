@@ -1,0 +1,150 @@
+//! The rule table: one entry per written invariant (DESIGN.md §10).
+//!
+//! Rules are deliberately *syntactic*: each names the tokens whose mere
+//! presence in scope is the violation. That trades precision for
+//! auditability — a rule is one struct literal, and adding one means
+//! adding a token list, a scope, and two fixtures. Sites where the
+//! token is legitimate carry a `// ca-audit: allow(rule, reason)`
+//! pragma, which is itself audited (must parse, must name a known rule,
+//! must suppress something).
+
+/// Which crates a rule applies to. Crate names are package names
+/// (`ca-core`, …); the facade crate is `cell-aware`.
+#[derive(Debug, Clone, Copy)]
+pub enum Scope {
+    /// Applies only to the named crates.
+    Only(&'static [&'static str]),
+    /// Applies to every crate except the named ones.
+    Except(&'static [&'static str]),
+}
+
+impl Scope {
+    /// Whether the rule covers `crate_name`.
+    pub fn applies(&self, crate_name: &str) -> bool {
+        match self {
+            Scope::Only(list) => list.contains(&crate_name),
+            Scope::Except(list) => !list.contains(&crate_name),
+        }
+    }
+}
+
+/// One audit rule.
+#[derive(Debug, Clone, Copy)]
+pub struct RuleSpec {
+    /// Stable id (`D1`..`D7`).
+    pub id: &'static str,
+    /// What the rule forbids (used in finding messages).
+    pub summary: &'static str,
+    /// One-line fix hint.
+    pub hint: &'static str,
+    /// Forbidden tokens, matched with identifier boundaries after
+    /// comments and string literals are scrubbed.
+    pub tokens: &'static [&'static str],
+    /// Crates in scope.
+    pub scope: Scope,
+    /// Whether `#[cfg(test)]` regions are scanned too.
+    pub include_tests: bool,
+}
+
+/// Crates whose outputs are canonical: their bytes are hashed, cached,
+/// exported and compared across thread counts and crash-resume.
+const CANONICAL: &[&str] = &["ca-core", "ca-netlist", "ca-defects", "ca-store"];
+
+/// The standard rule set, in rule-id order.
+pub fn rules() -> &'static [RuleSpec] {
+    &[
+        RuleSpec {
+            id: "D1",
+            summary: "hash-ordered collection in a canonical code path",
+            hint: "use BTreeMap/BTreeSet (or collect + sort) so iteration order is canonical",
+            tokens: &["HashMap", "HashSet"],
+            scope: Scope::Only(CANONICAL),
+            include_tests: false,
+        },
+        RuleSpec {
+            id: "D2",
+            summary: "ambient clock read outside ca-obs",
+            hint: "read time through ca_obs::clock (Stopwatch for telemetry, Deadline for budgets)",
+            tokens: &["Instant::now", "SystemTime::now"],
+            scope: Scope::Except(&["ca-obs", "ca-bench"]),
+            include_tests: false,
+        },
+        RuleSpec {
+            id: "D3",
+            summary: "ambient randomness outside ca-rng",
+            hint: "draw randomness from a seeded ca_rng generator threaded from the caller",
+            tokens: &[
+                "thread_rng",
+                "from_entropy",
+                "rand::random",
+                "getrandom",
+                "RandomState",
+            ],
+            scope: Scope::Except(&["ca-rng"]),
+            include_tests: false,
+        },
+        RuleSpec {
+            id: "D4",
+            summary: "raw filesystem write outside the durability layer",
+            hint: "route durable writes through ca_store::write_atomic or Store::append",
+            tokens: &["fs::write", "File::create", "OpenOptions"],
+            scope: Scope::Except(&[]),
+            include_tests: true,
+        },
+        RuleSpec {
+            id: "D5",
+            summary: "ad-hoc stdout/stderr in a library crate",
+            hint: "emit a structured ca_obs event (warn/info_status) or ca_obs::protocol_marker",
+            tokens: &["println!", "print!", "eprintln!", "eprint!", "dbg!"],
+            scope: Scope::Except(&["ca-obs", "ca-bench", "ca-audit"]),
+            include_tests: false,
+        },
+        RuleSpec {
+            id: "D6",
+            summary: "`unsafe` without a `// SAFETY:` comment",
+            hint: "document the upheld invariant in a `// SAFETY:` comment directly above",
+            tokens: &["unsafe"],
+            scope: Scope::Except(&[]),
+            include_tests: true,
+        },
+        RuleSpec {
+            id: "D7",
+            summary: "partial float comparison feeding canonical ordering",
+            hint: "use f32/f64 `total_cmp` so NaN cannot poison a canonical sort",
+            tokens: &[".partial_cmp"],
+            scope: Scope::Only(&[
+                "ca-core",
+                "ca-netlist",
+                "ca-defects",
+                "ca-store",
+                "ca-sim",
+                "ca-ml",
+            ]),
+            include_tests: false,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rule_ids_are_unique_and_ordered() {
+        let ids: Vec<&str> = rules().iter().map(|r| r.id).collect();
+        let mut sorted = ids.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(ids, sorted);
+        assert_eq!(ids.len(), 7);
+    }
+
+    #[test]
+    fn every_rule_has_tokens_and_hint() {
+        for rule in rules() {
+            assert!(!rule.tokens.is_empty(), "{}", rule.id);
+            assert!(!rule.hint.is_empty(), "{}", rule.id);
+            assert!(!rule.summary.is_empty(), "{}", rule.id);
+        }
+    }
+}

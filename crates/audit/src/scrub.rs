@@ -1,0 +1,496 @@
+//! Source scrubbing: the lexical half of the auditor.
+//!
+//! [`ScrubbedSource`] turns one Rust source file into a "code-only"
+//! view where comments and string/char literals are blanked out (each
+//! byte replaced by a space, newlines preserved), so token searches see
+//! code and nothing else. Along the way it collects the pieces the
+//! rules need from the *non*-code text: `// ca-audit: allow(...)`
+//! suppression pragmas, `// SAFETY:` comments, and `#[cfg(test)]`
+//! region line masks.
+//!
+//! The lexer handles line comments, nested block comments, string and
+//! raw-string literals (any `#` depth), byte strings, and char
+//! literals, and tells lifetimes (`'a`) apart from char literals
+//! (`'a'`) by lookahead. That is the entire Rust surface a token-level
+//! audit needs; anything fancier would mean depending on rustc.
+
+/// One parsed `// ca-audit: allow(rule, reason)` pragma.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowPragma {
+    /// 1-based line the pragma comment sits on.
+    pub line: usize,
+    /// Rule id named by the pragma.
+    pub rule: String,
+    /// Free-text justification (non-empty by construction).
+    pub reason: String,
+}
+
+/// A pragma that could not be parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MalformedPragma {
+    /// 1-based line.
+    pub line: usize,
+    /// What was wrong.
+    pub problem: String,
+}
+
+/// A source file after lexical scrubbing; see the module docs.
+pub struct ScrubbedSource {
+    /// Code-only text: comments/literals blanked, newlines kept.
+    code: String,
+    /// Byte offset where each 1-based line starts in `code`.
+    line_starts: Vec<usize>,
+    /// Per-line flag: inside a `#[cfg(test)]` item.
+    test_mask: Vec<bool>,
+    /// Raw lines (for `SAFETY:` lookup).
+    raw_lines: Vec<String>,
+    /// Well-formed suppression pragmas.
+    pub allows: Vec<AllowPragma>,
+    /// Broken suppression pragmas.
+    pub malformed_pragmas: Vec<MalformedPragma>,
+}
+
+impl ScrubbedSource {
+    /// Lexes `content` into a scrubbed view.
+    pub fn new(content: &str) -> ScrubbedSource {
+        let (code, comments) = scrub(content);
+        debug_assert_eq!(code.len(), content.len());
+        let mut line_starts = vec![0usize];
+        for (i, b) in code.bytes().enumerate() {
+            if b == b'\n' {
+                line_starts.push(i + 1);
+            }
+        }
+        let raw_lines: Vec<String> = content.lines().map(|l| l.to_string()).collect();
+        let (allows, malformed_pragmas) = parse_pragmas(&comments);
+        let test_mask = test_line_mask(&code, &line_starts);
+        ScrubbedSource {
+            code,
+            line_starts,
+            test_mask,
+            raw_lines,
+            allows,
+            malformed_pragmas,
+        }
+    }
+
+    /// 1-based line number of byte offset `pos` in the code view.
+    fn line_of(&self, pos: usize) -> usize {
+        match self.line_starts.binary_search(&pos) {
+            Ok(i) => i + 1,
+            Err(i) => i,
+        }
+    }
+
+    /// Whether `line` (1-based) is inside a `#[cfg(test)]` item.
+    pub fn is_test_line(&self, line: usize) -> bool {
+        self.test_mask
+            .get(line.saturating_sub(1))
+            .copied()
+            .unwrap_or(false)
+    }
+
+    /// Lines (1-based, ascending, deduplicated) where `token` occurs in
+    /// code with identifier boundaries respected on both sides.
+    pub fn token_lines(&self, token: &str) -> Vec<usize> {
+        let mut lines = Vec::new();
+        let bytes = self.code.as_bytes();
+        let tok = token.as_bytes();
+        let ident = |b: u8| b.is_ascii_alphanumeric() || b == b'_';
+        let mut from = 0;
+        while let Some(found) = find_from(&self.code, token, from) {
+            from = found + 1;
+            if tok.first().is_some_and(|&f| ident(f)) && found > 0 && ident(bytes[found - 1]) {
+                continue;
+            }
+            if tok.last().is_some_and(|&l| ident(l)) {
+                if let Some(&next) = bytes.get(found + tok.len()) {
+                    if ident(next) {
+                        continue;
+                    }
+                }
+            }
+            let line = self.line_of(found);
+            if lines.last() != Some(&line) {
+                lines.push(line);
+            }
+        }
+        lines
+    }
+
+    /// Whether `line` or one of the 3 lines above it carries a
+    /// `SAFETY:` comment (rule D6).
+    pub fn has_safety_comment(&self, line: usize) -> bool {
+        let hi = line.min(self.raw_lines.len());
+        let lo = hi.saturating_sub(4);
+        self.raw_lines[lo..hi].iter().any(|l| l.contains("SAFETY:"))
+    }
+
+    /// If an allow pragma for `rule` covers `line` (same line or the
+    /// line directly above), returns the pragma's line.
+    pub fn allow_covering(&self, line: usize, rule: &str) -> Option<usize> {
+        self.allows
+            .iter()
+            .find(|a| a.rule == rule && (a.line == line || a.line + 1 == line))
+            .map(|a| a.line)
+    }
+}
+
+fn find_from(haystack: &str, needle: &str, from: usize) -> Option<usize> {
+    haystack.get(from..)?.find(needle).map(|i| i + from)
+}
+
+/// Blanks comments and string/char literals, preserving length and
+/// newlines. Also returns each line comment as `(1-based line, text)`
+/// — the only place suppression pragmas are honored.
+fn scrub(content: &str) -> (String, Vec<(usize, String)>) {
+    let b = content.as_bytes();
+    let mut out: Vec<u8> = Vec::with_capacity(b.len());
+    let mut comments: Vec<(usize, String)> = Vec::new();
+    let mut line = 1usize;
+    let mut i = 0;
+    let blank = |out: &mut Vec<u8>, b: &[u8], from: usize, to: usize, line: &mut usize| {
+        for &byte in &b[from..to] {
+            if byte == b'\n' {
+                *line += 1;
+            }
+            out.push(if byte == b'\n' { b'\n' } else { b' ' });
+        }
+    };
+    while i < b.len() {
+        // Line comment (captured for pragma parsing).
+        if b[i] == b'/' && b.get(i + 1) == Some(&b'/') {
+            let end = memchr_newline(b, i);
+            comments.push((line, String::from_utf8_lossy(&b[i..end]).into_owned()));
+            blank(&mut out, b, i, end, &mut line);
+            i = end;
+        // Block comment (nested).
+        } else if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+            let mut depth = 1;
+            let mut j = i + 2;
+            while j < b.len() && depth > 0 {
+                if b[j] == b'/' && b.get(j + 1) == Some(&b'*') {
+                    depth += 1;
+                    j += 2;
+                } else if b[j] == b'*' && b.get(j + 1) == Some(&b'/') {
+                    depth -= 1;
+                    j += 2;
+                } else {
+                    j += 1;
+                }
+            }
+            blank(&mut out, b, i, j, &mut line);
+            i = j;
+        // Raw (byte) string: r"..", r#".."#, br#".."# etc.
+        } else if let Some(len) = raw_string_len(b, i) {
+            blank(&mut out, b, i, i + len, &mut line);
+            i += len;
+        // Plain (byte) string.
+        } else if b[i] == b'"' || (b[i] == b'b' && b.get(i + 1) == Some(&b'"')) {
+            let open = if b[i] == b'"' { i } else { i + 1 };
+            let mut j = open + 1;
+            while j < b.len() {
+                match b[j] {
+                    b'\\' => j += 2,
+                    b'"' => {
+                        j += 1;
+                        break;
+                    }
+                    _ => j += 1,
+                }
+            }
+            let j = j.min(b.len());
+            blank(&mut out, b, i, j, &mut line);
+            i = j;
+        // Char literal vs lifetime: 'x' / '\n' are literals, 'a is not.
+        } else if b[i] == b'\'' {
+            let is_char = matches!(
+                (b.get(i + 1), b.get(i + 2)),
+                (Some(b'\\'), _) | (Some(_), Some(b'\''))
+            );
+            if is_char {
+                let mut j = i + 1;
+                if b.get(j) == Some(&b'\\') {
+                    j += 2;
+                    // Skip to the closing quote (covers \u{...}).
+                    while j < b.len() && b[j] != b'\'' {
+                        j += 1;
+                    }
+                } else {
+                    j += 1;
+                }
+                let j = (j + 1).min(b.len());
+                blank(&mut out, b, i, j, &mut line);
+                i = j;
+            } else {
+                out.push(b[i]);
+                i += 1;
+            }
+        } else {
+            if b[i] == b'\n' {
+                line += 1;
+            }
+            out.push(b[i]);
+            i += 1;
+        }
+    }
+    // No unsafe needed: `out` is built byte-for-byte from valid UTF-8
+    // where every replaced byte is ASCII, so it remains valid UTF-8.
+    (String::from_utf8(out).unwrap_or_default(), comments)
+}
+
+fn memchr_newline(b: &[u8], from: usize) -> usize {
+    b[from..]
+        .iter()
+        .position(|&c| c == b'\n')
+        .map_or(b.len(), |p| from + p)
+}
+
+/// Length of a raw-string token starting at `i`, if one starts there.
+fn raw_string_len(b: &[u8], i: usize) -> Option<usize> {
+    let mut j = i;
+    if b.get(j) == Some(&b'b') {
+        j += 1;
+    }
+    if b.get(j) != Some(&b'r') {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0;
+    while b.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if b.get(j) != Some(&b'"') {
+        return None;
+    }
+    j += 1;
+    // Scan for `"` followed by `hashes` hash marks.
+    while j < b.len() {
+        if b[j] == b'"' {
+            let mut k = 0;
+            while k < hashes && b.get(j + 1 + k) == Some(&b'#') {
+                k += 1;
+            }
+            if k == hashes {
+                return Some(j + 1 + hashes - i);
+            }
+        }
+        j += 1;
+    }
+    Some(b.len() - i)
+}
+
+/// Parses `// ca-audit: allow(rule, reason)` pragmas out of the line
+/// comments the lexer collected. Only plain `//` comments count: doc
+/// comments (`///`, `//!`) merely *describe* pragmas, and string
+/// literals never reach here at all.
+fn parse_pragmas(comments: &[(usize, String)]) -> (Vec<AllowPragma>, Vec<MalformedPragma>) {
+    let mut allows = Vec::new();
+    let mut malformed = Vec::new();
+    for (line, text) in comments {
+        let line = *line;
+        let body = text.trim_start_matches('/');
+        if text.starts_with("///") || text.starts_with("//!") {
+            continue;
+        }
+        let Some(pos) = body.find("ca-audit:") else {
+            continue;
+        };
+        // The pragma must be the whole comment, not a mention inside
+        // prose: nothing but whitespace before the marker...
+        if !body[..pos].trim().is_empty() {
+            continue;
+        }
+        let rest = body[pos + "ca-audit:".len()..].trim_start();
+        let Some(args) = rest.strip_prefix("allow(") else {
+            malformed.push(MalformedPragma {
+                line,
+                problem: format!("expected `allow(...)`, found `{}`", rest.trim()),
+            });
+            continue;
+        };
+        let Some(close) = args.find(')') else {
+            malformed.push(MalformedPragma {
+                line,
+                problem: "missing closing `)`".into(),
+            });
+            continue;
+        };
+        let inner = &args[..close];
+        let Some((rule, reason)) = inner.split_once(',') else {
+            malformed.push(MalformedPragma {
+                line,
+                problem: "missing reason: write `allow(rule, reason)`".into(),
+            });
+            continue;
+        };
+        let (rule, reason) = (rule.trim(), reason.trim());
+        if rule.is_empty() || reason.is_empty() {
+            malformed.push(MalformedPragma {
+                line,
+                problem: "rule id and reason must both be non-empty".into(),
+            });
+            continue;
+        }
+        // ...and nothing but whitespace after the close paren, so a
+        // prose sentence quoting the syntax cannot parse as a pragma.
+        if !args[close + 1..].trim().is_empty() {
+            malformed.push(MalformedPragma {
+                line,
+                problem: "trailing text after `)`".into(),
+            });
+            continue;
+        }
+        allows.push(AllowPragma {
+            line,
+            rule: rule.to_string(),
+            reason: reason.to_string(),
+        });
+    }
+    (allows, malformed)
+}
+
+/// Marks the lines covered by `#[cfg(test)]` items (attribute through
+/// the matching close brace, or through `;` for brace-less items).
+fn test_line_mask(code: &str, line_starts: &[usize]) -> Vec<bool> {
+    let n_lines = line_starts.len();
+    let mut mask = vec![false; n_lines];
+    let b = code.as_bytes();
+    let mut from = 0;
+    while let Some(found) = find_from(code, "#[cfg(test)]", from) {
+        from = found + 1;
+        // Walk forward to the item's opening `{` (skipping further
+        // attributes and the item header) or a terminating `;`.
+        let mut j = found + "#[cfg(test)]".len();
+        let mut open = None;
+        while j < b.len() {
+            match b[j] {
+                b'{' => {
+                    open = Some(j);
+                    break;
+                }
+                b';' => break,
+                _ => j += 1,
+            }
+        }
+        let end = match open {
+            Some(open) => {
+                let mut depth = 0usize;
+                let mut k = open;
+                loop {
+                    if k >= b.len() {
+                        break b.len();
+                    }
+                    match b[k] {
+                        b'{' => depth += 1,
+                        b'}' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break k + 1;
+                            }
+                        }
+                        _ => {}
+                    }
+                    k += 1;
+                }
+            }
+            None => j,
+        };
+        let first = line_index(line_starts, found);
+        let last = line_index(line_starts, end.min(b.len().saturating_sub(1)));
+        for flag in mask.iter_mut().take(last + 1).skip(first) {
+            *flag = true;
+        }
+    }
+    mask
+}
+
+/// 0-based line index of byte offset `pos`.
+fn line_index(line_starts: &[usize], pos: usize) -> usize {
+    match line_starts.binary_search(&pos) {
+        Ok(i) => i,
+        Err(i) => i.saturating_sub(1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scrubs_comments_and_strings() {
+        let src = ScrubbedSource::new(
+            "let a = \"HashMap\"; // HashMap in comment\nlet b = HashMap::new();\n",
+        );
+        assert_eq!(src.token_lines("HashMap"), vec![2]);
+    }
+
+    #[test]
+    fn scrubs_raw_strings_and_chars() {
+        let src = ScrubbedSource::new(
+            "let s = r#\"Instant::now()\"#;\nlet c = '\"';\nlet t = Instant::now();\n",
+        );
+        assert_eq!(src.token_lines("Instant::now"), vec![3]);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        // A naive lexer treats `'a` as an unterminated char literal and
+        // blanks the rest of the file.
+        let src = ScrubbedSource::new("fn f<'a>(x: &'a str) {\n    thread_rng();\n}\n");
+        assert_eq!(src.token_lines("thread_rng"), vec![2]);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = ScrubbedSource::new("/* outer /* HashMap */ still comment */ let x = 1;\n");
+        assert!(src.token_lines("HashMap").is_empty());
+    }
+
+    #[test]
+    fn identifier_boundaries_respected() {
+        let src = ScrubbedSource::new("let a = MyHashMap::new();\nlet b = HashMap_ext();\n");
+        assert!(src.token_lines("HashMap").is_empty());
+    }
+
+    #[test]
+    fn cfg_test_mask_covers_mod_block() {
+        let src = ScrubbedSource::new(
+            "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn live2() {}\n",
+        );
+        assert!(!src.is_test_line(1));
+        assert!(src.is_test_line(2));
+        assert!(src.is_test_line(3));
+        assert!(src.is_test_line(4));
+        assert!(src.is_test_line(5));
+        assert!(!src.is_test_line(6));
+    }
+
+    #[test]
+    fn pragma_parses_and_covers_next_line() {
+        let src = ScrubbedSource::new(
+            "// ca-audit: allow(D4, deliberate corruption harness)\nstd::fs::write(p, b);\n",
+        );
+        assert_eq!(src.allows.len(), 1);
+        assert_eq!(src.allows[0].rule, "D4");
+        assert_eq!(src.allow_covering(2, "D4"), Some(1));
+        assert_eq!(src.allow_covering(3, "D4"), None);
+        assert_eq!(src.allow_covering(2, "D1"), None);
+    }
+
+    #[test]
+    fn malformed_pragmas_are_reported() {
+        let src = ScrubbedSource::new("// ca-audit: allow(D4)\n// ca-audit: deny(D4, x)\n");
+        assert_eq!(src.malformed_pragmas.len(), 2);
+    }
+
+    #[test]
+    fn safety_comment_lookup() {
+        let src = ScrubbedSource::new(
+            "// SAFETY: the buffer outlives the call\nunsafe { ptr::read(p) }\n\n\n\n\nunsafe { bad() }\n",
+        );
+        assert!(src.has_safety_comment(2));
+        assert!(!src.has_safety_comment(7));
+    }
+}

@@ -1,0 +1,203 @@
+//! Per-rule fixture self-tests (DESIGN.md §10): every rule must fire on
+//! a seeded violation and stay quiet on the compliant pattern. Fixture
+//! code lives in raw strings, which the scanner scrubs — so these
+//! snippets can never leak findings into a real workspace audit.
+
+use ca_audit::{rule_table, scan_source, Severity};
+
+/// Scans `src` as a file of `crate_name`, returning fired rule ids.
+fn fired(crate_name: &str, src: &str) -> Vec<&'static str> {
+    scan_source(crate_name, "fixture.rs", src, rule_table())
+        .into_iter()
+        .map(|f| f.rule)
+        .collect()
+}
+
+#[track_caller]
+fn assert_fires(rule: &str, crate_name: &str, src: &str) {
+    let rules = fired(crate_name, src);
+    assert!(
+        rules.contains(&rule),
+        "expected {rule} to fire for {crate_name}, got {rules:?}"
+    );
+}
+
+#[track_caller]
+fn assert_quiet(rule: &str, crate_name: &str, src: &str) {
+    let rules = fired(crate_name, src);
+    assert!(
+        !rules.contains(&rule),
+        "expected {rule} to stay quiet for {crate_name}, got {rules:?}"
+    );
+}
+
+#[test]
+fn d1_hash_collections_in_canonical_crates() {
+    let bad = r#"
+use std::collections::HashMap;
+fn canonical_bytes(m: &HashMap<String, u64>) -> Vec<u8> { Vec::new() }
+"#;
+    let good = r#"
+use std::collections::BTreeMap;
+fn canonical_bytes(m: &BTreeMap<String, u64>) -> Vec<u8> { Vec::new() }
+"#;
+    assert_fires("D1", "ca-core", bad);
+    assert_quiet("D1", "ca-core", good);
+    // Out-of-scope crate: the executor may hash freely.
+    assert_quiet("D1", "ca-exec", bad);
+    // Test modules are not canonical code paths.
+    assert_quiet(
+        "D1",
+        "ca-core",
+        "#[cfg(test)]\nmod tests {\n    use std::collections::HashMap;\n}\n",
+    );
+}
+
+#[test]
+fn d2_ambient_clocks() {
+    let bad = "fn f() { let t = std::time::Instant::now(); }\n";
+    let bad2 = "fn f() { let t = std::time::SystemTime::now(); }\n";
+    let good = "fn f() { let t = ca_obs::Stopwatch::start(); }\n";
+    assert_fires("D2", "ca-sim", bad);
+    assert_fires("D2", "ca-core", bad2);
+    assert_quiet("D2", "ca-sim", good);
+    // The clock owner and the measurement binary are exempt.
+    assert_quiet("D2", "ca-obs", bad);
+    assert_quiet("D2", "ca-bench", bad);
+}
+
+#[test]
+fn d3_ambient_randomness() {
+    let bad = "fn f() { let mut rng = rand::thread_rng(); }\n";
+    let good = "fn f(rng: &mut ca_rng::SplitMix64) { rng.next_u64(); }\n";
+    assert_fires("D3", "ca-ml", bad);
+    assert_quiet("D3", "ca-ml", good);
+    assert_quiet("D3", "ca-rng", bad);
+    assert_fires(
+        "D3",
+        "ca-core",
+        "use std::collections::hash_map::RandomState;\n",
+    );
+}
+
+#[test]
+fn d4_raw_durable_writes() {
+    let bad = "fn f() { std::fs::write(\"x\", b\"y\").unwrap(); }\n";
+    let bad2 = "fn f() { let f = std::fs::File::create(\"x\"); }\n";
+    let good = "fn f() { ca_store::write_atomic(\"x\", b\"y\").unwrap(); }\n";
+    assert_fires("D4", "ca-defects", bad);
+    assert_fires("D4", "ca-exec", bad2);
+    assert_quiet("D4", "ca-defects", good);
+    // D4 scans test code too: corruption harnesses must be annotated.
+    assert_fires(
+        "D4",
+        "ca-store",
+        "#[cfg(test)]\nmod tests {\n    fn t() { std::fs::write(\"x\", b\"y\").unwrap(); }\n}\n",
+    );
+    // ...and the annotation is honored.
+    assert_quiet(
+        "D4",
+        "ca-store",
+        "// ca-audit: allow(D4, deliberate corruption harness)\nfn f() { std::fs::write(\"x\", b\"y\").unwrap(); }\n",
+    );
+}
+
+#[test]
+fn d5_adhoc_output_in_library_crates() {
+    let bad = "fn f() { eprintln!(\"warning: {}\", 1); }\n";
+    let bad2 = "fn f() { println!(\"status\"); }\n";
+    let good = "fn f() { ca_obs::warn(\"ca_core\", \"msg\", &[]); }\n";
+    assert_fires("D5", "ca-core", bad);
+    assert_fires("D5", "ca-netlist", bad2);
+    assert_quiet("D5", "ca-core", good);
+    // The event sink and the CLI binaries are exempt.
+    assert_quiet("D5", "ca-obs", bad);
+    assert_quiet("D5", "ca-bench", bad2);
+}
+
+#[test]
+fn d6_unsafe_needs_safety_comment() {
+    let bad = "fn f(p: *const u8) -> u8 { unsafe { *p } }\n";
+    let good = "fn f(p: *const u8) -> u8 {\n    // SAFETY: caller guarantees p is valid\n    unsafe { *p }\n}\n";
+    assert_fires("D6", "ca-exec", bad);
+    assert_quiet("D6", "ca-exec", good);
+    // The comment must be near: four lines of distance is too far.
+    let far = "fn f(p: *const u8) -> u8 {\n    // SAFETY: stale\n    let _a = 1;\n    let _b = 2;\n    let _c = 3;\n    let _d = 4;\n    unsafe { *p }\n}\n";
+    assert_fires("D6", "ca-exec", far);
+}
+
+#[test]
+fn d7_partial_float_comparisons() {
+    let bad = "fn f(v: &mut Vec<f64>) { v.sort_by(|a, b| a.partial_cmp(b).unwrap()); }\n";
+    let good = "fn f(v: &mut Vec<f64>) { v.sort_by(|a, b| a.total_cmp(b)); }\n";
+    assert_fires("D7", "ca-ml", bad);
+    assert_quiet("D7", "ca-ml", good);
+    // Defining `fn partial_cmp` in a PartialOrd impl is not a call.
+    assert_quiet(
+        "D7",
+        "ca-core",
+        "impl PartialOrd for X {\n    fn partial_cmp(&self, o: &X) -> Option<Ordering> { Some(self.cmp(o)) }\n}\n",
+    );
+    // The bench binary ranks display tables however it likes.
+    assert_quiet("D7", "ca-bench", bad);
+}
+
+#[test]
+fn tokens_in_comments_and_strings_never_fire() {
+    let src = r#"
+// HashMap iteration would break this; see Instant::now discussion.
+/* thread_rng() and std::fs::write are both banned */
+fn f() {
+    let msg = "uses HashMap and SystemTime::now and println! in a string";
+    let raw = r"eprintln!(unsafe)";
+}
+"#;
+    for rule in ["D1", "D2", "D3", "D4", "D5", "D6"] {
+        assert_quiet(rule, "ca-core", src);
+    }
+}
+
+#[test]
+fn pragma_must_cover_the_flagged_line() {
+    // Pragma two lines above the violation: out of range, still fires
+    // (and the pragma is reported unused).
+    let src = "// ca-audit: allow(D4, too far away)\nfn pad() {}\nfn f() { std::fs::write(\"x\", b\"y\").unwrap(); }\n";
+    let findings = scan_source("ca-core", "f.rs", src, rule_table());
+    assert!(findings.iter().any(|f| f.rule == "D4"));
+    assert!(findings.iter().any(|f| f.rule == "A1"));
+}
+
+#[test]
+fn trailing_pragma_on_same_line_works() {
+    let src =
+        "fn f() { std::fs::write(\"x\", b\"y\").unwrap() } // ca-audit: allow(D4, trailing form)\n";
+    assert_quiet("D4", "ca-core", src);
+}
+
+#[test]
+fn malformed_and_unknown_pragmas_are_errors() {
+    let missing_reason = "// ca-audit: allow(D4)\nfn f() {}\n";
+    let unknown_rule = "// ca-audit: allow(D99, because)\nfn f() {}\n";
+    let findings = scan_source("ca-core", "f.rs", missing_reason, rule_table());
+    assert!(findings
+        .iter()
+        .any(|f| f.rule == "A0" && f.severity == Severity::Error));
+    let findings = scan_source("ca-core", "f.rs", unknown_rule, rule_table());
+    assert!(findings
+        .iter()
+        .any(|f| f.rule == "A0" && f.severity == Severity::Error));
+}
+
+#[test]
+fn findings_carry_location_and_hint() {
+    let src = "\n\nfn f() { let t = std::time::Instant::now(); }\n";
+    let findings = scan_source("ca-sim", "crates/sim/src/x.rs", src, rule_table());
+    assert_eq!(findings.len(), 1);
+    let f = &findings[0];
+    assert_eq!(
+        (f.file.as_str(), f.line, f.rule),
+        ("crates/sim/src/x.rs", 3, "D2")
+    );
+    assert!(!f.hint.is_empty());
+    assert!(f.to_string().contains("crates/sim/src/x.rs:3"));
+}

@@ -1,0 +1,76 @@
+//! The live gate: the actual workspace must audit clean, with
+//! suppressions only at the documented intentional sites (ca-store's
+//! durability primitives and corruption/test harnesses). This is the
+//! same check `scripts/ci.sh` runs via `ca-audit --deny warn`.
+
+use ca_audit::workspace_files;
+use std::path::Path;
+
+fn workspace_root() -> &'static Path {
+    Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."))
+}
+
+#[test]
+fn workspace_audits_clean() {
+    let findings = ca_audit::audit_workspace(workspace_root()).expect("audit I/O");
+    assert!(
+        findings.is_empty(),
+        "workspace has audit findings:\n{}",
+        findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn audit_covers_every_workspace_crate() {
+    let files = workspace_files(workspace_root()).expect("walk");
+    let mut crates: Vec<String> = files.iter().map(|f| f.crate_name.clone()).collect();
+    crates.sort();
+    crates.dedup();
+    for expected in [
+        "ca-audit",
+        "ca-bench",
+        "ca-core",
+        "ca-defects",
+        "ca-exec",
+        "ca-ml",
+        "ca-netlist",
+        "ca-obs",
+        "ca-rng",
+        "ca-sim",
+        "ca-store",
+        "cell-aware",
+    ] {
+        assert!(
+            crates.iter().any(|c| c == expected),
+            "audit walk missed crate {expected}: {crates:?}"
+        );
+    }
+}
+
+#[test]
+fn suppressions_only_in_documented_sites() {
+    // Every allow pragma in the workspace must live in ca-store: the
+    // journal/atomic-write primitives and the corruption harnesses are
+    // the only sanctioned raw-write sites (DESIGN.md §10).
+    for file in workspace_files(workspace_root()).expect("walk") {
+        let content = std::fs::read_to_string(&file.path).expect("read");
+        let src = ca_audit::scrub::ScrubbedSource::new(&content);
+        if !src.allows.is_empty() {
+            assert_eq!(
+                file.crate_name,
+                "ca-store",
+                "unexpected suppression pragma in {} ({} of {})",
+                file.label,
+                src.allows.len(),
+                file.crate_name
+            );
+            for allow in &src.allows {
+                assert_eq!(allow.rule, "D4", "{}: {:?}", file.label, allow);
+            }
+        }
+    }
+}

@@ -42,7 +42,7 @@ use crate::matrix::PreparedCell;
 use ca_defects::{BitRow, CaModel, DefectClass, DefectId, DefectUniverse, GenerateOptions};
 use ca_netlist::{Cell, NetId, Terminal, TransistorId};
 use ca_sim::{DetectionPolicy, Injection, SimBudget};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
@@ -53,7 +53,7 @@ const ISO_SEARCH_BUDGET: usize = 10_000;
 
 /// Cache key: the full canonical triple plus the generation options
 /// (models generated under different options are never interchangeable).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 struct CacheKey {
     structure: u64,
     wiring: u64,
@@ -207,7 +207,7 @@ impl CacheStats {
 /// batch (or hold one for a whole session — entries never expire).
 #[derive(Default)]
 pub struct CharCache {
-    slots: Mutex<HashMap<CacheKey, Arc<Slot>>>,
+    slots: Mutex<BTreeMap<CacheKey, Arc<Slot>>>,
     hits: AtomicUsize,
     misses: AtomicUsize,
     rejected: AtomicUsize,
@@ -394,8 +394,8 @@ impl CharCache {
     fn claim(&self, key: CacheKey) -> Claim {
         let mut slots = lock_recover(&self.slots);
         match slots.entry(key) {
-            std::collections::hash_map::Entry::Occupied(e) => Claim::Follower(Arc::clone(e.get())),
-            std::collections::hash_map::Entry::Vacant(v) => {
+            std::collections::btree_map::Entry::Occupied(e) => Claim::Follower(Arc::clone(e.get())),
+            std::collections::btree_map::Entry::Vacant(v) => {
                 let slot = Arc::new(Slot::new());
                 v.insert(Arc::clone(&slot));
                 Claim::Leader(slot)
@@ -429,8 +429,8 @@ impl CharCache {
         };
         let mut slots = lock_recover(&self.slots);
         match slots.entry(key) {
-            std::collections::hash_map::Entry::Occupied(_) => false,
-            std::collections::hash_map::Entry::Vacant(v) => {
+            std::collections::btree_map::Entry::Occupied(_) => false,
+            std::collections::btree_map::Entry::Vacant(v) => {
                 let slot = Arc::new(Slot::new());
                 slot.publish(Some(Arc::new(Donor {
                     cell,
@@ -655,7 +655,7 @@ fn remap_model(
     if donor.model.universe.len() != cand_universe.len() || donor.model.degraded {
         return None;
     }
-    let donor_index: HashMap<Injection, usize> = donor
+    let donor_index: BTreeMap<Injection, usize> = donor
         .model
         .universe
         .defects()

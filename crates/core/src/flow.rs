@@ -8,7 +8,7 @@ use crate::matrix::PreparedCell;
 use ca_defects::{CaModel, GenerateOptions};
 use ca_ml::{Classifier, Dataset, ForestParams, RandomForest};
 use ca_netlist::Cell;
-use std::collections::{BTreeMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Parameters of the ML flow.
 #[derive(Debug, Clone)]
@@ -302,8 +302,8 @@ impl std::fmt::Display for StructuralMatch {
 /// Index of the known (training) structures, queried by the hybrid gate.
 #[derive(Debug, Clone, Default)]
 pub struct StructureIndex {
-    identical: HashSet<u64>,
-    reduced: HashSet<u64>,
+    identical: BTreeSet<u64>,
+    reduced: BTreeSet<u64>,
 }
 
 impl StructureIndex {
@@ -597,7 +597,7 @@ impl HybridFlow {
         let mut report = HybridReport::default();
         let mut quarantine = Quarantine::default();
         for cell in cells {
-            let started = std::time::Instant::now();
+            let started = ca_obs::Stopwatch::start();
             let name = cell.name().to_string();
             if let Some(finding) = ca_netlist::lint::lint(&cell)
                 .into_iter()

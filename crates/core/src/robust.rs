@@ -36,10 +36,11 @@ use ca_exec::Executor;
 use ca_netlist::library::Library;
 use ca_netlist::lint::{lint, Severity};
 use ca_netlist::Cell;
+use ca_obs::Stopwatch;
 use ca_sim::{Injection, SimBudget, SimError, Simulator, Stimulus};
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// What to do when a cell fails characterization.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -275,7 +276,7 @@ fn robust_driver(
     // Each item runs the full guarded pipeline, retries included; the
     // fold below never simulates, so the merge stays in library order.
     let results = executor.map(&library.cells, |_, lc| {
-        let started = Instant::now();
+        let started = Stopwatch::start();
         match plan.reuse(lc.cell.name()) {
             // Store-verified degraded model: served back to this exact
             // cell (never through the cache — never-a-donor rule).

@@ -42,7 +42,7 @@ use ca_netlist::library::Library;
 use ca_netlist::Cell;
 use ca_sim::SimBudget;
 use ca_store::{Payload, Record, RecoveryReport, Store, StoreStats};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, MutexGuard};
@@ -141,7 +141,7 @@ pub(crate) enum Reuse {
 /// Per-run reuse decisions for one library (see [`Session::plan`]).
 #[derive(Debug, Default)]
 pub(crate) struct SessionPlan {
-    reuse: HashMap<String, Reuse>,
+    reuse: BTreeMap<String, Reuse>,
 }
 
 impl SessionPlan {
@@ -427,10 +427,11 @@ impl Session {
                 if halt != 0 && count == halt {
                     // Crash-injection hook: announce the halt point, then
                     // freeze *holding the store lock* so no later record
-                    // can land before the external SIGKILL arrives.
-                    println!("CA-SESSION-HALT {count}");
-                    use std::io::Write as _;
-                    let _ = std::io::stdout().flush();
+                    // can land before the external SIGKILL arrives. The
+                    // marker is inter-process protocol with the SIGKILL
+                    // harness, so it goes through the one sanctioned
+                    // stdout door (invariant D5).
+                    ca_obs::protocol_marker(&format!("CA-SESSION-HALT {count}"));
                     loop {
                         std::thread::sleep(std::time::Duration::from_secs(3600));
                     }

@@ -8,7 +8,7 @@
 
 use crate::table::{BitRow, DetectionTable};
 use crate::universe::{DefectId, DefectUniverse};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// Detection behaviour of a defect class.
@@ -61,7 +61,7 @@ impl DefectClass {
 /// deterministic and independent of hashing.
 pub fn equivalence_classes(universe: &DefectUniverse, table: &DetectionTable) -> Vec<DefectClass> {
     let static_count = table.stimuli().iter().filter(|s| s.is_static()).count();
-    let mut by_row: HashMap<&BitRow, Vec<DefectId>> = HashMap::new();
+    let mut by_row: BTreeMap<&BitRow, Vec<DefectId>> = BTreeMap::new();
     for defect in universe.defects() {
         by_row
             .entry(table.row(defect.id))

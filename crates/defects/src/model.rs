@@ -115,8 +115,8 @@ impl CaModel {
         let static_count = stimuli.iter().filter(|s| s.is_static()).count();
         // Rebuild classes from the provided rows.
         let classes = {
-            use std::collections::HashMap;
-            let mut by_row: HashMap<&BitRow, Vec<DefectId>> = HashMap::new();
+            use std::collections::BTreeMap;
+            let mut by_row: BTreeMap<&BitRow, Vec<DefectId>> = BTreeMap::new();
             for d in universe.defects() {
                 by_row.entry(&rows[d.id.index()]).or_default().push(d.id);
             }

@@ -9,7 +9,7 @@ use ca_netlist::Cell;
 use ca_sim::{DetectionPolicy, Injection, SimBudget, SimError, Simulator, Stimulus, Value};
 
 /// A packed bit row (one bit per stimulus).
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct BitRow {
     bits: Vec<u64>,

@@ -200,7 +200,7 @@ impl Executor {
         }
         ca_obs::counter!("ca_exec.workers_spawned", Ops).add(workers as u64);
         let cursor = AtomicUsize::new(0);
-        let batch_start = std::time::Instant::now();
+        let batch_start = ca_obs::Stopwatch::start();
         let mut parts: Vec<Vec<(usize, Result<R, _>)>> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
@@ -214,9 +214,8 @@ impl Executor {
                             let i = cursor.fetch_add(1, Ordering::Relaxed);
                             if first_pull {
                                 first_pull = false;
-                                let ns = u64::try_from(batch_start.elapsed().as_nanos())
-                                    .unwrap_or(u64::MAX);
-                                ca_obs::timer!("ca_exec.queue_wait").record_ns(ns);
+                                ca_obs::timer!("ca_exec.queue_wait")
+                                    .record_ns(batch_start.elapsed_ns());
                             }
                             if i >= items.len() {
                                 break;

@@ -47,9 +47,9 @@ impl Classifier for KNearest {
             })
             .collect();
         let k = self.k.min(dists.len());
-        dists.select_nth_unstable_by(k - 1, |a, b| {
-            a.0.partial_cmp(&b.0).expect("finite distances")
-        });
+        // Total order (invariant D7): NaN distances sort last instead of
+        // panicking, so a degenerate feature row cannot abort a prediction.
+        dists.select_nth_unstable_by(k - 1, |a, b| a.0.total_cmp(&b.0));
         let mut votes = vec![0usize; data.num_classes().max(1)];
         for &(_, label) in &dists[..k] {
             votes[label as usize] += 1;

@@ -345,7 +345,9 @@ fn sorting_threshold(
         .iter()
         .map(|&i| (data.row(i)[feature], data.label(i)))
         .collect();
-    pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaN features"));
+    // Total order (invariant D7): the split order feeds the tree
+    // structure, which must be canonical even for pathological inputs.
+    pairs.sort_by(|a, b| a.0.total_cmp(&b.0));
     let total = pairs.len();
     let mut left = vec![0usize; k];
     let mut best: Option<(f32, f64)> = None;

@@ -518,7 +518,7 @@ pub fn generate_library(config: &LibraryConfig) -> Library {
     }
     let mut cells = Vec::new();
     let keep_threshold = (config.template_keep_fraction.clamp(0.0, 1.0) * 1000.0) as u64;
-    let is_exclusive: std::collections::HashSet<String> = exclusive_catalog(config.tech)
+    let is_exclusive: std::collections::BTreeSet<String> = exclusive_catalog(config.tech)
         .into_iter()
         .map(|t| t.name)
         .collect();

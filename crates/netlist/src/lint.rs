@@ -6,7 +6,7 @@
 //! suspicious pull-network asymmetry.
 
 use crate::model::{Cell, MosKind, NetKind};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use std::fmt;
 
 /// Severity of a lint finding.
@@ -48,12 +48,15 @@ impl fmt::Display for Finding {
 pub fn lint(cell: &Cell) -> Vec<Finding> {
     let mut findings = Vec::new();
     check_has_transistors(cell, &mut findings);
+    check_duplicate_device_names(cell, &mut findings);
     check_floating_gate_nets(cell, &mut findings);
     check_undriven_internal_nets(cell, &mut findings);
     check_rail_to_rail_channels(cell, &mut findings);
+    check_self_shorted_devices(cell, &mut findings);
     check_gate_tied_to_rail(cell, &mut findings);
     check_output_drive(cell, &mut findings);
     check_unused_inputs(cell, &mut findings);
+    check_unobservable_devices(cell, &mut findings);
     findings.sort_by_key(|f| std::cmp::Reverse(f.severity));
     findings
 }
@@ -81,7 +84,7 @@ fn check_has_transistors(cell: &Cell, findings: &mut Vec<Finding>) {
 
 /// A gate net that nothing drives (not a pin, not a channel terminal).
 fn check_floating_gate_nets(cell: &Cell, findings: &mut Vec<Finding>) {
-    let mut driven: HashSet<usize> = HashSet::new();
+    let mut driven: BTreeSet<usize> = BTreeSet::new();
     for t in cell.transistors() {
         driven.insert(t.drain().index());
         driven.insert(t.source().index());
@@ -159,7 +162,7 @@ fn check_gate_tied_to_rail(cell: &Cell, findings: &mut Vec<Finding>) {
 /// Every output should see at least one NMOS and one PMOS pull network.
 fn check_output_drive(cell: &Cell, findings: &mut Vec<Finding>) {
     for &out in cell.outputs() {
-        let mut kinds = HashSet::new();
+        let mut kinds = BTreeSet::new();
         for t in cell.transistors() {
             if t.drain() == out || t.source() == out {
                 kinds.insert(t.kind());
@@ -182,6 +185,88 @@ fn check_output_drive(cell: &Cell, findings: &mut Vec<Finding>) {
                     "output `{}` is driven by only one device polarity",
                     cell.net(out).name()
                 ),
+            });
+        }
+    }
+}
+
+/// Two devices with the same instance name.
+///
+/// Names are the identity that diagnosis reports, quarantine entries
+/// and `.cam` defect labels hang off; a duplicate makes every
+/// downstream artifact ambiguous, so it is an error even though the
+/// simulator itself would run.
+fn check_duplicate_device_names(cell: &Cell, findings: &mut Vec<Finding>) {
+    let mut seen = BTreeSet::new();
+    for t in cell.transistors() {
+        if !seen.insert(t.name()) {
+            findings.push(Finding {
+                severity: Severity::Error,
+                rule: "duplicate-device-name",
+                message: format!("device name `{}` is used more than once", t.name()),
+            });
+        }
+    }
+}
+
+/// Devices whose drain and source land on the same net.
+///
+/// Such a channel connects a net to itself: the device can never move
+/// charge, and every defect on it — including the drain-source short,
+/// which is already "wired in" — is structurally undetectable. Flagging
+/// it here saves the whole per-defect simulation budget downstream.
+fn check_self_shorted_devices(cell: &Cell, findings: &mut Vec<Finding>) {
+    for t in cell.transistors() {
+        if t.drain() == t.source() {
+            findings.push(Finding {
+                severity: Severity::Warning,
+                rule: "self-shorted-device",
+                message: format!(
+                    "device `{}` has drain and source on the same net `{}`",
+                    t.name(),
+                    cell.net(t.drain()).name()
+                ),
+            });
+        }
+    }
+}
+
+/// Static defect-reachability: devices whose channel cannot influence
+/// any output.
+///
+/// A defect is observable only if the defective device sits on some
+/// channel path that an output can see. This walks the channel graph
+/// from the output nets — *not* expanding through the rails, which
+/// connect everything — and flags devices with no channel terminal in
+/// the reachable component. Every defect on such a device would
+/// simulate to "undetectable"; the flag reports that verdict for free,
+/// before any simulation budget is spent.
+fn check_unobservable_devices(cell: &Cell, findings: &mut Vec<Finding>) {
+    let (vdd, gnd) = (cell.power(), cell.ground());
+    let is_rail = |i: usize| vdd.index() == i || gnd.index() == i;
+    // Channel adjacency: net -> nets bridged by one device channel.
+    let mut adjacent: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); cell.nets().len()];
+    for t in cell.transistors() {
+        let (d, s) = (t.drain().index(), t.source().index());
+        adjacent[d].insert(s);
+        adjacent[s].insert(d);
+    }
+    let mut component: BTreeSet<usize> = BTreeSet::new();
+    let mut frontier: Vec<usize> = cell.outputs().iter().map(|o| o.index()).collect();
+    while let Some(net) = frontier.pop() {
+        if is_rail(net) || !component.insert(net) {
+            continue;
+        }
+        frontier.extend(adjacent[net].iter().copied());
+    }
+    for t in cell.transistors() {
+        let observable =
+            component.contains(&t.drain().index()) || component.contains(&t.source().index());
+        if !observable {
+            findings.push(Finding {
+                severity: Severity::Warning,
+                rule: "unobservable-device",
+                message: format!("defects on device `{}` cannot reach any output", t.name()),
             });
         }
     }
@@ -277,6 +362,82 @@ MN1 net0 B VSS VSS nch
         let findings = lint(&cell);
         assert!(findings.iter().any(|f| f.rule == "no-transistors"));
         assert!(!is_clean(&cell));
+    }
+
+    #[test]
+    fn detects_duplicate_device_names() {
+        use crate::model::{CellBuilder, MosKind, NetKind};
+        // Every real construction route rejects duplicate names at
+        // insert time, so the fixture uses the test-only unchecked push.
+        let mut b = CellBuilder::new("DUP");
+        let a = b.add_net("A", NetKind::Input);
+        let z = b.add_net("Z", NetKind::Output);
+        let vdd = b.add_net("VDD", NetKind::Power);
+        let vss = b.add_net("VSS", NetKind::Ground);
+        b.add_transistor("MP0", MosKind::Pmos, z, a, vdd, vdd, 1, 1)
+            .unwrap();
+        b.add_transistor("MN0", MosKind::Nmos, z, a, vss, vss, 1, 1)
+            .unwrap();
+        b.push_transistor_unchecked("MN0", MosKind::Nmos, z, a, vss, vss, 1, 1);
+        let cell = b.build().unwrap();
+        let findings = lint(&cell);
+        let dup: Vec<_> = findings
+            .iter()
+            .filter(|f| f.rule == "duplicate-device-name")
+            .collect();
+        assert_eq!(dup.len(), 1, "{findings:?}");
+        assert_eq!(dup[0].severity, Severity::Error);
+        assert!(dup[0].message.contains("MN0"));
+        assert!(!is_clean(&cell));
+    }
+
+    #[test]
+    fn detects_self_shorted_device() {
+        // MN1's drain and source both land on net0: a channel from a
+        // net to itself.
+        let src = ".SUBCKT BAD A Z VDD VSS\nMP0 Z A VDD VDD pch\nMN0 Z A net0 VSS nch\nMN1 net0 A net0 VSS nch\nMN2 net0 A VSS VSS nch\n.ENDS";
+        let cell = spice::parse_cell(src).unwrap();
+        let findings = lint(&cell);
+        let hits: Vec<_> = findings
+            .iter()
+            .filter(|f| f.rule == "self-shorted-device")
+            .collect();
+        assert_eq!(hits.len(), 1, "{findings:?}");
+        assert_eq!(hits[0].severity, Severity::Warning);
+        assert!(hits[0].message.contains("MN1"));
+        assert!(hits[0].message.contains("net0"));
+    }
+
+    #[test]
+    fn detects_unobservable_device() {
+        // MN1/MN2 form a channel island between isl and VSS that no
+        // output can reach: isl only connects onward through the rail,
+        // and the reachability walk never expands through rails.
+        let src = ".SUBCKT BAD A Z VDD VSS\nMP0 Z A VDD VDD pch\nMN0 Z A VSS VSS nch\nMN1 isl A VSS VSS nch\nMN2 isl A VSS VSS nch\n.ENDS";
+        let cell = spice::parse_cell(src).unwrap();
+        let findings = lint(&cell);
+        let hits: Vec<_> = findings
+            .iter()
+            .filter(|f| f.rule == "unobservable-device")
+            .collect();
+        assert_eq!(hits.len(), 2, "{findings:?}");
+        assert!(hits.iter().all(|f| f.severity == Severity::Warning));
+        assert!(hits.iter().any(|f| f.message.contains("MN1")));
+        assert!(hits.iter().any(|f| f.message.contains("MN2")));
+        // The devices on the output path are not flagged.
+        assert!(!hits.iter().any(|f| f.message.contains("MN0")));
+    }
+
+    #[test]
+    fn series_stack_is_fully_observable() {
+        // Both NAND2 pull-down devices sit on the Z--net0--VSS path;
+        // the walk must reach net0 through MN0's channel.
+        let cell = spice::parse_cell(NAND2).unwrap();
+        assert!(
+            !lint(&cell).iter().any(|f| f.rule == "unobservable-device"),
+            "{:?}",
+            lint(&cell)
+        );
     }
 
     #[test]

@@ -497,6 +497,38 @@ impl CellBuilder {
         Ok(TransistorId((self.transistors.len() - 1) as u32))
     }
 
+    /// Test-only: pushes a transistor without the duplicate-name guard.
+    ///
+    /// [`CellBuilder::add_transistor`] makes a duplicate instance name
+    /// unconstructible through every real route (builder, SPICE parse,
+    /// corruption harness), so the `duplicate-device-name` lint rule —
+    /// defense in depth against future importers that bypass the
+    /// builder — needs this escape hatch to prove it fires.
+    #[cfg(test)]
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn push_transistor_unchecked(
+        &mut self,
+        name: impl Into<String>,
+        kind: MosKind,
+        drain: NetId,
+        gate: NetId,
+        source: NetId,
+        bulk: NetId,
+        width_nm: u32,
+        length_nm: u32,
+    ) {
+        self.transistors.push(Transistor::new(
+            name.into(),
+            kind,
+            drain,
+            gate,
+            source,
+            bulk,
+            width_nm,
+            length_nm,
+        ));
+    }
+
     /// Validates the structure and produces the immutable [`Cell`].
     ///
     /// # Errors
@@ -527,7 +559,7 @@ impl CellBuilder {
     /// Shared tail of `build`/`build_raw`: pin/rail validation and role
     /// assignment.
     fn finish(self) -> Result<Cell, NetlistError> {
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for net in &self.nets {
             if !seen.insert(net.name().to_string()) {
                 return Err(NetlistError::Duplicate(net.name().to_string()));

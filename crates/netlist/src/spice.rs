@@ -14,7 +14,7 @@
 
 use crate::error::NetlistError;
 use crate::model::{Cell, CellBuilder, MosKind, NetKind};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Options controlling rail recognition and device sizing defaults.
 #[derive(Debug, Clone)]
@@ -246,7 +246,7 @@ impl SubcktAccum {
     fn finish(self, options: &ParseOptions) -> Result<Cell, NetlistError> {
         // Determine which pins see a channel terminal (outputs) vs gates
         // only (inputs).
-        let mut drives_channel: HashMap<&str, bool> = HashMap::new();
+        let mut drives_channel: BTreeMap<&str, bool> = BTreeMap::new();
         for device in &self.devices {
             *drives_channel.entry(device.drain.as_str()).or_default() = true;
             *drives_channel.entry(device.source.as_str()).or_default() = true;

@@ -321,7 +321,7 @@ struct Emitter<'a> {
     net_counter: usize,
     /// Cache of internal nets for SharedNets replication: keyed by
     /// (stage, position-path) so repeated emissions reuse the same nodes.
-    shared_nets: std::collections::HashMap<(usize, MosKind, Vec<u16>), NetId>,
+    shared_nets: std::collections::BTreeMap<(usize, MosKind, Vec<u16>), NetId>,
 }
 
 impl<'a> Emitter<'a> {
@@ -361,7 +361,7 @@ impl<'a> Emitter<'a> {
             pins,
             devices: Vec::new(),
             net_counter: 0,
-            shared_nets: std::collections::HashMap::new(),
+            shared_nets: std::collections::BTreeMap::new(),
         })
     }
 

@@ -1,0 +1,103 @@
+//! Monotonic clock facade — the workspace's only door to wall time.
+//!
+//! Invariant D2 (DESIGN.md §10): `Instant::now` / `SystemTime::now`
+//! never appear outside `ca-obs`, so every time read in the flow is
+//! visible here and auditable. Two shapes cover every legitimate use:
+//!
+//! - [`Stopwatch`]: elapsed-time measurement for telemetry (span
+//!   timers, quarantine reports, queue-wait latency). Readings are
+//!   `ops`-class data and must never feed canonical outputs.
+//! - [`Deadline`]: a wall-clock budget checked *between* deterministic
+//!   units of work (stimuli, cells), so expiry changes *whether* a run
+//!   finishes, never *what* a finished run contains.
+//!
+//! `ca-audit` enforces the invariant statically; code that needs time
+//! imports it from here instead of carrying a suppression pragma.
+
+use std::time::{Duration, Instant};
+
+/// A started monotonic timer; see the module docs.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Stopwatch {
+    /// Starts a stopwatch at the current instant.
+    pub fn start() -> Stopwatch {
+        Stopwatch {
+            start: Instant::now(),
+        }
+    }
+
+    /// Time elapsed since [`Stopwatch::start`].
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Elapsed nanoseconds, saturating at `u64::MAX` (584 years).
+    pub fn elapsed_ns(&self) -> u64 {
+        u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+impl Default for Stopwatch {
+    fn default() -> Stopwatch {
+        Stopwatch::start()
+    }
+}
+
+/// A wall-clock budget; `None` inside means "never expires".
+#[derive(Debug, Clone, Copy)]
+pub struct Deadline {
+    at: Option<Instant>,
+}
+
+impl Deadline {
+    /// A deadline that never expires (the unlimited budget).
+    pub const fn never() -> Deadline {
+        Deadline { at: None }
+    }
+
+    /// A deadline `d` from now.
+    pub fn after(d: Duration) -> Deadline {
+        Deadline {
+            at: Some(Instant::now() + d),
+        }
+    }
+
+    /// Whether the deadline has passed. Always `false` for
+    /// [`Deadline::never`].
+    pub fn expired(&self) -> bool {
+        self.at.is_some_and(|at| Instant::now() >= at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stopwatch_moves_forward() {
+        let sw = Stopwatch::start();
+        assert!(sw.elapsed_ns() < u64::MAX);
+        let a = sw.elapsed();
+        let b = sw.elapsed();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn never_deadline_never_expires() {
+        assert!(!Deadline::never().expired());
+    }
+
+    #[test]
+    fn zero_deadline_expires_immediately() {
+        assert!(Deadline::after(Duration::ZERO).expired());
+    }
+
+    #[test]
+    fn far_deadline_is_live() {
+        assert!(!Deadline::after(Duration::from_secs(3600)).expired());
+    }
+}

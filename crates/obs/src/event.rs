@@ -196,6 +196,19 @@ pub fn info_status(target: &str, msg: &str, fields: &[(&str, &str)]) {
     event(Level::Info, target, msg, fields, Mirror::Always);
 }
 
+/// Prints a machine-readable protocol marker to stdout and flushes it.
+///
+/// Test harnesses that drive the flow as a child process (the
+/// crash-recovery SIGKILL harness) grep stdout for fixed markers like
+/// `CA-SESSION-HALT`. Those are inter-process protocol, not logging, so
+/// they bypass the event sink — but they still live here so library
+/// crates stay free of raw `println!` (invariant D5, DESIGN.md §10).
+pub fn protocol_marker(msg: &str) {
+    use std::io::Write as _;
+    println!("{msg}");
+    let _ = std::io::stdout().flush();
+}
+
 /// Info-level event with no stderr echo.
 pub fn info(target: &str, msg: &str, fields: &[(&str, &str)]) {
     event(Level::Info, target, msg, fields, Mirror::Never);

@@ -26,13 +26,18 @@
 //! unchanged. `tests/obs_determinism.rs` and the crash-recovery
 //! harness enforce this.
 
+pub mod clock;
 pub mod event;
 pub mod json;
 pub mod profile;
 pub mod registry;
 pub mod span;
 
-pub use event::{buffered_events, event, flush, flush_to, info, info_status, warn, Level, Mirror};
+pub use clock::{Deadline, Stopwatch};
+pub use event::{
+    buffered_events, event, flush, flush_to, info, info_status, protocol_marker, warn, Level,
+    Mirror,
+};
 pub use json::{escape_json, parse as parse_json, JsonValue};
 pub use profile::{
     cpu_time_s, validate_profile_json, FlowProfile, StageProfile, INSTRUMENTED_PREFIXES,

@@ -11,7 +11,8 @@
 //! The default budget is unlimited, which preserves the historical
 //! behaviour of every existing entry point.
 
-use std::time::{Duration, Instant};
+use ca_obs::Deadline;
+use std::time::Duration;
 
 /// Resource limits for simulating and characterizing one cell.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -53,7 +54,7 @@ impl SimBudget {
     /// Starts the wall clock for one per-cell run.
     pub fn start(&self) -> BudgetClock {
         BudgetClock {
-            deadline: self.wall_clock.map(|d| Instant::now() + d),
+            deadline: self.wall_clock.map_or(Deadline::never(), Deadline::after),
         }
     }
 
@@ -84,7 +85,7 @@ impl SimBudget {
 /// A running wall-clock deadline created by [`SimBudget::start`].
 #[derive(Debug, Clone, Copy)]
 pub struct BudgetClock {
-    deadline: Option<Instant>,
+    deadline: Deadline,
 }
 
 impl BudgetClock {
@@ -92,7 +93,7 @@ impl BudgetClock {
     /// budgets. Expiries are wall-clock events, so their counter is
     /// `ops`-class: no determinism promise.
     pub fn expired(&self) -> bool {
-        let expired = self.deadline.is_some_and(|d| Instant::now() >= d);
+        let expired = self.deadline.expired();
         if expired {
             ca_obs::counter!("ca_sim.budget.wall_clock_expired", Ops).inc();
         }

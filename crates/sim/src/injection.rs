@@ -10,7 +10,7 @@ use ca_netlist::{NetId, Terminal, TransistorId};
 use std::fmt;
 
 /// A single cell-internal defect to inject, or nothing (golden).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Injection {
     /// Defect-free simulation.

@@ -37,6 +37,7 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+// ca-audit: allow(D4, importing the raw-write primitives this crate wraps)
 use std::fs::{File, OpenOptions};
 use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
@@ -440,6 +441,7 @@ impl Store {
     /// corruption is recovered from, not failed on.
     pub fn open(path: impl AsRef<Path>) -> io::Result<Store> {
         let path = path.as_ref().to_path_buf();
+        // ca-audit: allow(D4, the journal open/append path is the durability primitive itself)
         let mut file = OpenOptions::new()
             .read(true)
             .write(true)
@@ -596,6 +598,7 @@ impl Store {
         }
         write_atomic(&self.path, &snapshot)?;
         // The old handle points at the replaced inode; reopen.
+        // ca-audit: allow(D4, reopening the compacted journal inode for appends)
         let mut file = OpenOptions::new().read(true).write(true).open(&self.path)?;
         file.seek(SeekFrom::End(0))?;
         self.file = file;
@@ -689,6 +692,7 @@ pub fn write_atomic(path: impl AsRef<Path>, contents: impl AsRef<[u8]>) -> io::R
         std::process::id()
     ));
     let result = (|| {
+        // ca-audit: allow(D4, write_atomic is the sanctioned tmp+rename+fsync primitive)
         let mut f = File::create(&tmp)?;
         f.write_all(contents.as_ref())?;
         f.sync_all()?;
@@ -782,6 +786,7 @@ mod tests {
         drop(store);
         let mut bytes = std::fs::read(&path).unwrap();
         bytes.extend_from_slice(&[0xAA; 5]);
+        // ca-audit: allow(D4, deliberate corruption harness)
         std::fs::write(&path, &bytes).unwrap();
         let reopened = Store::open(&path).unwrap();
         assert_eq!(reopened.stats().recovery_truncated_bytes, 5);
@@ -879,6 +884,7 @@ mod tests {
         torn.extend_from_slice(&500u32.to_le_bytes());
         torn.extend_from_slice(&0xDEAD_BEEFu32.to_le_bytes());
         torn.extend_from_slice(b"half a reco");
+        // ca-audit: allow(D4, deliberate corruption harness)
         std::fs::write(&path, &torn).unwrap();
         let store = Store::open(&path).unwrap();
         let report = store.recovery();
@@ -907,6 +913,7 @@ mod tests {
         // Torn tail...
         let mut bytes = std::fs::read(&path).unwrap();
         bytes.extend_from_slice(&[9, 9, 9]);
+        // ca-audit: allow(D4, deliberate corruption harness)
         std::fs::write(&path, &bytes).unwrap();
         // ...recovered, then the journal keeps growing normally.
         {

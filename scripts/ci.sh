@@ -45,6 +45,34 @@ cargo clippy -p ca-store --all-targets --offline -- -D warnings
 echo "==> cargo clippy (ca-obs, standalone gate)"
 cargo clippy -p ca-obs --all-targets --offline -- -D warnings
 
+# The auditor is the machine-checked form of the determinism /
+# durability / observability conventions (DESIGN.md §10); it must never
+# itself carry clippy debt, and the workspace must audit clean with
+# warnings denied — suppressions are allowed only at the documented
+# ca-store sites.
+echo "==> cargo clippy (ca-audit, standalone gate)"
+cargo clippy -p ca-audit --all-targets --offline -- -D warnings
+
+echo "==> ca-audit --deny warn (workspace invariant audit)"
+cargo run -q --release --offline -p ca-audit -- --deny warn
+
+# Opt-in Miri smoke over the store's journal framing: undefined
+# behaviour in the byte-level record codec would silently corrupt every
+# durability guarantee. Miri needs a nightly component that hermetic
+# containers may not carry, so the gate only runs when asked for.
+if [[ "${CA_CI_MIRI:-0}" == "1" ]]; then
+    if rustup component list --installed 2>/dev/null | grep -q miri; then
+        echo "==> cargo miri test (ca-store journal framing, opt-in)"
+        # Only the in-memory record codec: CRC vectors and the decode
+        # rejection paths. The file-backed tests need a real filesystem
+        # and stay out of the interpreter.
+        cargo miri test -p ca-store --lib -- crc32 decode_rejects
+    else
+        echo "==> CA_CI_MIRI=1 but the miri component is not installed; skipping" >&2
+        exit 1
+    fi
+fi
+
 # End-to-end profile gate: the instrumented flow must run, emit
 # BENCH_profile.json, and that artifact must validate against schema
 # ca-obs-profile/1 with counters from all six instrumented crates
