@@ -48,7 +48,13 @@ pub struct RuleSpec {
 
 /// Crates whose outputs are canonical: their bytes are hashed, cached,
 /// exported and compared across thread counts and crash-resume.
-const CANONICAL: &[&str] = &["ca-core", "ca-netlist", "ca-defects", "ca-store"];
+const CANONICAL: &[&str] = &[
+    "ca-core",
+    "ca-netlist",
+    "ca-defects",
+    "ca-store",
+    "ca-shard",
+];
 
 /// The standard rule set, in rule-id order.
 pub fn rules() -> &'static [RuleSpec] {
@@ -117,6 +123,7 @@ pub fn rules() -> &'static [RuleSpec] {
                 "ca-netlist",
                 "ca-defects",
                 "ca-store",
+                "ca-shard",
                 "ca-sim",
                 "ca-ml",
             ]),

@@ -40,6 +40,7 @@ fn audit_covers_every_workspace_crate() {
         "ca-netlist",
         "ca-obs",
         "ca-rng",
+        "ca-shard",
         "ca-sim",
         "ca-store",
         "cell-aware",

@@ -10,6 +10,7 @@ pub mod microbench;
 pub mod perf;
 pub mod profiling;
 pub mod report;
+pub mod shard_bench;
 pub mod tables;
 
 pub use corpus::{build_corpus, CorpusBuild, Profile, SkippedCell};

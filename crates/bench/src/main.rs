@@ -20,9 +20,17 @@
 //!                    (not part of `all`; `--quick` = `--profile quick`)
 //!   profile-check    validate BENCH_profile.json (or an explicit path)
 //!                    against schema ca-obs-profile/1; exits 2 on failure
+//!   shard            sharded campaign vs unsharded run -> BENCH_shard.json
+//!                    (not part of `all`; `--shards N` sets the shard count;
+//!                    fails hard unless exports are byte-identical)
 //! ```
 //!
-//! `parallel` and `profile` honour `CA_THREADS` for the worker count.
+//! The binary doubles as the campaign's worker executable: spawned with
+//! the `CA_SHARD_*` environment set (`ca-bench shard-worker`), it runs
+//! one shard and exits before any command parsing.
+//!
+//! `parallel`, `profile` and `shard` honour `CA_THREADS` for the worker
+//! count.
 //! With `CA_OBS_PATH` set, buffered observability events are flushed
 //! there as JSONL on exit.
 
@@ -41,9 +49,16 @@ fn parse_tech(s: &str) -> Option<Technology> {
 }
 
 fn main() {
+    // Worker dispatch first: when the supervisor spawned this process
+    // with a `CA_SHARD_*` spec, it is a shard worker and nothing else.
+    // Inert (None) in every normal invocation.
+    if let Some(code) = ca_shard::worker::run_from_env() {
+        std::process::exit(code);
+    }
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut command = String::from("all");
     let mut profile = Profile::Quick;
+    let mut shards = 4usize;
     let mut train = Technology::Soi28;
     let mut eval_b = Technology::C28;
     let mut eval_c = Technology::C40;
@@ -58,6 +73,14 @@ fn main() {
                     .get(i)
                     .and_then(|s| Profile::parse(s))
                     .unwrap_or_else(|| die("--profile expects quick|full"));
+            }
+            "--shards" => {
+                i += 1;
+                shards = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| die("--shards expects a positive integer"));
             }
             "--train" => {
                 i += 1;
@@ -207,6 +230,16 @@ fn main() {
                 }
             }
             Err(e) => die(&format!("profile run failed: {e}")),
+        }
+    }
+    if command == "shard" {
+        matched = true;
+        let bench = ca_bench::shard_bench::run(profile, shards);
+        print!("{}", bench.render());
+        let path = "BENCH_shard.json";
+        match ca_store::write_atomic(path, bench.to_json()) {
+            Ok(()) => ca_obs::info_status("ca_bench", &format!("wrote {path}"), &[]),
+            Err(e) => die(&format!("cannot write {path}: {e}")),
         }
     }
     if command == "profile-check" {

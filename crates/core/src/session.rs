@@ -44,7 +44,7 @@ use ca_sim::SimBudget;
 use ca_store::{Payload, Record, RecoveryReport, Store, StoreStats};
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Mutex, MutexGuard};
 
 /// A durable characterization session bound to one on-disk store.
@@ -67,6 +67,7 @@ pub struct Session {
     journaled: AtomicUsize,
     journal_errors: Mutex<Vec<String>>,
     halt_after: AtomicUsize,
+    abort_on_halt: AtomicBool,
     appended: AtomicUsize,
     /// Last [`StoreStats`] values already mirrored into the global metric
     /// registry; [`Session::lift_store_stats`] publishes only the delta.
@@ -165,6 +166,9 @@ impl Session {
             source: e.to_string(),
         })?;
         let recovery = store.recovery().clone();
+        // Recovery is news, not failure: surface it in the structured
+        // event sink instead of leaving it buried in the report value.
+        ca_obs::emit_recovery("ca_core.session", &path, &recovery);
         let session = Session {
             store: Mutex::new(store),
             path,
@@ -178,6 +182,7 @@ impl Session {
             journaled: AtomicUsize::new(0),
             journal_errors: Mutex::new(Vec::new()),
             halt_after: AtomicUsize::new(0),
+            abort_on_halt: AtomicBool::new(false),
             appended: AtomicUsize::new(0),
             lifted_store: Mutex::new(StoreStats::default()),
         };
@@ -231,6 +236,19 @@ impl Session {
     /// be killed externally — this is how the crash-recovery harness
     /// SIGKILLs a run at a deterministic cell index.
     pub fn halt_after_journal(&self, n: usize) {
+        self.halt_after.store(n, Ordering::SeqCst);
+    }
+
+    /// CRASH-INJECTION HOOK (tests): like
+    /// [`halt_after_journal`](Session::halt_after_journal), but instead
+    /// of freezing, the process calls [`std::process::abort`] right
+    /// after the marker — dying at a journal append point with no
+    /// destructors, exactly like a SIGKILL that needs no external
+    /// killer. The shard-worker crash matrix uses this to crash a
+    /// worker deterministically mid-campaign; every fsynced record
+    /// survives, everything after the append point is lost.
+    pub fn abort_after_journal(&self, n: usize) {
+        self.abort_on_halt.store(true, Ordering::SeqCst);
         self.halt_after.store(n, Ordering::SeqCst);
     }
 
@@ -432,6 +450,11 @@ impl Session {
                     // harness, so it goes through the one sanctioned
                     // stdout door (invariant D5).
                     ca_obs::protocol_marker(&format!("CA-SESSION-HALT {count}"));
+                    if self.abort_on_halt.load(Ordering::SeqCst) {
+                        // Self-inflicted crash: no unwinding, no
+                        // destructors, records up to here are durable.
+                        std::process::abort();
+                    }
                     loop {
                         std::thread::sleep(std::time::Duration::from_secs(3600));
                     }

@@ -10,6 +10,10 @@
 //! - [`Deadline`]: a wall-clock budget checked *between* deterministic
 //!   units of work (stimuli, cells), so expiry changes *whether* a run
 //!   finishes, never *what* a finished run contains.
+//! - [`Backoff`]: a pure retry-delay schedule (capped exponential). It
+//!   never reads a clock or randomness itself — it only *computes*
+//!   durations from an attempt number — so retry pacing stays
+//!   deterministic and injectable (invariants D2/D3).
 //!
 //! `ca-audit` enforces the invariant statically; code that needs time
 //! imports it from here instead of carrying a suppression pragma.
@@ -73,6 +77,49 @@ impl Deadline {
     }
 }
 
+/// A deterministic capped-exponential retry-delay schedule.
+///
+/// `delay(n)` is the pause *before* retry `n` (1-based): `base` doubled
+/// per prior retry, saturating at `cap`. Attempt 0 — the first try — has
+/// no delay. The schedule is a pure function of its inputs: no jitter,
+/// no ambient clock, so a supervisor's retry pacing replays identically
+/// and tests can inject a zero schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Backoff {
+    base: Duration,
+    cap: Duration,
+}
+
+impl Backoff {
+    /// A schedule starting at `base` and never exceeding `cap`.
+    pub const fn new(base: Duration, cap: Duration) -> Backoff {
+        Backoff { base, cap }
+    }
+
+    /// The all-zero schedule (retries pause nothing; test default).
+    pub const fn none() -> Backoff {
+        Backoff {
+            base: Duration::ZERO,
+            cap: Duration::ZERO,
+        }
+    }
+
+    /// Delay before retry `retry` (1-based): `base * 2^(retry-1)`,
+    /// capped. `retry == 0` (the initial attempt) is `ZERO`.
+    pub fn delay(&self, retry: u32) -> Duration {
+        if retry == 0 {
+            return Duration::ZERO;
+        }
+        // 2^30 * any non-zero base already exceeds every practical cap;
+        // clamping the exponent keeps the shift from overflowing.
+        let factor = 1u32 << (retry - 1).min(30);
+        self.base
+            .checked_mul(factor)
+            .unwrap_or(self.cap)
+            .min(self.cap)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -99,5 +146,34 @@ mod tests {
     #[test]
     fn far_deadline_is_live() {
         assert!(!Deadline::after(Duration::from_secs(3600)).expired());
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let b = Backoff::new(Duration::from_millis(10), Duration::from_millis(35));
+        assert_eq!(b.delay(0), Duration::ZERO);
+        assert_eq!(b.delay(1), Duration::from_millis(10));
+        assert_eq!(b.delay(2), Duration::from_millis(20));
+        assert_eq!(b.delay(3), Duration::from_millis(35));
+        assert_eq!(b.delay(4), Duration::from_millis(35));
+        assert_eq!(b.delay(u32::MAX), Duration::from_millis(35));
+    }
+
+    #[test]
+    fn backoff_none_is_always_zero() {
+        let b = Backoff::none();
+        for retry in [0, 1, 5, 31, 64] {
+            assert_eq!(b.delay(retry), Duration::ZERO);
+        }
+    }
+
+    #[test]
+    fn backoff_is_pure() {
+        let b = Backoff::new(Duration::from_millis(3), Duration::from_secs(1));
+        assert_eq!(b.delay(4), b.delay(4));
+        assert_eq!(
+            b,
+            Backoff::new(Duration::from_millis(3), Duration::from_secs(1))
+        );
     }
 }

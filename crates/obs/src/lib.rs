@@ -20,6 +20,11 @@
 //!   rendered as `BENCH_profile.json` (schema `ca-obs-profile/1`, see
 //!   [`validate_profile_json`]) and a human-readable table.
 //!
+//! Plus two cross-cutting helpers: [`clock`] is the workspace's only
+//! door to wall time (and hosts the pure [`Backoff`] retry schedule),
+//! and [`emit_recovery`] turns `ca_store` journal-recovery reports into
+//! structured events wherever a store is opened.
+//!
 //! The determinism invariant the whole design serves: every `outcome`
 //! and `work` counter is byte-identical across `CA_THREADS` settings,
 //! and `outcome` counters additionally survive a crash-resume cycle
@@ -30,10 +35,11 @@ pub mod clock;
 pub mod event;
 pub mod json;
 pub mod profile;
+pub mod recovery;
 pub mod registry;
 pub mod span;
 
-pub use clock::{Deadline, Stopwatch};
+pub use clock::{Backoff, Deadline, Stopwatch};
 pub use event::{
     buffered_events, event, flush, flush_to, info, info_status, protocol_marker, warn, Level,
     Mirror,
@@ -43,6 +49,7 @@ pub use profile::{
     cpu_time_s, validate_profile_json, FlowProfile, StageProfile, INSTRUMENTED_PREFIXES,
     PROFILE_SCHEMA,
 };
+pub use recovery::emit_recovery;
 pub use registry::{
     global, Counter, Gauge, Histogram, HistogramSnapshot, MetricClass, MetricRegistry, Snapshot,
     Timer, TimerSnapshot,

@@ -1,0 +1,334 @@
+//! The supervisor→worker contract: a [`WorkerSpec`] serialized through
+//! `CA_SHARD_*` environment variables.
+//!
+//! Environment variables (not argv) carry the spec so any host binary
+//! — the `ca-bench` CLI, a test harness — can expose a worker entry
+//! point without argument-parsing coordination: the entry point calls
+//! [`crate::worker::run_from_env`], which is inert unless
+//! `CA_SHARD_LIBRARY` is set.
+//!
+//! Three additional hook variables (`CA_SHARD_HALT`,
+//! `CA_SHARD_TEST_HANG`, `CA_SHARD_TEST_FAIL`) are crash-injection
+//! knobs for the supervision tests, each scoped to a shard index and an
+//! attempt ceiling so a retried shard can be made to crash exactly N
+//! times and then succeed. They are inert in production campaigns.
+
+use ca_core::FaultPolicy;
+use ca_defects::GenerateOptions;
+use ca_sim::{DetectionPolicy, SimBudget};
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// Spec env var names, in one place (supervisor writes, worker reads).
+pub const ENV_LIBRARY: &str = "CA_SHARD_LIBRARY";
+pub const ENV_STORE: &str = "CA_SHARD_STORE";
+pub const ENV_HEARTBEAT: &str = "CA_SHARD_HEARTBEAT";
+pub const ENV_OPTIONS: &str = "CA_SHARD_OPTIONS";
+pub const ENV_BUDGET: &str = "CA_SHARD_BUDGET";
+pub const ENV_POLICY: &str = "CA_SHARD_POLICY";
+pub const ENV_INDEX: &str = "CA_SHARD_INDEX";
+pub const ENV_ATTEMPT: &str = "CA_SHARD_ATTEMPT";
+pub const ENV_HB_INTERVAL_MS: &str = "CA_SHARD_HB_INTERVAL_MS";
+/// Crash hook: abort after N journal appends (`shard:N@max_attempt`).
+pub const ENV_HALT: &str = "CA_SHARD_HALT";
+/// Hang hook: stop heartbeating and sleep forever (`shard:0@max_attempt`).
+pub const ENV_TEST_HANG: &str = "CA_SHARD_TEST_HANG";
+/// Fail hook: exit with code N immediately (`shard:N@max_attempt`).
+pub const ENV_TEST_FAIL: &str = "CA_SHARD_TEST_FAIL";
+
+/// Everything one worker process needs to run its shard.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerSpec {
+    /// Path of the shard library document ([`crate::codec`] format).
+    pub library_path: PathBuf,
+    /// Path of the worker's private `.caj` journal.
+    pub store_path: PathBuf,
+    /// Path of the heartbeat file the worker must keep rewriting.
+    pub heartbeat_path: PathBuf,
+    /// Model-generation options (must match the campaign's).
+    pub options: GenerateOptions,
+    /// Simulation budget (must match the campaign's — records are
+    /// tagged with it and re-verified at merge time).
+    pub budget: SimBudget,
+    /// Per-cell fault policy for this attempt.
+    pub policy: FaultPolicy,
+    /// This worker's shard index (also scopes the test hooks).
+    pub shard_index: usize,
+    /// 1-based supervisor attempt number.
+    pub attempt: u32,
+    /// How often the worker rewrites the heartbeat file.
+    pub heartbeat_interval: Duration,
+}
+
+impl WorkerSpec {
+    /// The spec as env `(name, value)` pairs for `Command::envs`.
+    pub fn to_env(&self) -> Vec<(String, String)> {
+        vec![
+            (ENV_LIBRARY.into(), self.library_path.display().to_string()),
+            (ENV_STORE.into(), self.store_path.display().to_string()),
+            (
+                ENV_HEARTBEAT.into(),
+                self.heartbeat_path.display().to_string(),
+            ),
+            (ENV_OPTIONS.into(), encode_options(self.options)),
+            (ENV_BUDGET.into(), encode_budget(&self.budget)),
+            (ENV_POLICY.into(), encode_policy(self.policy)),
+            (ENV_INDEX.into(), self.shard_index.to_string()),
+            (ENV_ATTEMPT.into(), self.attempt.to_string()),
+            (
+                ENV_HB_INTERVAL_MS.into(),
+                self.heartbeat_interval.as_millis().to_string(),
+            ),
+        ]
+    }
+
+    /// Reads a spec from the process environment. `Ok(None)` when
+    /// `CA_SHARD_LIBRARY` is unset — the caller is not a worker.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the first malformed or missing variable.
+    pub fn from_env() -> Result<Option<WorkerSpec>, String> {
+        WorkerSpec::from_lookup(|name| std::env::var(name).ok())
+    }
+
+    /// [`WorkerSpec::from_env`] over an arbitrary lookup (testable
+    /// without mutating process-global state).
+    ///
+    /// # Errors
+    ///
+    /// A message naming the first malformed or missing variable.
+    pub fn from_lookup(
+        lookup: impl Fn(&str) -> Option<String>,
+    ) -> Result<Option<WorkerSpec>, String> {
+        let Some(library) = lookup(ENV_LIBRARY) else {
+            return Ok(None);
+        };
+        let need = |name: &str| lookup(name).ok_or_else(|| format!("{name} is not set"));
+        let parse_num = |name: &str| -> Result<u64, String> {
+            need(name)?
+                .parse()
+                .map_err(|_| format!("{name} is not a number"))
+        };
+        Ok(Some(WorkerSpec {
+            library_path: PathBuf::from(library),
+            store_path: PathBuf::from(need(ENV_STORE)?),
+            heartbeat_path: PathBuf::from(need(ENV_HEARTBEAT)?),
+            options: decode_options(&need(ENV_OPTIONS)?)?,
+            budget: decode_budget(&need(ENV_BUDGET)?)?,
+            policy: decode_policy(&need(ENV_POLICY)?)?,
+            shard_index: parse_num(ENV_INDEX)? as usize,
+            attempt: parse_num(ENV_ATTEMPT)? as u32,
+            heartbeat_interval: Duration::from_millis(parse_num(ENV_HB_INTERVAL_MS)?),
+        }))
+    }
+}
+
+/// Three bits, bit-packed like `ca_core`'s options tag: trivially
+/// collision-free and stable.
+fn encode_options(options: GenerateOptions) -> String {
+    let bits = u8::from(options.policy.driven_x_detects)
+        | u8::from(options.policy.floating_x_detects) << 1
+        | u8::from(options.inter_transistor) << 2;
+    bits.to_string()
+}
+
+fn decode_options(s: &str) -> Result<GenerateOptions, String> {
+    let bits: u8 = s
+        .parse()
+        .map_err(|_| format!("{ENV_OPTIONS} is not a number"))?;
+    if bits > 0b111 {
+        return Err(format!("{ENV_OPTIONS} out of range: {bits}"));
+    }
+    Ok(GenerateOptions {
+        policy: DetectionPolicy {
+            driven_x_detects: bits & 1 != 0,
+            floating_x_detects: bits & 2 != 0,
+        },
+        inter_transistor: bits & 4 != 0,
+    })
+}
+
+/// `iters,stimuli,defects,wall_ns` with `-` for "unlimited".
+fn encode_budget(budget: &SimBudget) -> String {
+    let field = |v: Option<u128>| v.map_or_else(|| "-".to_string(), |v| v.to_string());
+    format!(
+        "{},{},{},{}",
+        field(budget.max_solver_iterations.map(|v| v as u128)),
+        field(budget.max_stimuli.map(|v| v as u128)),
+        field(budget.max_defects.map(|v| v as u128)),
+        field(budget.wall_clock.map(|d| d.as_nanos())),
+    )
+}
+
+fn decode_budget(s: &str) -> Result<SimBudget, String> {
+    let fields: Vec<&str> = s.split(',').collect();
+    let [iters, stimuli, defects, wall] = fields[..] else {
+        return Err(format!("{ENV_BUDGET} needs 4 comma-separated fields"));
+    };
+    let opt = |f: &str| -> Result<Option<u128>, String> {
+        if f == "-" {
+            Ok(None)
+        } else {
+            f.parse()
+                .map(Some)
+                .map_err(|_| format!("{ENV_BUDGET} field `{f}` is not a number"))
+        }
+    };
+    Ok(SimBudget {
+        max_solver_iterations: opt(iters)?.map(|v| v as usize),
+        max_stimuli: opt(stimuli)?.map(|v| v as usize),
+        max_defects: opt(defects)?.map(|v| v as usize),
+        wall_clock: opt(wall)?.map(|ns| Duration::from_nanos(ns as u64)),
+    })
+}
+
+fn encode_policy(policy: FaultPolicy) -> String {
+    match policy {
+        // FailFast cannot run a campaign (the supervisor rejects it),
+        // so the wire format only carries the quarantining policies.
+        FaultPolicy::FailFast | FaultPolicy::SkipAndReport => "skip".to_string(),
+        FaultPolicy::RetryWithReducedBudget(n) => format!("retry:{n}"),
+    }
+}
+
+fn decode_policy(s: &str) -> Result<FaultPolicy, String> {
+    if s == "skip" {
+        return Ok(FaultPolicy::SkipAndReport);
+    }
+    if let Some(n) = s.strip_prefix("retry:") {
+        let n: u32 = n
+            .parse()
+            .map_err(|_| format!("{ENV_POLICY} retry count `{n}` is not a number"))?;
+        return Ok(FaultPolicy::RetryWithReducedBudget(n));
+    }
+    Err(format!(
+        "{ENV_POLICY} must be `skip` or `retry:N`, got `{s}`"
+    ))
+}
+
+/// A parsed test hook: applies to `shard` while `attempt <=
+/// max_attempt`, carrying one numeric parameter (append count for the
+/// halt hook, exit code for the fail hook, ignored for the hang hook).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TestHook {
+    /// Shard the hook fires in.
+    pub shard: usize,
+    /// Hook parameter.
+    pub param: u32,
+    /// Last attempt (1-based, inclusive) the hook still fires on.
+    pub max_attempt: u32,
+}
+
+impl TestHook {
+    /// Parses `shard:param@max_attempt`.
+    pub fn parse(s: &str) -> Option<TestHook> {
+        let (head, max_attempt) = s.split_once('@')?;
+        let (shard, param) = head.split_once(':')?;
+        Some(TestHook {
+            shard: shard.parse().ok()?,
+            param: param.parse().ok()?,
+            max_attempt: max_attempt.parse().ok()?,
+        })
+    }
+
+    /// Whether the hook fires for this worker invocation.
+    pub fn applies(&self, shard: usize, attempt: u32) -> bool {
+        self.shard == shard && attempt <= self.max_attempt
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn sample_spec() -> WorkerSpec {
+        WorkerSpec {
+            library_path: PathBuf::from("/tmp/shard-2.lib"),
+            store_path: PathBuf::from("/tmp/shard-2.caj"),
+            heartbeat_path: PathBuf::from("/tmp/shard-2.hb"),
+            options: GenerateOptions {
+                policy: DetectionPolicy {
+                    driven_x_detects: true,
+                    floating_x_detects: false,
+                },
+                inter_transistor: true,
+            },
+            budget: SimBudget {
+                max_solver_iterations: None,
+                max_stimuli: Some(64),
+                max_defects: None,
+                wall_clock: Some(Duration::from_millis(1500)),
+            },
+            policy: FaultPolicy::RetryWithReducedBudget(2),
+            shard_index: 2,
+            attempt: 3,
+            heartbeat_interval: Duration::from_millis(50),
+        }
+    }
+
+    #[test]
+    fn spec_round_trips_through_env_pairs() {
+        let spec = sample_spec();
+        let env: BTreeMap<String, String> = spec.to_env().into_iter().collect();
+        let decoded = WorkerSpec::from_lookup(|name| env.get(name).cloned())
+            .expect("decode")
+            .expect("library var present");
+        assert_eq!(decoded, spec);
+    }
+
+    #[test]
+    fn skip_policy_round_trips() {
+        let mut spec = sample_spec();
+        spec.policy = FaultPolicy::SkipAndReport;
+        let env: BTreeMap<String, String> = spec.to_env().into_iter().collect();
+        let decoded = WorkerSpec::from_lookup(|name| env.get(name).cloned())
+            .expect("decode")
+            .expect("present");
+        assert_eq!(decoded.policy, FaultPolicy::SkipAndReport);
+    }
+
+    #[test]
+    fn absent_library_var_means_not_a_worker() {
+        assert_eq!(WorkerSpec::from_lookup(|_| None), Ok(None));
+    }
+
+    #[test]
+    fn missing_and_malformed_vars_are_named() {
+        let spec = sample_spec();
+        let mut env: BTreeMap<String, String> = spec.to_env().into_iter().collect();
+        env.remove(ENV_BUDGET);
+        let err = WorkerSpec::from_lookup(|n| env.get(n).cloned()).unwrap_err();
+        assert!(err.contains(ENV_BUDGET), "{err}");
+
+        let mut env: BTreeMap<String, String> = spec.to_env().into_iter().collect();
+        env.insert(ENV_OPTIONS.into(), "99".into());
+        let err = WorkerSpec::from_lookup(|n| env.get(n).cloned()).unwrap_err();
+        assert!(err.contains(ENV_OPTIONS), "{err}");
+
+        let mut env: BTreeMap<String, String> = spec.to_env().into_iter().collect();
+        env.insert(ENV_POLICY.into(), "explode".into());
+        let err = WorkerSpec::from_lookup(|n| env.get(n).cloned()).unwrap_err();
+        assert!(err.contains(ENV_POLICY), "{err}");
+    }
+
+    #[test]
+    fn test_hooks_parse_and_scope() {
+        let hook = TestHook::parse("2:5@3").expect("parse");
+        assert_eq!(
+            hook,
+            TestHook {
+                shard: 2,
+                param: 5,
+                max_attempt: 3
+            }
+        );
+        assert!(hook.applies(2, 1));
+        assert!(hook.applies(2, 3));
+        assert!(!hook.applies(2, 4));
+        assert!(!hook.applies(1, 1));
+        assert_eq!(TestHook::parse("nonsense"), None);
+        assert_eq!(TestHook::parse("1:2"), None);
+    }
+}

@@ -1,0 +1,665 @@
+//! The supervisor: plans shards, launches workers, watches them, and
+//! merges what survives.
+//!
+//! Failure handling is the whole design:
+//!
+//! * **Crash** (abort/SIGKILL mid-journal): the worker's exit status has
+//!   no code; the shard is retried and its successor *resumes* from the
+//!   fsynced prefix of the same journal.
+//! * **Hang** (no heartbeat progress for `heartbeat_timeout`): the
+//!   supervisor SIGKILLs the worker and retries the shard.
+//! * **Failure** (nonzero exit): retried like a crash.
+//! * **Retries** are paced by a deterministic capped [`Backoff`] — no
+//!   ambient randomness, identical pacing on every run — and the final
+//!   attempt can run under `FaultPolicy::RetryWithReducedBudget` so a
+//!   budget-starved cell degrades instead of sinking its whole shard.
+//! * **Exhausted retries** quarantine the shard with a structured
+//!   [`ShardReport`]; the campaign completes without it.
+//! * **No spawn at all** (container without process permissions): the
+//!   shard degrades to in-process execution with a loud event.
+//!
+//! After supervision every shard journal — including a quarantined
+//! shard's partial journal — is merged ([`crate::merge`]) and a final
+//! in-process session pass over the merged store re-verifies every
+//! record and characterizes whatever is missing (held-back cells that
+//! could not cross the process boundary, cells lost to quarantine are
+//! *excluded* and reported). The certified-donor session path makes the
+//! resulting `.cam` exports byte-identical to an unsharded run.
+
+use crate::merge::{merge_shard_stores, MergeReport};
+use crate::plan::ShardPlan;
+use crate::spec::WorkerSpec;
+use crate::worker;
+use ca_core::{
+    characterize_library_robust_with_session, CharCache, CoreError, FaultPolicy, RobustOutcome,
+    Session,
+};
+use ca_exec::Executor;
+use ca_netlist::library::Library;
+use ca_obs::{Backoff, MetricClass, Stopwatch};
+use std::collections::BTreeSet;
+use std::fmt;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+use std::time::Duration;
+
+/// How worker processes are launched.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Spawner {
+    /// Spawn `program args...` with the worker spec in its environment;
+    /// the program must call [`crate::worker::run_from_env`].
+    Process {
+        /// Worker executable.
+        program: PathBuf,
+        /// Arguments before the spec environment is applied.
+        args: Vec<String>,
+    },
+    /// Run every worker inside the supervisor process (no isolation —
+    /// a worker crash is a campaign crash). The explicit form of the
+    /// degraded mode the supervisor falls into when spawning fails.
+    InProcess,
+}
+
+impl Spawner {
+    /// A spawner that re-invokes the current executable with `args`.
+    ///
+    /// # Errors
+    ///
+    /// When the current executable path cannot be determined.
+    pub fn current_exe(args: Vec<String>) -> io::Result<Spawner> {
+        Ok(Spawner::Process {
+            program: std::env::current_exe()?,
+            args,
+        })
+    }
+}
+
+/// Campaign-level knobs. Everything is explicit and deterministic;
+/// the only wall-clock inputs are the heartbeat pacing values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignConfig {
+    /// Shard count (clamped to at least 1).
+    pub shards: usize,
+    /// Model-generation options, shared by workers and the final pass.
+    pub options: ca_defects::GenerateOptions,
+    /// Simulation budget, shared by workers and the final pass.
+    pub budget: ca_sim::SimBudget,
+    /// Maximum worker attempts per shard (at least 1).
+    pub max_attempts: u32,
+    /// Per-cell fault policy for workers and the final pass. Must not
+    /// be [`FaultPolicy::FailFast`] — one broken cell must not sink a
+    /// campaign.
+    pub retry_policy: FaultPolicy,
+    /// When set, a shard's *final* attempt runs its not-yet-journaled
+    /// cells under `FaultPolicy::RetryWithReducedBudget(n)` so a
+    /// budget-starved cell degrades rather than quarantining its shard.
+    /// `None` (the default) keeps every attempt under `retry_policy`,
+    /// preserving byte-identity with the unsharded run.
+    pub final_attempt_retries: Option<u32>,
+    /// Deterministic pacing between a shard's attempts.
+    pub backoff: Backoff,
+    /// How often workers rewrite their heartbeat file.
+    pub heartbeat_interval: Duration,
+    /// Heartbeat silence after which a worker is declared hung and
+    /// killed. Must comfortably exceed `heartbeat_interval`.
+    pub heartbeat_timeout: Duration,
+    /// How many shards are supervised concurrently.
+    pub concurrency: usize,
+}
+
+impl CampaignConfig {
+    /// A conservative default campaign over `shards` shards.
+    pub fn new(shards: usize) -> CampaignConfig {
+        CampaignConfig {
+            shards,
+            options: ca_defects::GenerateOptions::default(),
+            budget: ca_sim::SimBudget::unlimited(),
+            max_attempts: 3,
+            retry_policy: FaultPolicy::SkipAndReport,
+            final_attempt_retries: None,
+            backoff: Backoff::new(Duration::from_millis(50), Duration::from_secs(2)),
+            heartbeat_interval: Duration::from_millis(100),
+            heartbeat_timeout: Duration::from_secs(5),
+            concurrency: 4,
+        }
+    }
+}
+
+/// What one worker attempt came to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AttemptOutcome {
+    /// Worker process exited 0.
+    Completed,
+    /// Spawning failed; the in-process fallback completed the shard.
+    CompletedInProcess,
+    /// Worker exited with this nonzero code.
+    ExitCode(i32),
+    /// Worker died without an exit code (crash signal, e.g. abort or
+    /// SIGKILL).
+    Killed,
+    /// Worker stopped heartbeating and was killed by the supervisor.
+    HeartbeatTimeout,
+    /// Spawning failed *and* the in-process fallback failed too.
+    SpawnFailed(String),
+}
+
+/// Terminal state of one shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardStatus {
+    /// Some attempt completed the shard.
+    Completed,
+    /// Every attempt failed; the shard's cells were skipped.
+    Quarantined,
+}
+
+/// Per-shard supervision record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardReport {
+    /// Shard index.
+    pub index: usize,
+    /// Cell names in this shard, in library order.
+    pub cells: Vec<String>,
+    /// One entry per attempt, in attempt order.
+    pub attempts: Vec<AttemptOutcome>,
+    /// Terminal state.
+    pub status: ShardStatus,
+}
+
+impl ShardReport {
+    /// Whether this shard fell back to in-process execution.
+    pub fn degraded(&self) -> bool {
+        self.attempts
+            .iter()
+            .any(|a| matches!(a, AttemptOutcome::CompletedInProcess))
+    }
+}
+
+/// Campaign-level summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignReport {
+    /// Per-shard supervision records, by shard index.
+    pub shards: Vec<ShardReport>,
+    /// What the journal merge did.
+    pub merge: MergeReport,
+    /// Wall-clock seconds the merge took (ops timing, not part of any
+    /// deterministic output).
+    pub merge_seconds: f64,
+    /// Attempts beyond each shard's first (a healthy campaign has 0).
+    pub retries: usize,
+    /// Workers killed for heartbeat silence.
+    pub heartbeat_timeouts: usize,
+    /// Attempts that could not spawn a worker process.
+    pub spawn_failures: usize,
+    /// Shards that exhausted every attempt.
+    pub quarantined_shards: usize,
+    /// Cells that could not round-trip the shard codec and were
+    /// characterized in-process instead.
+    pub held_back_cells: usize,
+}
+
+impl CampaignReport {
+    /// Multi-line human-readable summary.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "campaign: {} shard(s), {} retr{}, {} heartbeat timeout(s), {} spawn failure(s), \
+             {} quarantined, {} held back\n{}",
+            self.shards.len(),
+            self.retries,
+            if self.retries == 1 { "y" } else { "ies" },
+            self.heartbeat_timeouts,
+            self.spawn_failures,
+            self.quarantined_shards,
+            self.held_back_cells,
+            self.merge.render(),
+        );
+        for shard in &self.shards {
+            out.push_str(&format!(
+                "\n  shard {}: {} cell(s), {} attempt(s), {:?}",
+                shard.index,
+                shard.cells.len(),
+                shard.attempts.len(),
+                shard.status
+            ));
+        }
+        out
+    }
+}
+
+/// A completed campaign.
+#[derive(Debug)]
+pub struct CampaignOutcome {
+    /// The final characterization outcome (same shape as the unsharded
+    /// robust driver's).
+    pub outcome: RobustOutcome,
+    /// Supervision and merge summary.
+    pub report: CampaignReport,
+    /// Cells skipped because their shard was quarantined, in library
+    /// order.
+    pub skipped_cells: Vec<String>,
+    /// Path of the merged journal (a valid `ca-store` file).
+    pub merged_store: PathBuf,
+}
+
+/// Campaign-level failure (shard-level failures never surface here —
+/// they retry, degrade or quarantine).
+#[derive(Debug)]
+pub enum ShardError {
+    /// Filesystem failure in the supervisor itself.
+    Io(io::Error),
+    /// The configuration cannot run a campaign.
+    Config(String),
+    /// The final in-process pass failed.
+    Run(CoreError),
+}
+
+impl fmt::Display for ShardError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShardError::Io(e) => write!(f, "supervisor i/o error: {e}"),
+            ShardError::Config(msg) => write!(f, "invalid campaign config: {msg}"),
+            ShardError::Run(e) => write!(f, "final characterization pass failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ShardError {}
+
+impl From<io::Error> for ShardError {
+    fn from(e: io::Error) -> ShardError {
+        ShardError::Io(e)
+    }
+}
+
+impl From<CoreError> for ShardError {
+    fn from(e: CoreError) -> ShardError {
+        ShardError::Run(e)
+    }
+}
+
+/// Runs a sharded campaign over `library`, using `work_dir` for shard
+/// libraries, journals and heartbeat files. See the module docs for
+/// the failure model.
+///
+/// # Errors
+///
+/// [`ShardError::Config`] for unrunnable configurations (zero
+/// attempts, `FailFast` policy), [`ShardError::Io`] for supervisor
+/// filesystem failures, [`ShardError::Run`] if the final in-process
+/// pass fails. Worker failures are handled, not returned.
+pub fn run_campaign(
+    library: &Library,
+    config: &CampaignConfig,
+    spawner: &Spawner,
+    work_dir: &Path,
+) -> Result<CampaignOutcome, ShardError> {
+    if config.max_attempts == 0 {
+        return Err(ShardError::Config("max_attempts must be at least 1".into()));
+    }
+    if matches!(config.retry_policy, FaultPolicy::FailFast) {
+        return Err(ShardError::Config(
+            "FailFast cannot supervise a campaign; use SkipAndReport or RetryWithReducedBudget"
+                .into(),
+        ));
+    }
+    std::fs::create_dir_all(work_dir)?;
+
+    // Cells that cannot cross the process boundary losslessly are held
+    // back for the final in-process pass: correctness over parallelism.
+    let mut shardable = Library {
+        technology: library.technology,
+        cells: Vec::new(),
+    };
+    let mut held_back = 0usize;
+    for lc in &library.cells {
+        if crate::codec::round_trips(&lc.cell) {
+            shardable.cells.push(lc.clone());
+        } else {
+            held_back += 1;
+            ca_obs::warn(
+                "ca_shard.supervisor",
+                "cell cannot round-trip the shard codec; held back for in-process characterization",
+                &[("cell", lc.cell.name())],
+            );
+        }
+    }
+
+    let plan = ShardPlan::partition(&shardable, config.shards);
+    let indices: Vec<usize> = (0..plan.shards.len())
+        .filter(|&i| !plan.shards[i].is_empty())
+        .collect();
+    ca_obs::global()
+        .counter("ca_shard.campaign.shards", MetricClass::Work)
+        .add(indices.len() as u64);
+
+    // Ship each populated shard's library.
+    for &i in &indices {
+        let doc = crate::codec::encode_library(&plan.shard_library(&shardable, i));
+        ca_store::write_atomic(shard_path(work_dir, i, "lib"), doc)?;
+    }
+
+    // Supervise shards concurrently.
+    let pool = Executor::with_threads(config.concurrency.max(1));
+    let shard_reports: Vec<ShardReport> = pool.map(&indices, |_, &i| {
+        let cells: Vec<String> = plan.shards[i]
+            .iter()
+            .map(|&c| shardable.cells[c].cell.name().to_string())
+            .collect();
+        supervise_shard(i, cells, config, spawner, work_dir)
+    });
+
+    let quarantined: BTreeSet<usize> = shard_reports
+        .iter()
+        .filter(|r| r.status == ShardStatus::Quarantined)
+        .map(|r| r.index)
+        .collect();
+    for report in &shard_reports {
+        if report.status == ShardStatus::Quarantined {
+            ca_obs::global()
+                .counter("ca_shard.campaign.quarantined_shards", MetricClass::Ops)
+                .inc();
+            ca_obs::warn(
+                "ca_shard.supervisor",
+                "shard exhausted every attempt; its cells are skipped",
+                &[
+                    ("shard", &report.index.to_string()),
+                    ("cells", &report.cells.len().to_string()),
+                    ("attempts", &report.attempts.len().to_string()),
+                ],
+            );
+        }
+    }
+
+    // Merge every journal that exists — a quarantined shard's partial
+    // journal included (its records are simply unused by the final
+    // pass; merging them is harmless and keeps the merge total).
+    let sources: Vec<PathBuf> = indices
+        .iter()
+        .map(|&i| shard_path(work_dir, i, "caj"))
+        .collect();
+    let merged_store = work_dir.join("merged.caj");
+    let merge_watch = Stopwatch::start();
+    let merge = merge_shard_stores(&sources, &merged_store)?;
+    let merge_seconds = merge_watch.elapsed().as_secs_f64();
+
+    // Final in-process pass over the merged store: re-verifies every
+    // merged record via the certified donor path and characterizes
+    // held-back cells. Quarantined shards' cells are excluded.
+    let mut final_lib = Library {
+        technology: library.technology,
+        cells: Vec::new(),
+    };
+    let mut skipped_cells = Vec::new();
+    for lc in &library.cells {
+        let in_quarantined_shard = crate::codec::round_trips(&lc.cell)
+            && quarantined.contains(&crate::plan::shard_of(lc.cell.name(), config.shards.max(1)));
+        if in_quarantined_shard {
+            skipped_cells.push(lc.cell.name().to_string());
+        } else {
+            final_lib.cells.push(lc.clone());
+        }
+    }
+    let session = Session::open(&merged_store)?;
+    let outcome = characterize_library_robust_with_session(
+        &final_lib,
+        config.options,
+        &config.budget,
+        config.retry_policy,
+        &Executor::from_env(),
+        &CharCache::new(),
+        &session,
+    )
+    .map_err(ShardError::Run)?;
+
+    let report = CampaignReport {
+        retries: shard_reports
+            .iter()
+            .map(|r| r.attempts.len().saturating_sub(1))
+            .sum(),
+        heartbeat_timeouts: count_outcomes(&shard_reports, |a| {
+            matches!(a, AttemptOutcome::HeartbeatTimeout)
+        }),
+        spawn_failures: count_outcomes(&shard_reports, |a| {
+            matches!(
+                a,
+                AttemptOutcome::CompletedInProcess | AttemptOutcome::SpawnFailed(_)
+            )
+        }),
+        quarantined_shards: quarantined.len(),
+        held_back_cells: held_back,
+        shards: shard_reports,
+        merge,
+        merge_seconds,
+    };
+    Ok(CampaignOutcome {
+        outcome,
+        report,
+        skipped_cells,
+        merged_store,
+    })
+}
+
+fn count_outcomes(reports: &[ShardReport], pred: impl Fn(&AttemptOutcome) -> bool) -> usize {
+    reports
+        .iter()
+        .flat_map(|r| r.attempts.iter())
+        .filter(|a| pred(a))
+        .count()
+}
+
+fn shard_path(work_dir: &Path, index: usize, ext: &str) -> PathBuf {
+    work_dir.join(format!("shard-{index}.{ext}"))
+}
+
+/// Supervises one shard to its terminal state.
+fn supervise_shard(
+    index: usize,
+    cells: Vec<String>,
+    config: &CampaignConfig,
+    spawner: &Spawner,
+    work_dir: &Path,
+) -> ShardReport {
+    let mut attempts = Vec::new();
+    for attempt in 1..=config.max_attempts {
+        let pause = config.backoff.delay(attempt - 1);
+        if pause > Duration::ZERO {
+            std::thread::sleep(pause);
+        }
+        if attempt > 1 {
+            ca_obs::global()
+                .counter("ca_shard.campaign.retries", MetricClass::Ops)
+                .inc();
+        }
+        // The final attempt may trade fidelity for completion.
+        let policy = match (attempt == config.max_attempts, config.final_attempt_retries) {
+            (true, Some(n)) => FaultPolicy::RetryWithReducedBudget(n),
+            _ => config.retry_policy,
+        };
+        let spec = WorkerSpec {
+            library_path: shard_path(work_dir, index, "lib"),
+            store_path: shard_path(work_dir, index, "caj"),
+            heartbeat_path: shard_path(work_dir, index, "hb"),
+            options: config.options,
+            budget: config.budget,
+            policy,
+            shard_index: index,
+            attempt,
+            heartbeat_interval: config.heartbeat_interval,
+        };
+        let outcome = run_attempt(&spec, config, spawner);
+        let completed = matches!(
+            outcome,
+            AttemptOutcome::Completed | AttemptOutcome::CompletedInProcess
+        );
+        attempts.push(outcome);
+        if completed {
+            return ShardReport {
+                index,
+                cells,
+                attempts,
+                status: ShardStatus::Completed,
+            };
+        }
+        ca_obs::warn(
+            "ca_shard.supervisor",
+            "shard attempt failed",
+            &[
+                ("shard", &index.to_string()),
+                ("attempt", &attempt.to_string()),
+                ("outcome", &format!("{:?}", attempts[attempts.len() - 1])),
+            ],
+        );
+    }
+    ShardReport {
+        index,
+        cells,
+        attempts,
+        status: ShardStatus::Quarantined,
+    }
+}
+
+/// Runs one worker attempt through the spawner and supervises it.
+fn run_attempt(spec: &WorkerSpec, config: &CampaignConfig, spawner: &Spawner) -> AttemptOutcome {
+    // A stale heartbeat from the previous attempt must not count as
+    // liveness for this one.
+    let _ = std::fs::remove_file(&spec.heartbeat_path);
+    let (program, args) = match spawner {
+        Spawner::InProcess => return in_process_attempt(spec, None),
+        Spawner::Process { program, args } => (program, args),
+    };
+    let spawned = Command::new(program)
+        .args(args)
+        .envs(spec.to_env())
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn();
+    let mut child = match spawned {
+        Ok(child) => child,
+        Err(e) => {
+            // The environment cannot spawn processes at all: degrade to
+            // in-process execution, loudly.
+            ca_obs::global()
+                .counter("ca_shard.campaign.spawn_failures", MetricClass::Ops)
+                .inc();
+            ca_obs::warn(
+                "ca_shard.supervisor",
+                "cannot spawn worker process; degrading to in-process execution",
+                &[
+                    ("shard", &spec.shard_index.to_string()),
+                    ("error", &e.to_string()),
+                ],
+            );
+            return in_process_attempt(spec, Some(e.to_string()));
+        }
+    };
+    // Watch exit status and heartbeat progress.
+    let mut last_beat: Option<String> = None;
+    let mut silence = Stopwatch::start();
+    loop {
+        match child.try_wait() {
+            Ok(Some(status)) => {
+                return match status.code() {
+                    Some(0) => AttemptOutcome::Completed,
+                    Some(code) => AttemptOutcome::ExitCode(code),
+                    // No code: the worker died to a signal (abort,
+                    // SIGKILL, OOM-killer...).
+                    None => AttemptOutcome::Killed,
+                };
+            }
+            Ok(None) => {}
+            Err(_) => return AttemptOutcome::Killed,
+        }
+        let beat = std::fs::read_to_string(&spec.heartbeat_path).ok();
+        if beat.is_some() && beat != last_beat {
+            last_beat = beat;
+            silence = Stopwatch::start();
+        }
+        if silence.elapsed() >= config.heartbeat_timeout {
+            ca_obs::global()
+                .counter("ca_shard.campaign.heartbeat_timeouts", MetricClass::Ops)
+                .inc();
+            ca_obs::warn(
+                "ca_shard.supervisor",
+                "worker heartbeat stalled; killing it",
+                &[
+                    ("shard", &spec.shard_index.to_string()),
+                    ("attempt", &spec.attempt.to_string()),
+                ],
+            );
+            let _ = child.kill();
+            let _ = child.wait();
+            return AttemptOutcome::HeartbeatTimeout;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// Runs the worker inside this process (explicit `Spawner::InProcess`
+/// or spawn-failure fallback).
+fn in_process_attempt(spec: &WorkerSpec, spawn_error: Option<String>) -> AttemptOutcome {
+    match (worker::run(spec), spawn_error) {
+        (0, None) => AttemptOutcome::Completed,
+        (0, Some(_)) => AttemptOutcome::CompletedInProcess,
+        (code, None) => AttemptOutcome::ExitCode(code),
+        (code, Some(e)) => {
+            AttemptOutcome::SpawnFailed(format!("{e}; in-process fallback exited {code}"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ca_netlist::library::{generate_library, LibraryConfig};
+    use ca_netlist::Technology;
+
+    #[test]
+    fn config_rejects_fail_fast_and_zero_attempts() {
+        let lib = generate_library(&LibraryConfig::quick(Technology::C40));
+        let dir = std::env::temp_dir().join(format!("ca-shard-cfg-{}", std::process::id()));
+        let mut config = CampaignConfig::new(2);
+        config.retry_policy = FaultPolicy::FailFast;
+        let err = run_campaign(&lib, &config, &Spawner::InProcess, &dir).unwrap_err();
+        assert!(matches!(err, ShardError::Config(_)), "{err}");
+
+        let mut config = CampaignConfig::new(2);
+        config.max_attempts = 0;
+        let err = run_campaign(&lib, &config, &Spawner::InProcess, &dir).unwrap_err();
+        assert!(matches!(err, ShardError::Config(_)), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn campaign_report_renders() {
+        let report = CampaignReport {
+            shards: vec![ShardReport {
+                index: 0,
+                cells: vec!["X".into()],
+                attempts: vec![AttemptOutcome::Killed, AttemptOutcome::Completed],
+                status: ShardStatus::Completed,
+            }],
+            merge: MergeReport::default(),
+            merge_seconds: 0.0,
+            retries: 1,
+            heartbeat_timeouts: 0,
+            spawn_failures: 0,
+            quarantined_shards: 0,
+            held_back_cells: 0,
+        };
+        let text = report.render();
+        assert!(text.contains("1 retry"), "{text}");
+        assert!(text.contains("shard 0: 1 cell(s), 2 attempt(s)"), "{text}");
+    }
+
+    #[test]
+    fn current_exe_spawner_points_at_this_binary() {
+        let Spawner::Process { program, args } =
+            Spawner::current_exe(vec!["--x".into()]).expect("current exe")
+        else {
+            panic!("process spawner expected");
+        };
+        assert!(program.exists());
+        assert_eq!(args, vec!["--x".to_string()]);
+    }
+}

@@ -29,6 +29,17 @@ CA_THREADS=1 cargo test -q --test crash_recovery --offline
 echo "==> crash recovery (SIGKILL + resume, CA_THREADS=4)"
 CA_THREADS=4 cargo test -q --test crash_recovery --offline
 
+# The sharded-campaign crash matrix: real worker processes crashed
+# mid-journal, hung (heartbeat timeout -> SIGKILL), failing and
+# unspawnable, each campaign converging to the single-process golden
+# byte-for-byte (DESIGN.md §11). Both thread counts, like the
+# crash-recovery gate above.
+echo "==> shard supervision (worker crash matrix, CA_THREADS=1)"
+CA_THREADS=1 cargo test -q --test shard_supervision --test shard_merge --offline
+
+echo "==> shard supervision (worker crash matrix, CA_THREADS=4)"
+CA_THREADS=4 cargo test -q --test shard_supervision --test shard_merge --offline
+
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 
@@ -44,6 +55,12 @@ cargo clippy -p ca-store --all-targets --offline -- -D warnings
 # spread everywhere, so gate it standalone like the store.
 echo "==> cargo clippy (ca-obs, standalone gate)"
 cargo clippy -p ca-obs --all-targets --offline -- -D warnings
+
+# The supervisor runs unattended campaigns; a stray unwrap there kills
+# a campaign instead of retrying a shard, so it gets the same standalone
+# zero-debt gate as the store.
+echo "==> cargo clippy (ca-shard, standalone gate)"
+cargo clippy -p ca-shard --all-targets --offline -- -D warnings
 
 # The auditor is the machine-checked form of the determinism /
 # durability / observability conventions (DESIGN.md §10); it must never

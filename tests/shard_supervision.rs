@@ -1,0 +1,341 @@
+//! Supervision harness: real worker processes, real crashes.
+//!
+//! The campaign re-spawns this test binary as its worker executable
+//! (`shard_worker_entry`, inert without the `CA_SHARD_*` environment).
+//! Crash-injection hooks make a worker abort mid-journal (a real
+//! SIGABRT, no destructors), hang (heartbeat silence → supervisor
+//! SIGKILL) or fail with an exit code, scoped to one shard and an
+//! attempt ceiling so retries then succeed. Every scenario must
+//! converge to the unsharded single-process golden projection; a shard
+//! that keeps failing must quarantine its cells without failing the
+//! campaign.
+//!
+//! The hook environment is process-global and inherited by every
+//! spawned worker, so all campaign tests serialize on [`env_lock`].
+
+use ca_core::{
+    characterize_library_robust_with_session, export_cam_with, CharCache, Executor, FaultPolicy,
+    Quarantine, RobustOutcome, Session,
+};
+use ca_defects::GenerateOptions;
+use ca_netlist::corrupt::{corrupt_cell, Corruption};
+use ca_netlist::library::{generate_library, Library, LibraryConfig};
+use ca_netlist::Technology;
+use ca_shard::spec::{ENV_HALT, ENV_TEST_FAIL, ENV_TEST_HANG};
+use ca_shard::supervisor::{
+    run_campaign, AttemptOutcome, CampaignConfig, CampaignOutcome, ShardStatus, Spawner,
+};
+use ca_shard::{shard_of, ShardPlan};
+use ca_sim::SimBudget;
+use std::path::{Path, PathBuf};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::Duration;
+
+const SHARDS: usize = 3;
+
+/// WORKER ENTRY POINT — inert unless spawned by a supervisor with the
+/// `CA_SHARD_*` environment set.
+#[test]
+fn shard_worker_entry() {
+    if let Some(code) = ca_shard::worker::run_from_env() {
+        std::process::exit(code);
+    }
+}
+
+/// Serializes campaign tests: hook env vars leak into every spawned
+/// worker, so only one campaign may run at a time in this binary.
+fn env_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// RAII hook setter: removes the variable again even on panic.
+struct Hook(&'static str);
+impl Hook {
+    fn set(name: &'static str, value: String) -> Hook {
+        std::env::set_var(name, value);
+        Hook(name)
+    }
+}
+impl Drop for Hook {
+    fn drop(&mut self) {
+        std::env::remove_var(self.0);
+    }
+}
+
+/// Same library as the crash-recovery harness: small, with one broken
+/// cell so quarantine verdicts are part of the converged state.
+fn campaign_library() -> Library {
+    let mut lib = generate_library(&LibraryConfig::quick(Technology::C40));
+    lib.cells.truncate(8);
+    lib.cells[2].cell = corrupt_cell(&lib.cells[2].cell, Corruption::FloatingOutput, 3)
+        .expect("corruption applies");
+    lib
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ca-shard-sup-{}-{tag}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+fn config() -> CampaignConfig {
+    let mut config = CampaignConfig::new(SHARDS);
+    config.max_attempts = 3;
+    config.backoff = ca_obs::Backoff::none();
+    config.heartbeat_interval = Duration::from_millis(25);
+    config.heartbeat_timeout = Duration::from_secs(60);
+    config
+}
+
+/// The worker spawner: this test binary, re-invoked so that only
+/// `shard_worker_entry` runs (and only acts when the spec env is set).
+fn worker_spawner() -> Spawner {
+    Spawner::Process {
+        program: std::env::current_exe().expect("own test binary"),
+        args: vec![
+            "shard_worker_entry".into(),
+            "--exact".into(),
+            "--test-threads=1".into(),
+        ],
+    }
+}
+
+fn golden(lib: &Library, policy: FaultPolicy, dir: &Path) -> RobustOutcome {
+    characterize_library_robust_with_session(
+        lib,
+        GenerateOptions::default(),
+        &SimBudget::unlimited(),
+        policy,
+        &Executor::from_env(),
+        &CharCache::new(),
+        &Session::open(dir.join("golden.caj")).expect("open golden session"),
+    )
+    .expect("quarantining policies never error")
+}
+
+type CamBytes = Vec<(String, String)>;
+type QuarantineKeys = Vec<(String, String, String, u32)>;
+
+fn projection(outcome: &RobustOutcome) -> (CamBytes, QuarantineKeys) {
+    (
+        export_cam_with(&outcome.prepared, true),
+        quarantine_keys(&outcome.quarantine),
+    )
+}
+
+fn quarantine_keys(q: &Quarantine) -> QuarantineKeys {
+    q.entries
+        .iter()
+        .map(|e| {
+            (
+                e.cell.clone(),
+                e.phase.to_string(),
+                e.reason.clone(),
+                e.retries,
+            )
+        })
+        .collect()
+}
+
+/// The shard with the most cells under the test partition — crash
+/// hooks need a victim with enough journal appends to interrupt.
+fn victim_shard(lib: &Library) -> usize {
+    let plan = ShardPlan::partition(lib, SHARDS);
+    (0..SHARDS)
+        .max_by_key(|&i| plan.shards[i].len())
+        .expect("some shard is populated")
+}
+
+/// The supervision record of shard `index` (the report only lists
+/// populated shards, so position and index need not coincide).
+fn shard_report(campaign: &CampaignOutcome, index: usize) -> &ca_shard::supervisor::ShardReport {
+    campaign
+        .report
+        .shards
+        .iter()
+        .find(|s| s.index == index)
+        .expect("victim shard is populated")
+}
+
+fn run(lib: &Library, config: &CampaignConfig, spawner: &Spawner, tag: &str) -> CampaignOutcome {
+    let dir = scratch_dir(tag);
+    run_campaign(lib, config, spawner, &dir.join("campaign")).expect("campaign runs")
+}
+
+#[test]
+fn healthy_campaign_converges_to_unsharded_golden() {
+    let _guard = env_lock();
+    let lib = campaign_library();
+    let dir = scratch_dir("healthy");
+    let golden = golden(&lib, FaultPolicy::SkipAndReport, &dir);
+
+    let campaign = run(&lib, &config(), &worker_spawner(), "healthy");
+    assert_eq!(projection(&campaign.outcome), projection(&golden));
+    assert!(campaign.skipped_cells.is_empty());
+    assert_eq!(campaign.report.retries, 0, "{}", campaign.report.render());
+    assert_eq!(campaign.report.quarantined_shards, 0);
+    // Every cell's record (quarantine verdict included) is in the
+    // merged store.
+    assert_eq!(campaign.report.merge.merged_records, lib.cells.len());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn worker_crashed_mid_journal_is_retried_and_converges() {
+    let _guard = env_lock();
+    let lib = campaign_library();
+    let dir = scratch_dir("crash");
+    let golden = golden(&lib, FaultPolicy::SkipAndReport, &dir);
+    let victim = victim_shard(&lib);
+
+    for halt in [1usize, 2] {
+        // The victim's worker aborts after `halt` journal appends on
+        // attempt 1 (a real SIGABRT — fsynced records survive, nothing
+        // else does); the hook expires and attempt 2 resumes.
+        let _hook = Hook::set(ENV_HALT, format!("{victim}:{halt}@1"));
+        let campaign = run(&lib, &config(), &worker_spawner(), &format!("crash-{halt}"));
+        assert_eq!(
+            projection(&campaign.outcome),
+            projection(&golden),
+            "halt={halt} must converge"
+        );
+        assert!(campaign.skipped_cells.is_empty());
+        assert!(campaign.report.retries >= 1, "{}", campaign.report.render());
+        let victim_report = shard_report(&campaign, victim);
+        assert!(
+            victim_report
+                .attempts
+                .iter()
+                .any(|a| matches!(a, AttemptOutcome::Killed)),
+            "crash must surface as a signal death: {victim_report:?}"
+        );
+        assert_eq!(victim_report.status, ShardStatus::Completed);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn hung_worker_is_killed_on_heartbeat_timeout_and_retried() {
+    let _guard = env_lock();
+    let lib = campaign_library();
+    let dir = scratch_dir("hang");
+    let golden = golden(&lib, FaultPolicy::SkipAndReport, &dir);
+    let victim = victim_shard(&lib);
+
+    let mut config = config();
+    config.heartbeat_timeout = Duration::from_millis(400);
+    let _hook = Hook::set(ENV_TEST_HANG, format!("{victim}:0@1"));
+    let campaign = run(&lib, &config, &worker_spawner(), "hang");
+    assert_eq!(projection(&campaign.outcome), projection(&golden));
+    assert!(
+        campaign.report.heartbeat_timeouts >= 1,
+        "{}",
+        campaign.report.render()
+    );
+    assert!(shard_report(&campaign, victim)
+        .attempts
+        .iter()
+        .any(|a| matches!(a, AttemptOutcome::HeartbeatTimeout)));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn persistently_failing_shard_quarantines_without_failing_the_campaign() {
+    let _guard = env_lock();
+    let lib = campaign_library();
+    let victim = victim_shard(&lib);
+
+    let mut config = config();
+    config.max_attempts = 2;
+    // The hook never expires: the shard fails every attempt.
+    let _hook = Hook::set(ENV_TEST_FAIL, format!("{victim}:7@99"));
+    let campaign = run(&lib, &config, &worker_spawner(), "quarantine");
+
+    let victim_report = shard_report(&campaign, victim);
+    assert_eq!(victim_report.status, ShardStatus::Quarantined);
+    assert_eq!(
+        victim_report.attempts,
+        vec![AttemptOutcome::ExitCode(7), AttemptOutcome::ExitCode(7)]
+    );
+    assert_eq!(campaign.report.quarantined_shards, 1);
+    // Exactly the victim shard's cells are skipped, in library order.
+    let expect_skipped: Vec<String> = lib
+        .cells
+        .iter()
+        .filter(|lc| shard_of(lc.cell.name(), SHARDS) == victim)
+        .map(|lc| lc.cell.name().to_string())
+        .collect();
+    assert!(!expect_skipped.is_empty());
+    assert_eq!(campaign.skipped_cells, expect_skipped);
+
+    // The rest of the library still matches the golden run restricted
+    // to the surviving cells.
+    let dir = scratch_dir("quarantine-golden");
+    let mut rest = lib.clone();
+    rest.cells
+        .retain(|lc| shard_of(lc.cell.name(), SHARDS) != victim);
+    let golden = golden(&rest, FaultPolicy::SkipAndReport, &dir);
+    assert_eq!(projection(&campaign.outcome), projection(&golden));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn spawn_failure_degrades_to_in_process_and_converges() {
+    let _guard = env_lock();
+    let lib = campaign_library();
+    let dir = scratch_dir("nospawn");
+    let golden = golden(&lib, FaultPolicy::SkipAndReport, &dir);
+
+    let spawner = Spawner::Process {
+        program: PathBuf::from("/nonexistent/ca-shard-worker"),
+        args: Vec::new(),
+    };
+    let campaign = run(&lib, &config(), &spawner, "nospawn");
+    assert_eq!(projection(&campaign.outcome), projection(&golden));
+    assert!(
+        campaign.report.spawn_failures >= 1,
+        "{}",
+        campaign.report.render()
+    );
+    assert!(campaign.report.shards.iter().any(|s| s.degraded()));
+    assert_eq!(campaign.report.quarantined_shards, 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn explicit_in_process_spawner_converges() {
+    let _guard = env_lock();
+    let lib = campaign_library();
+    let dir = scratch_dir("inproc");
+    let golden = golden(&lib, FaultPolicy::SkipAndReport, &dir);
+
+    let campaign = run(&lib, &config(), &Spawner::InProcess, "inproc");
+    assert_eq!(projection(&campaign.outcome), projection(&golden));
+    assert!(campaign.skipped_cells.is_empty());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `final_attempt_retries` makes the last attempt run under
+/// `RetryWithReducedBudget`; with `max_attempts = 1` every attempt is
+/// final, so the whole campaign must equal the unsharded golden run
+/// under that policy (quarantine verdicts carry the retry count).
+#[test]
+fn final_attempt_budget_degradation_matches_reduced_budget_golden() {
+    let _guard = env_lock();
+    let lib = campaign_library();
+    let dir = scratch_dir("reduced");
+    let golden = golden(&lib, FaultPolicy::RetryWithReducedBudget(1), &dir);
+
+    let mut config = config();
+    config.max_attempts = 1;
+    config.final_attempt_retries = Some(1);
+    // Final pass still replays the workers' journaled verdicts; only
+    // never-journaled cells would see this policy.
+    config.retry_policy = FaultPolicy::RetryWithReducedBudget(1);
+    let campaign = run(&lib, &config, &worker_spawner(), "reduced");
+    assert_eq!(projection(&campaign.outcome), projection(&golden));
+    let _ = std::fs::remove_dir_all(&dir);
+}
