@@ -52,6 +52,7 @@ const CANONICAL: &[&str] = &[
     "ca-core",
     "ca-netlist",
     "ca-defects",
+    "ca-sim",
     "ca-store",
     "ca-shard",
 ];

@@ -7,6 +7,7 @@
 
 pub mod corpus;
 pub mod microbench;
+pub mod packed_bench;
 pub mod perf;
 pub mod profiling;
 pub mod report;

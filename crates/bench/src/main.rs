@@ -16,6 +16,9 @@
 //!   library          per-technology characterization summaries
 //!   parallel         parallel engine + cache benchmark -> BENCH_parallel.json
 //!   all              everything above
+//!   packed           packed vs. scalar cold-simulation bench -> BENCH_packed.json
+//!                    (not part of `all`; asserts detection tables and
+//!                    `.cam` exports byte-identical before reporting)
 //!   profile          end-to-end flow profile -> BENCH_profile.json
 //!                    (not part of `all`; `--quick` = `--profile quick`)
 //!   profile-check    validate BENCH_profile.json (or an explicit path)
@@ -216,8 +219,19 @@ fn main() {
             Err(e) => die(&format!("cannot write {path}: {e}")),
         }
     }
-    // `profile` and `profile-check` are deliberately not part of `all`:
-    // one measures the flow, the other gates on its artifact.
+    // `packed`, `profile` and `profile-check` are deliberately not part
+    // of `all`: they measure the flow (or gate on its artifact) rather
+    // than regenerate a paper table.
+    if command == "packed" {
+        matched = true;
+        let bench = ca_bench::packed_bench::run(profile);
+        print!("{}", bench.render());
+        let path = "BENCH_packed.json";
+        match ca_store::write_atomic(path, bench.to_json()) {
+            Ok(()) => ca_obs::info_status("ca_bench", &format!("wrote {path}"), &[]),
+            Err(e) => die(&format!("cannot write {path}: {e}")),
+        }
+    }
     if command == "profile" {
         matched = true;
         match ca_bench::profiling::run(profile) {

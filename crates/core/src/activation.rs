@@ -13,7 +13,8 @@
 
 use crate::error::CoreError;
 use ca_netlist::{Cell, MosKind, TransistorId};
-use ca_sim::{Simulator, Stimulus, Wave};
+use ca_sim::packed::{PackedSim, PackedStimulus};
+use ca_sim::{CellKernel, Injection, Simulator, Stimulus, Value, Wave};
 use std::cmp::Ordering;
 use std::fmt;
 
@@ -125,29 +126,23 @@ impl Activation {
     /// Returns [`CoreError::GoldenNotBinary`] when the defect-free cell
     /// does not settle to binary values.
     pub fn extract_with(cell: &Cell, stimuli: Vec<Stimulus>) -> Result<Activation, CoreError> {
-        let sim = Simulator::new(cell);
-        let n_transistors = cell.num_transistors();
-        let mut output_waves = Vec::with_capacity(stimuli.len());
-        let mut transistor_waves = Vec::with_capacity(stimuli.len());
-        for (si, stimulus) in stimuli.iter().enumerate() {
-            let result = sim.run(stimulus);
-            let not_binary = |_: ()| CoreError::GoldenNotBinary {
-                cell: cell.name().to_string(),
-                stimulus: si,
-            };
-            let out = result.wave(cell.output()).ok_or(()).map_err(not_binary)?;
-            output_waves.push(out);
-            let mut per_t = Vec::with_capacity(n_transistors);
-            for (_, t) in cell.transistor_ids() {
-                let gate_wave = result.wave(t.gate()).ok_or(()).map_err(not_binary)?;
-                per_t.push(activity_wave(t.kind(), gate_wave));
-            }
-            transistor_waves.push(per_t);
-        }
+        // The packed engine evaluates 64 stimuli per solver pass
+        // (DESIGN.md §12) and produces bit-identical waves; the scalar
+        // path remains as the fallback and the differential reference.
+        let packed = if ca_sim::packed_enabled() {
+            Activation::golden_waves_packed(cell, &stimuli)
+        } else {
+            None
+        };
+        let (output_waves, transistor_waves) = match packed {
+            Some(waves) => waves?,
+            None => Activation::golden_waves_scalar(cell, &stimuli)?,
+        };
         // Activity values from the leading static stimuli. The paper's
         // Table II orders rows with input A as the MSB of the pattern
         // (00, 01, 10, 11 over A,B); our static stimulus index uses input
         // 0 as the LSB, so each table row is the bit-reversed index.
+        let n_transistors = cell.num_transistors();
         let n = cell.num_inputs();
         let n_static = 1usize << n;
         let row_to_stimulus = |r: usize| -> usize {
@@ -167,6 +162,93 @@ impl Activation {
             transistor_waves,
             activity_values,
         })
+    }
+
+    /// Scalar golden pass: one simulator run per stimulus, collecting the
+    /// output wave and every transistor's activity wave.
+    #[allow(clippy::type_complexity)]
+    fn golden_waves_scalar(
+        cell: &Cell,
+        stimuli: &[Stimulus],
+    ) -> Result<(Vec<Wave>, Vec<Vec<Wave>>), CoreError> {
+        let sim = Simulator::new(cell);
+        let n_transistors = cell.num_transistors();
+        let mut output_waves = Vec::with_capacity(stimuli.len());
+        let mut transistor_waves = Vec::with_capacity(stimuli.len());
+        for (si, stimulus) in stimuli.iter().enumerate() {
+            let result = sim.run(stimulus);
+            let not_binary = |_: ()| CoreError::GoldenNotBinary {
+                cell: cell.name().to_string(),
+                stimulus: si,
+            };
+            let out = result.wave(cell.output()).ok_or(()).map_err(not_binary)?;
+            output_waves.push(out);
+            let mut per_t = Vec::with_capacity(n_transistors);
+            for (_, t) in cell.transistor_ids() {
+                let gate_wave = result.wave(t.gate()).ok_or(()).map_err(not_binary)?;
+                per_t.push(activity_wave(t.kind(), gate_wave));
+            }
+            transistor_waves.push(per_t);
+        }
+        Ok((output_waves, transistor_waves))
+    }
+
+    /// Packed golden pass: 64 stimuli per solver pass. `None` when the
+    /// kernel compiler declines the cell. Non-binary nets raise
+    /// [`CoreError::GoldenNotBinary`] for the first offending stimulus,
+    /// checking the output first and then the gates in transistor-id
+    /// order — the exact error the scalar pass reports.
+    #[allow(clippy::type_complexity)]
+    fn golden_waves_packed(
+        cell: &Cell,
+        stimuli: &[Stimulus],
+    ) -> Option<Result<(Vec<Wave>, Vec<Vec<Wave>>), CoreError>> {
+        let kernel = CellKernel::compile(cell)?;
+        let packed = PackedStimulus::pack(cell.num_inputs(), stimuli);
+        let sim = PackedSim::new(&kernel, Injection::None, None);
+        let out_net = cell.output().index();
+        let gates: Vec<(usize, MosKind)> = cell
+            .transistor_ids()
+            .map(|(_, t)| (t.gate().index(), t.kind()))
+            .collect();
+        let mut output_waves = Vec::with_capacity(stimuli.len());
+        let mut transistor_waves = Vec::with_capacity(stimuli.len());
+        let mut si = 0usize;
+        for block in packed.blocks() {
+            let result = sim.run_block(block);
+            for lane in 0..block.occupancy() {
+                let wave_of = |net: usize| -> Option<Wave> {
+                    let level = |v: Value| match v {
+                        Value::Zero => Some(false),
+                        Value::One => Some(true),
+                        _ => None,
+                    };
+                    let first = level(result.phase1[net].get(lane))?;
+                    let last = level(result.final_values[net].get(lane))?;
+                    Some(Wave::from_pair(first, last))
+                };
+                let not_binary = || CoreError::GoldenNotBinary {
+                    cell: cell.name().to_string(),
+                    stimulus: si,
+                };
+                let out = match wave_of(out_net) {
+                    Some(w) => w,
+                    None => return Some(Err(not_binary())),
+                };
+                output_waves.push(out);
+                let mut per_t = Vec::with_capacity(gates.len());
+                for &(gate_net, kind) in &gates {
+                    let gate_wave = match wave_of(gate_net) {
+                        Some(w) => w,
+                        None => return Some(Err(not_binary())),
+                    };
+                    per_t.push(activity_wave(kind, gate_wave));
+                }
+                transistor_waves.push(per_t);
+                si += 1;
+            }
+        }
+        Some(Ok((output_waves, transistor_waves)))
     }
 
     /// The stimuli the activation was extracted against.

@@ -6,7 +6,11 @@
 
 use crate::universe::{DefectId, DefectUniverse};
 use ca_netlist::Cell;
-use ca_sim::{DetectionPolicy, Injection, SimBudget, SimError, Simulator, Stimulus, Value};
+use ca_sim::packed::{detect_mask, PackedSim, PackedStimulus, PhaseOutcomes};
+use ca_sim::{
+    CellKernel, DetectionPolicy, Injection, LaneOutcome, SimBudget, SimError, Simulator, Stimulus,
+    Value,
+};
 
 /// A packed bit row (one bit per stimulus).
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -91,7 +95,27 @@ impl DetectionTable {
     /// Simulates every defect of `universe` against `stimuli`.
     ///
     /// The golden responses are simulated once and shared across defects.
+    /// Uses the bit-parallel packed engine (64 stimuli per solver pass,
+    /// DESIGN.md §12) when the `CA_PACKED` switch allows it and the cell
+    /// compiles to a [`CellKernel`]; results are bit-identical either way.
     pub fn generate(
+        cell: &Cell,
+        universe: &DefectUniverse,
+        stimuli: &[Stimulus],
+        policy: DetectionPolicy,
+    ) -> DetectionTable {
+        if ca_sim::packed_enabled() {
+            if let Some(table) = DetectionTable::generate_packed(cell, universe, stimuli, policy) {
+                return table;
+            }
+        }
+        DetectionTable::generate_scalar(cell, universe, stimuli, policy)
+    }
+
+    /// The interpreted per-stimulus path of [`DetectionTable::generate`]
+    /// — always available, and the reference the packed path is
+    /// differentially tested against.
+    pub fn generate_scalar(
         cell: &Cell,
         universe: &DefectUniverse,
         stimuli: &[Stimulus],
@@ -131,6 +155,58 @@ impl DetectionTable {
         }
     }
 
+    /// The bit-parallel path of [`DetectionTable::generate`]: stimuli are
+    /// transposed into 64-lane blocks, the golden blocks solved once, and
+    /// every defect evaluated word-parallel with cone restriction for
+    /// stuck-opens. Returns `None` when the kernel compiler declines the
+    /// cell (the caller falls back to the scalar path).
+    ///
+    /// `defect_simulations` reports the *logical* simulation count
+    /// (defects × stimuli), so the table compares equal to the scalar
+    /// one.
+    pub fn generate_packed(
+        cell: &Cell,
+        universe: &DefectUniverse,
+        stimuli: &[Stimulus],
+        policy: DetectionPolicy,
+    ) -> Option<DetectionTable> {
+        let kernel = CellKernel::compile(cell)?;
+        let packed = PackedStimulus::pack(cell.num_inputs(), stimuli);
+        let outputs: Vec<usize> = cell.outputs().iter().map(|o| o.index()).collect();
+        let golden_sim = PackedSim::new(&kernel, Injection::None, None);
+        let golden: Vec<_> = packed
+            .blocks()
+            .iter()
+            .map(|b| golden_sim.run_block(b))
+            .collect();
+        let mut rows = Vec::with_capacity(universe.len());
+        for defect in universe.defects() {
+            let faulty = PackedSim::new(&kernel, defect.injection, None);
+            let open_t = match defect.injection {
+                Injection::Open { transistor, .. } => Some(transistor.index()),
+                _ => None,
+            };
+            let mut row = BitRow::zeros(stimuli.len());
+            let mut base = 0;
+            for (block, g) in packed.blocks().iter().zip(&golden) {
+                let f = faulty.run_block_against(block, g, open_t);
+                let mut mask = detect_mask(g, &f, &outputs, policy);
+                while mask != 0 {
+                    row.set(base + mask.trailing_zeros() as usize, true);
+                    mask &= mask - 1;
+                }
+                base += block.occupancy();
+            }
+            rows.push(row);
+        }
+        Some(DetectionTable {
+            stimuli: stimuli.to_vec(),
+            rows,
+            policy,
+            defect_simulations: universe.len() * stimuli.len(),
+        })
+    }
+
     /// Like [`DetectionTable::generate`], but under a [`SimBudget`].
     ///
     /// Semantics:
@@ -161,6 +237,33 @@ impl DetectionTable {
         let n_defects = budget.clamp_defects(universe.len());
         let degraded = n_stimuli < stimuli.len() || n_defects < universe.len();
         let stimuli = &stimuli[..n_stimuli];
+        let packed = if ca_sim::packed_enabled() {
+            DetectionTable::budgeted_packed(cell, universe, stimuli, n_defects, policy, budget)
+        } else {
+            None
+        };
+        let table = match packed {
+            Some(result) => result?,
+            None => {
+                DetectionTable::budgeted_scalar(cell, universe, stimuli, n_defects, policy, budget)?
+            }
+        };
+        Ok(BudgetedTable {
+            table,
+            degraded,
+            defects_covered: n_defects,
+        })
+    }
+
+    /// Post-clamp scalar body of [`DetectionTable::generate_budgeted`].
+    fn budgeted_scalar(
+        cell: &Cell,
+        universe: &DefectUniverse,
+        stimuli: &[Stimulus],
+        n_defects: usize,
+        policy: DetectionPolicy,
+        budget: &SimBudget,
+    ) -> Result<DetectionTable, SimError> {
         let clock = budget.start();
         let outputs = cell.outputs().to_vec();
         let golden_sim = Simulator::with_budget(cell, Injection::None, budget);
@@ -192,15 +295,104 @@ impl DetectionTable {
             }
             rows.push(row);
         }
-        Ok(BudgetedTable {
-            table: DetectionTable {
-                stimuli: stimuli.to_vec(),
-                rows,
-                policy,
-                defect_simulations,
-            },
-            degraded,
-            defects_covered: n_defects,
+        Ok(DetectionTable {
+            stimuli: stimuli.to_vec(),
+            rows,
+            policy,
+            defect_simulations,
+        })
+    }
+
+    /// Post-clamp packed body of [`DetectionTable::generate_budgeted`]:
+    /// the same semantics lane-by-lane — golden lanes are checked in
+    /// stimulus order and the first non-convergent one raises the same
+    /// [`SimError`] the scalar `try_run` would (phase-1 failures take
+    /// precedence per lane), the wall-clock deadline is checked between
+    /// defect blocks, and faulty lanes keep conservative X-forcing.
+    /// `None` means the kernel compiler declined the cell.
+    fn budgeted_packed(
+        cell: &Cell,
+        universe: &DefectUniverse,
+        stimuli: &[Stimulus],
+        n_defects: usize,
+        policy: DetectionPolicy,
+        budget: &SimBudget,
+    ) -> Option<Result<DetectionTable, SimError>> {
+        let kernel = CellKernel::compile(cell)?;
+        Some(DetectionTable::budgeted_packed_inner(
+            cell, &kernel, universe, stimuli, n_defects, policy, budget,
+        ))
+    }
+
+    fn budgeted_packed_inner(
+        cell: &Cell,
+        kernel: &CellKernel,
+        universe: &DefectUniverse,
+        stimuli: &[Stimulus],
+        n_defects: usize,
+        policy: DetectionPolicy,
+        budget: &SimBudget,
+    ) -> Result<DetectionTable, SimError> {
+        let clock = budget.start();
+        let packed = PackedStimulus::pack(cell.num_inputs(), stimuli);
+        let outputs: Vec<usize> = cell.outputs().iter().map(|o| o.index()).collect();
+        let golden_sim = PackedSim::new(kernel, Injection::None, budget.max_solver_iterations);
+        let mut golden = Vec::with_capacity(packed.blocks().len());
+        for block in packed.blocks() {
+            let result = golden_sim.run_block(block);
+            // Golden simulation must converge: surface the first failing
+            // lane, in stimulus order, exactly like the scalar `try_run`
+            // (a phase-1 failure wins over a phase-2 one per lane).
+            let mut lanes = block.lanes;
+            while lanes != 0 {
+                let lane = lanes.trailing_zeros() as usize;
+                lanes &= lanes - 1;
+                let p1 = result.p1.lane(lane);
+                if p1 != LaneOutcome::Converged {
+                    return Err(lane_error(cell, &result.p1, p1, lane));
+                }
+                if block.dynamic & (1u64 << lane) != 0 {
+                    let p2 = result.p2.lane(lane);
+                    if p2 != LaneOutcome::Converged {
+                        return Err(lane_error(cell, &result.p2, p2, lane));
+                    }
+                }
+            }
+            golden.push(result);
+        }
+        let mut rows = Vec::with_capacity(n_defects);
+        for defect in &universe.defects()[..n_defects] {
+            let faulty = PackedSim::new(kernel, defect.injection, budget.max_solver_iterations);
+            let open_t = match defect.injection {
+                Injection::Open { transistor, .. } => Some(transistor.index()),
+                _ => None,
+            };
+            let mut row = BitRow::zeros(stimuli.len());
+            let mut base = 0;
+            for (block, g) in packed.blocks().iter().zip(&golden) {
+                // The deadline is checked between blocks, never
+                // mid-solve; a zero deadline therefore fails before any
+                // faulty work, like the scalar per-stimulus check.
+                if clock.expired() {
+                    return Err(SimError::BudgetExceeded {
+                        resource: "wall clock",
+                    });
+                }
+                let f = faulty.run_block_against(block, g, open_t);
+                let mut mask = detect_mask(g, &f, &outputs, policy);
+                while mask != 0 {
+                    row.set(base + mask.trailing_zeros() as usize, true);
+                    mask &= mask - 1;
+                }
+                base += block.occupancy();
+            }
+            rows.push(row);
+        }
+        Ok(DetectionTable {
+            stimuli: stimuli.to_vec(),
+            rows,
+            policy,
+            defect_simulations: n_defects * stimuli.len(),
         })
     }
 
@@ -271,6 +463,24 @@ pub struct BudgetedTable {
     pub degraded: bool,
     /// Number of leading universe defects the rows cover.
     pub defects_covered: usize,
+}
+
+/// Builds the [`SimError`] a non-convergent golden lane raises, matching
+/// the scalar `try_run` error shape: oscillations name the unstable nets
+/// in net-index order, budget exhaustion names the solver-iterations
+/// resource.
+fn lane_error(cell: &Cell, outcomes: &PhaseOutcomes, class: LaneOutcome, lane: usize) -> SimError {
+    match class {
+        LaneOutcome::Oscillated => SimError::Oscillated {
+            nets: (0..cell.nets().len())
+                .filter(|&i| outcomes.unstable[i] & (1u64 << lane) != 0)
+                .map(|i| cell.nets()[i].name().to_string())
+                .collect(),
+        },
+        _ => SimError::BudgetExceeded {
+            resource: "solver iterations",
+        },
+    }
 }
 
 /// Convenience: simulate a single injection against `stimuli` (used by

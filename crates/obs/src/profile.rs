@@ -14,7 +14,7 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 use crate::json::{escape_json, JsonValue};
-use crate::registry::{global, MetricClass, Snapshot};
+use crate::registry::{global, HistogramSnapshot, MetricClass, Snapshot};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -235,6 +235,52 @@ impl FlowProfile {
             let _ = writeln!(out, "counters ({}):", class.as_str());
             for (name, value) in totals {
                 let _ = writeln!(out, "  {name:<44} {value}");
+            }
+        }
+        // Histogram distributions summed across stages (e.g. the solver's
+        // iterations-to-convergence), rendered as `<=bound:count` pairs.
+        let mut hists: BTreeMap<String, HistogramSnapshot> = BTreeMap::new();
+        for stage in &self.stages {
+            for (name, h) in &stage.delta.histograms {
+                if h.count == 0 {
+                    continue;
+                }
+                hists
+                    .entry(name.clone())
+                    .and_modify(|acc| {
+                        for (a, b) in acc.buckets.iter_mut().zip(&h.buckets) {
+                            *a += b;
+                        }
+                        acc.count += h.count;
+                        acc.sum += h.sum;
+                    })
+                    .or_insert_with(|| h.clone());
+            }
+        }
+        if !hists.is_empty() {
+            let _ = writeln!(out, "histograms:");
+            for (name, h) in hists {
+                let mean = h.sum as f64 / h.count as f64;
+                let mut cells: Vec<String> = h
+                    .bounds
+                    .iter()
+                    .zip(&h.buckets)
+                    .filter(|(_, &c)| c > 0)
+                    .map(|(b, c)| format!("<={b}:{c}"))
+                    .collect();
+                if let (Some(&overflow), Some(last)) =
+                    (h.buckets.get(h.bounds.len()), h.bounds.last())
+                {
+                    if overflow > 0 {
+                        cells.push(format!(">{last}:{overflow}"));
+                    }
+                }
+                let _ = writeln!(
+                    out,
+                    "  {name:<44} count={} mean={mean:.2} {}",
+                    h.count,
+                    cells.join(" ")
+                );
             }
         }
         out

@@ -42,12 +42,19 @@
 
 pub mod budget;
 pub mod injection;
+pub mod kernel;
+pub mod packed;
 pub mod simulator;
 pub mod solver;
 pub mod values;
 
 pub use budget::{BudgetClock, SimBudget, SimError};
 pub use injection::Injection;
-pub use simulator::{detection_row, DetectionPolicy, SimResult, Simulator};
+pub use kernel::CellKernel;
+pub use packed::{
+    packed_enabled, set_packed_override, BlockResult, LaneOutcome, PackedSim, PackedStimulus,
+    PackedValue, StimulusBlock,
+};
+pub use simulator::{detection_row, detection_row_scalar, DetectionPolicy, SimResult, Simulator};
 pub use solver::SolveOutcome;
 pub use values::{Stimulus, Value, Wave};

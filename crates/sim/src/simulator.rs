@@ -278,8 +278,28 @@ impl<'c> Simulator<'c> {
 /// detects when *any* output pin deviates (multi-output cells are fully
 /// observed).
 ///
-/// Returns one flag per stimulus, in order.
+/// Returns one flag per stimulus, in order. Uses the bit-parallel packed
+/// engine (64 stimuli per solver pass) when the `CA_PACKED` switch allows
+/// it and the cell compiles to a kernel; the flags are bit-identical
+/// either way.
 pub fn detection_row(
+    cell: &Cell,
+    injection: Injection,
+    stimuli: &[Stimulus],
+    policy: DetectionPolicy,
+) -> Vec<bool> {
+    if crate::packed::packed_enabled() {
+        if let Some(flags) = crate::packed::detection_flags(cell, injection, stimuli, policy) {
+            return flags;
+        }
+    }
+    detection_row_scalar(cell, injection, stimuli, policy)
+}
+
+/// The interpreted per-stimulus path of [`detection_row`] — always
+/// available, and the reference the packed path is differentially tested
+/// against.
+pub fn detection_row_scalar(
     cell: &Cell,
     injection: Injection,
     stimuli: &[Stimulus],

@@ -196,6 +196,14 @@ impl<'c> CellGraph<'c> {
             let next = self.net_values(&conduction, inputs, stored);
             if next == values {
                 ca_obs::counter!("ca_sim.solver.iterations", Work).add(iteration as u64 + 1);
+                // Iterations-to-convergence distribution, shared with the
+                // packed solver so both paths feed one histogram.
+                ca_obs::histogram!(
+                    "ca_sim.solver.iterations_to_convergence",
+                    Work,
+                    crate::packed::ITER_HIST_BOUNDS
+                )
+                .observe(iteration as u64 + 1);
                 return SolveOutcome::Converged(next);
             }
             if iteration + 1 == self.max_iterations {

@@ -19,6 +19,19 @@ CA_THREADS=1 cargo test -q --workspace --offline
 echo "==> cargo test (offline, CA_THREADS=4)"
 CA_THREADS=4 cargo test -q --workspace --offline
 
+# The packed engine is only allowed to exist because it is bit-identical
+# to the scalar solver (DESIGN.md §12). Run the differential suite at
+# both thread counts, then the full suite once with the packed path
+# forced off so the scalar reference stays green on its own.
+echo "==> packed equivalence (packed vs scalar, CA_THREADS=1)"
+CA_THREADS=1 cargo test -q --test packed_equivalence --offline
+
+echo "==> packed equivalence (packed vs scalar, CA_THREADS=4)"
+CA_THREADS=4 cargo test -q --test packed_equivalence --offline
+
+echo "==> cargo test (offline, CA_PACKED=0 scalar path)"
+CA_PACKED=0 cargo test -q --workspace --offline
+
 # The crash-recovery suite SIGKILLs child runs mid-library and proves the
 # session store resumes to byte-identical outputs (DESIGN.md §8). Run it
 # explicitly at both thread counts so the kill/resume path — not just the
