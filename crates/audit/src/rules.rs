@@ -55,6 +55,7 @@ const CANONICAL: &[&str] = &[
     "ca-sim",
     "ca-store",
     "ca-shard",
+    "ca-serve",
 ];
 
 /// The standard rule set, in rule-id order.
@@ -125,6 +126,7 @@ pub fn rules() -> &'static [RuleSpec] {
                 "ca-defects",
                 "ca-store",
                 "ca-shard",
+                "ca-serve",
                 "ca-sim",
                 "ca-ml",
             ]),

@@ -11,6 +11,7 @@ pub mod packed_bench;
 pub mod perf;
 pub mod profiling;
 pub mod report;
+pub mod serve_bench;
 pub mod shard_bench;
 pub mod tables;
 

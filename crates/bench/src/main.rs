@@ -26,6 +26,9 @@
 //!   shard            sharded campaign vs unsharded run -> BENCH_shard.json
 //!                    (not part of `all`; `--shards N` sets the shard count;
 //!                    fails hard unless exports are byte-identical)
+//!   serve            daemon load-gen (closed + open loop) -> BENCH_serve.json
+//!                    (not part of `all`; fails hard unless served models
+//!                    are byte-identical to the batch golden)
 //! ```
 //!
 //! The binary doubles as the campaign's worker executable: spawned with
@@ -251,6 +254,16 @@ fn main() {
         let bench = ca_bench::shard_bench::run(profile, shards);
         print!("{}", bench.render());
         let path = "BENCH_shard.json";
+        match ca_store::write_atomic(path, bench.to_json()) {
+            Ok(()) => ca_obs::info_status("ca_bench", &format!("wrote {path}"), &[]),
+            Err(e) => die(&format!("cannot write {path}: {e}")),
+        }
+    }
+    if command == "serve" {
+        matched = true;
+        let bench = ca_bench::serve_bench::run(profile);
+        print!("{}", bench.render());
+        let path = "BENCH_serve.json";
         match ca_store::write_atomic(path, bench.to_json()) {
             Ok(()) => ca_obs::info_status("ca_bench", &format!("wrote {path}"), &[]),
             Err(e) => die(&format!("cannot write {path}: {e}")),

@@ -49,6 +49,7 @@ pub mod error;
 pub mod flow;
 pub mod matrix;
 pub mod robust;
+pub mod service;
 pub mod session;
 
 pub use activation::{Activation, ActivityValue};
@@ -71,4 +72,5 @@ pub use robust::{
     characterize_library_robust_with_session, FailurePhase, FaultPolicy, Quarantine,
     QuarantineEntry, RobustOutcome,
 };
-pub use session::{Session, SessionReport};
+pub use service::{CellService, CellVerdict, StoredVerdict};
+pub use session::{cell_fingerprint, Session, SessionReport};

@@ -396,7 +396,7 @@ fn robust_driver(
 /// The budget of retry `attempt` (1-based): truncate the defect universe
 /// by half per attempt, keep only the static stimuli, and lift the
 /// wall-clock/iteration limits so the reduced work can finish.
-fn reduced_budget(budget: &SimBudget, cell: &Cell, attempt: u32) -> SimBudget {
+pub(crate) fn reduced_budget(budget: &SimBudget, cell: &Cell, attempt: u32) -> SimBudget {
     let full_universe = cell.num_transistors() * 6;
     let ceiling = budget
         .max_defects
@@ -411,7 +411,7 @@ fn reduced_budget(budget: &SimBudget, cell: &Cell, attempt: u32) -> SimBudget {
 
 /// Runs one cell through lint → golden → prepare/characterize, tagging
 /// any failure with the phase it happened in.
-fn characterize_cell_guarded(
+pub(crate) fn characterize_cell_guarded(
     cell: &Cell,
     options: GenerateOptions,
     budget: &SimBudget,

@@ -151,6 +151,15 @@ impl SessionPlan {
     }
 }
 
+/// Stable whole-netlist fingerprint of a cell (names, net kinds, pins,
+/// connectivity and sizes — everything). Exposed for callers that need a
+/// cheap exact-identity key *before* the expensive canonical analysis:
+/// `ca-serve` coalesces concurrent requests on it, and it is the same
+/// hash the session layer stores to re-verify quarantine records.
+pub fn cell_fingerprint(cell: &Cell) -> u64 {
+    fingerprint(cell)
+}
+
 impl Session {
     /// Opens (or creates) the session store at `path`, replaying and
     /// recovering the journal.
@@ -198,6 +207,14 @@ impl Session {
     /// Path of the underlying store file.
     pub fn path(&self) -> &Path {
         &self.path
+    }
+
+    /// Snapshot-isolated read of one journaled record: the store lock is
+    /// held for the duration of the clone, so the caller sees a record
+    /// that was fully journaled — never a half-applied update — even
+    /// while executor workers are appending concurrently.
+    pub fn snapshot_record(&self, cell: &str) -> Option<Record> {
+        self.lock_store().get(cell).cloned()
     }
 
     /// The journal replay/recovery outcome from [`Session::open`].
@@ -656,7 +673,7 @@ fn encode_phase(phase: FailurePhase) -> u8 {
     }
 }
 
-fn decode_phase(byte: u8) -> Option<FailurePhase> {
+pub(crate) fn decode_phase(byte: u8) -> Option<FailurePhase> {
     match byte {
         0 => Some(FailurePhase::Lint),
         1 => Some(FailurePhase::Golden),

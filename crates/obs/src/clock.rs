@@ -75,6 +75,16 @@ impl Deadline {
     pub fn expired(&self) -> bool {
         self.at.is_some_and(|at| Instant::now() >= at)
     }
+
+    /// Time left before expiry: `None` for [`Deadline::never`],
+    /// [`Duration::ZERO`] once expired. This is the one sanctioned way
+    /// to turn a deadline back into a duration (condvar waits, socket
+    /// timeouts, clamping a [`SimBudget`]-style wall-clock budget to the
+    /// tighter of two limits) without reading the ambient clock.
+    pub fn remaining(&self) -> Option<Duration> {
+        self.at
+            .map(|at| at.saturating_duration_since(Instant::now()))
+    }
 }
 
 /// A deterministic capped-exponential retry-delay schedule.
@@ -146,6 +156,20 @@ mod tests {
     #[test]
     fn far_deadline_is_live() {
         assert!(!Deadline::after(Duration::from_secs(3600)).expired());
+    }
+
+    #[test]
+    fn remaining_is_none_for_never_and_zero_after_expiry() {
+        assert_eq!(Deadline::never().remaining(), None);
+        assert_eq!(
+            Deadline::after(Duration::ZERO).remaining(),
+            Some(Duration::ZERO)
+        );
+        let left = Deadline::after(Duration::from_secs(3600))
+            .remaining()
+            .unwrap();
+        assert!(left <= Duration::from_secs(3600));
+        assert!(left > Duration::from_secs(3500));
     }
 
     #[test]

@@ -1,0 +1,636 @@
+//! The ca-serve wire protocol: versioned tagged messages inside
+//! [`ca_store::frame`] CRC frames.
+//!
+//! Layout (DESIGN.md §13): every message travels as one frame —
+//! `u32 LE payload length · u32 LE CRC-32 · payload` — exactly the
+//! journal's framing discipline, so torn and bit-flipped messages are
+//! detected by the same code path the store trusts for durability. The
+//! payload is `version byte (1) · tag byte · tag-specific fields`;
+//! strings are `u32 LE length · UTF-8 bytes`, integers are LE
+//! fixed-width. Requests are capped at [`MAX_REQUEST_PAYLOAD`] (1 MiB)
+//! and responses at [`MAX_RESPONSE_PAYLOAD`] (16 MiB); the cap is
+//! enforced *before* any allocation, so a hostile length prefix can
+//! never balloon memory.
+//!
+//! Decoding is total: every byte sequence maps to `Ok(message)` or a
+//! structured [`ProtocolError`] — never a panic, never an unbounded
+//! allocation. The property tests at the bottom drive truncations at
+//! every split point, bit flips at every position and garbage prefixes
+//! through both decoders to hold that line.
+
+use ca_store::frame::{self, FrameError};
+use std::io::{Read, Write};
+
+/// Wire protocol version; the first payload byte of every message.
+pub const WIRE_VERSION: u8 = 1;
+/// Request frames larger than this are rejected before allocation.
+pub const MAX_REQUEST_PAYLOAD: u32 = 1 << 20;
+/// Response frames larger than this are rejected before allocation.
+/// Sized for a full `.cam` body plus headroom.
+pub const MAX_RESPONSE_PAYLOAD: u32 = 16 << 20;
+
+/// What a characterize request points at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Target {
+    /// A cell of the library the server was launched with.
+    Name(String),
+    /// An inline SPICE netlist carried in the request.
+    Spice(String),
+}
+
+/// A client-to-server message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Liveness probe; echoed back in [`Response::Pong`].
+    Ping { token: u64 },
+    /// Characterize one cell under an optional deadline.
+    Characterize {
+        /// Client identity for per-client quotas.
+        client: String,
+        /// Milliseconds until the request deadline; `0` = no deadline.
+        deadline_ms: u64,
+        /// The cell to characterize.
+        target: Target,
+    },
+    /// Snapshot-isolated read of a journaled record; no simulation.
+    Lookup { name: String },
+    /// Server counters, queue depths and session report.
+    Stats,
+    /// Ask the server to stop admitting and drain.
+    Drain,
+}
+
+/// Where a served model came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelSource {
+    /// Simulated by this request (possibly via the in-process caches).
+    Fresh = 0,
+    /// Reserved: certified donor remap (reported as `Fresh` today
+    /// because donor hits resolve inside the characterization cache).
+    Donor = 1,
+    /// Journaled record served without simulation.
+    Store = 2,
+    /// This request rode a concurrent identical request's simulation.
+    Coalesced = 3,
+}
+
+/// Structured failure classes; every error frame carries one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// The request decoded but is semantically invalid (bad SPICE,
+    /// empty client name, unknown target kind).
+    BadRequest = 1,
+    /// Lookup/characterize-by-name for a cell the library doesn't have.
+    UnknownCell = 2,
+    /// Admission control shed the request: queue full.
+    Overloaded = 3,
+    /// Admission control shed the request: per-client quota.
+    QuotaExceeded = 4,
+    /// The deadline expired in queue or was the binding constraint of
+    /// the simulation.
+    DeadlineExceeded = 5,
+    /// The cell failed characterization; detail carries the diagnosis.
+    Quarantined = 6,
+    /// The server is draining and admits no new work.
+    Draining = 7,
+    /// The server-side handler failed after exhausting retries.
+    Internal = 8,
+}
+
+/// A server-to-client message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// Echo of [`Request::Ping`].
+    Pong { token: u64 },
+    /// A characterized (or journaled) model.
+    Model {
+        /// Canonical cell name.
+        cell: String,
+        /// Whether the model is budget-degraded.
+        degraded: bool,
+        /// Provenance of the bytes.
+        source: ModelSource,
+        /// The `.cam` export body.
+        cam: String,
+    },
+    /// A structured failure; never a dropped connection.
+    Error { kind: ErrorKind, detail: String },
+    /// Rendered server counters.
+    Stats { body: String },
+    /// Acknowledgement of [`Request::Drain`].
+    Draining,
+}
+
+/// Why a message failed to decode. Every variant is a protocol-level
+/// fact a server can answer (or a client can report) without dying.
+#[derive(Debug)]
+pub enum ProtocolError {
+    /// The frame layer rejected the bytes (torn, oversized, CRC).
+    Frame(FrameError),
+    /// The payload ended before the field named here.
+    Truncated(&'static str),
+    /// First payload byte is not [`WIRE_VERSION`].
+    BadVersion(u8),
+    /// Unknown message tag for this direction.
+    BadTag(u8),
+    /// A field decoded to an out-of-domain value.
+    BadField(&'static str),
+    /// Payload bytes left over after the last field.
+    TrailingBytes(usize),
+    /// A string field is not UTF-8.
+    BadUtf8(&'static str),
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtocolError::Frame(e) => write!(f, "frame: {e}"),
+            ProtocolError::Truncated(field) => write!(f, "payload truncated at {field}"),
+            ProtocolError::BadVersion(v) => write!(f, "unsupported wire version {v}"),
+            ProtocolError::BadTag(t) => write!(f, "unknown message tag {t}"),
+            ProtocolError::BadField(field) => write!(f, "out-of-domain value for {field}"),
+            ProtocolError::TrailingBytes(n) => write!(f, "{n} trailing bytes after message"),
+            ProtocolError::BadUtf8(field) => write!(f, "{field} is not valid UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+impl From<FrameError> for ProtocolError {
+    fn from(e: FrameError) -> ProtocolError {
+        ProtocolError::Frame(e)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Payload encoding
+// ---------------------------------------------------------------------
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Serializes a request payload (unframed).
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    let mut out = vec![WIRE_VERSION];
+    match req {
+        Request::Ping { token } => {
+            out.push(1);
+            out.extend_from_slice(&token.to_le_bytes());
+        }
+        Request::Characterize {
+            client,
+            deadline_ms,
+            target,
+        } => {
+            out.push(2);
+            put_str(&mut out, client);
+            out.extend_from_slice(&deadline_ms.to_le_bytes());
+            match target {
+                Target::Name(name) => {
+                    out.push(0);
+                    put_str(&mut out, name);
+                }
+                Target::Spice(src) => {
+                    out.push(1);
+                    put_str(&mut out, src);
+                }
+            }
+        }
+        Request::Lookup { name } => {
+            out.push(3);
+            put_str(&mut out, name);
+        }
+        Request::Stats => out.push(4),
+        Request::Drain => out.push(5),
+    }
+    out
+}
+
+/// Serializes a response payload (unframed).
+pub fn encode_response(resp: &Response) -> Vec<u8> {
+    let mut out = vec![WIRE_VERSION];
+    match resp {
+        Response::Pong { token } => {
+            out.push(1);
+            out.extend_from_slice(&token.to_le_bytes());
+        }
+        Response::Model {
+            cell,
+            degraded,
+            source,
+            cam,
+        } => {
+            out.push(2);
+            put_str(&mut out, cell);
+            out.push(u8::from(*degraded));
+            out.push(*source as u8);
+            put_str(&mut out, cam);
+        }
+        Response::Error { kind, detail } => {
+            out.push(3);
+            out.push(*kind as u8);
+            put_str(&mut out, detail);
+        }
+        Response::Stats { body } => {
+            out.push(4);
+            put_str(&mut out, body);
+        }
+        Response::Draining => out.push(5),
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Payload decoding
+// ---------------------------------------------------------------------
+
+/// Bounds-checked cursor over one frame payload. Every accessor
+/// returns a structured error instead of slicing out of range, and
+/// string reads never allocate more than the bytes actually present.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(bytes: &'a [u8]) -> Reader<'a> {
+        Reader { bytes, pos: 0 }
+    }
+
+    fn u8(&mut self, field: &'static str) -> Result<u8, ProtocolError> {
+        let b = *self
+            .bytes
+            .get(self.pos)
+            .ok_or(ProtocolError::Truncated(field))?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn u32(&mut self, field: &'static str) -> Result<u32, ProtocolError> {
+        let end = self
+            .pos
+            .checked_add(4)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or(ProtocolError::Truncated(field))?;
+        let mut raw = [0u8; 4];
+        raw.copy_from_slice(&self.bytes[self.pos..end]);
+        self.pos = end;
+        Ok(u32::from_le_bytes(raw))
+    }
+
+    fn u64(&mut self, field: &'static str) -> Result<u64, ProtocolError> {
+        let end = self
+            .pos
+            .checked_add(8)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or(ProtocolError::Truncated(field))?;
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(&self.bytes[self.pos..end]);
+        self.pos = end;
+        Ok(u64::from_le_bytes(raw))
+    }
+
+    fn str(&mut self, field: &'static str) -> Result<String, ProtocolError> {
+        let len = self.u32(field)? as usize;
+        // The declared length is checked against the bytes *present*
+        // before any allocation: a hostile prefix cannot oversize.
+        let end = self
+            .pos
+            .checked_add(len)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or(ProtocolError::Truncated(field))?;
+        let s = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| ProtocolError::BadUtf8(field))?
+            .to_string();
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn finish(self) -> Result<(), ProtocolError> {
+        let left = self.bytes.len() - self.pos;
+        if left == 0 {
+            Ok(())
+        } else {
+            Err(ProtocolError::TrailingBytes(left))
+        }
+    }
+}
+
+fn check_version(r: &mut Reader<'_>) -> Result<(), ProtocolError> {
+    let v = r.u8("version")?;
+    if v == WIRE_VERSION {
+        Ok(())
+    } else {
+        Err(ProtocolError::BadVersion(v))
+    }
+}
+
+/// Decodes a request payload (unframed).
+pub fn decode_request(payload: &[u8]) -> Result<Request, ProtocolError> {
+    let mut r = Reader::new(payload);
+    check_version(&mut r)?;
+    let req = match r.u8("request tag")? {
+        1 => Request::Ping {
+            token: r.u64("ping token")?,
+        },
+        2 => {
+            let client = r.str("client")?;
+            let deadline_ms = r.u64("deadline_ms")?;
+            let target = match r.u8("target kind")? {
+                0 => Target::Name(r.str("target name")?),
+                1 => Target::Spice(r.str("target spice")?),
+                _ => return Err(ProtocolError::BadField("target kind")),
+            };
+            Request::Characterize {
+                client,
+                deadline_ms,
+                target,
+            }
+        }
+        3 => Request::Lookup {
+            name: r.str("lookup name")?,
+        },
+        4 => Request::Stats,
+        5 => Request::Drain,
+        t => return Err(ProtocolError::BadTag(t)),
+    };
+    r.finish()?;
+    Ok(req)
+}
+
+/// Decodes a response payload (unframed).
+pub fn decode_response(payload: &[u8]) -> Result<Response, ProtocolError> {
+    let mut r = Reader::new(payload);
+    check_version(&mut r)?;
+    let resp = match r.u8("response tag")? {
+        1 => Response::Pong {
+            token: r.u64("pong token")?,
+        },
+        2 => {
+            let cell = r.str("cell")?;
+            let degraded = match r.u8("degraded")? {
+                0 => false,
+                1 => true,
+                _ => return Err(ProtocolError::BadField("degraded")),
+            };
+            let source = match r.u8("source")? {
+                0 => ModelSource::Fresh,
+                1 => ModelSource::Donor,
+                2 => ModelSource::Store,
+                3 => ModelSource::Coalesced,
+                _ => return Err(ProtocolError::BadField("source")),
+            };
+            Response::Model {
+                cell,
+                degraded,
+                source,
+                cam: r.str("cam")?,
+            }
+        }
+        3 => {
+            let kind = match r.u8("error kind")? {
+                1 => ErrorKind::BadRequest,
+                2 => ErrorKind::UnknownCell,
+                3 => ErrorKind::Overloaded,
+                4 => ErrorKind::QuotaExceeded,
+                5 => ErrorKind::DeadlineExceeded,
+                6 => ErrorKind::Quarantined,
+                7 => ErrorKind::Draining,
+                8 => ErrorKind::Internal,
+                _ => return Err(ProtocolError::BadField("error kind")),
+            };
+            Response::Error {
+                kind,
+                detail: r.str("error detail")?,
+            }
+        }
+        4 => Response::Stats {
+            body: r.str("stats body")?,
+        },
+        5 => Response::Draining,
+        t => return Err(ProtocolError::BadTag(t)),
+    };
+    r.finish()?;
+    Ok(resp)
+}
+
+// ---------------------------------------------------------------------
+// Framed stream I/O
+// ---------------------------------------------------------------------
+
+/// Writes one framed request to `w`.
+pub fn write_request<W: Write>(w: &mut W, req: &Request) -> std::io::Result<()> {
+    frame::write_frame(w, &encode_request(req), MAX_REQUEST_PAYLOAD)
+}
+
+/// Writes one framed response to `w`.
+pub fn write_response<W: Write>(w: &mut W, resp: &Response) -> std::io::Result<()> {
+    frame::write_frame(w, &encode_response(resp), MAX_RESPONSE_PAYLOAD)
+}
+
+/// Reads one framed request from `r`; `Ok(None)` is clean EOF between
+/// frames (the client hung up politely).
+pub fn read_request<R: Read>(r: &mut R) -> Result<Option<Request>, ProtocolError> {
+    match frame::read_frame(r, MAX_REQUEST_PAYLOAD)? {
+        None => Ok(None),
+        Some(payload) => decode_request(&payload).map(Some),
+    }
+}
+
+/// Reads one framed response from `r`; `Ok(None)` is clean EOF.
+pub fn read_response<R: Read>(r: &mut R) -> Result<Option<Response>, ProtocolError> {
+    match frame::read_frame(r, MAX_RESPONSE_PAYLOAD)? {
+        None => Ok(None),
+        Some(payload) => decode_response(&payload).map(Some),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_requests() -> Vec<Request> {
+        vec![
+            Request::Ping { token: 0 },
+            Request::Ping { token: u64::MAX },
+            Request::Characterize {
+                client: "loadgen-7".into(),
+                deadline_ms: 2500,
+                target: Target::Name("INV_X1".into()),
+            },
+            Request::Characterize {
+                client: String::new(),
+                deadline_ms: 0,
+                target: Target::Spice(".SUBCKT X A Z VDD VSS\n.ENDS".into()),
+            },
+            Request::Lookup {
+                name: "ND2_X1".into(),
+            },
+            Request::Stats,
+            Request::Drain,
+        ]
+    }
+
+    fn sample_responses() -> Vec<Response> {
+        vec![
+            Response::Pong { token: 42 },
+            Response::Model {
+                cell: "INV_X1".into(),
+                degraded: false,
+                source: ModelSource::Fresh,
+                cam: "* CAM body\n".into(),
+            },
+            Response::Model {
+                cell: "ND2_X1".into(),
+                degraded: true,
+                source: ModelSource::Coalesced,
+                cam: String::new(),
+            },
+            Response::Error {
+                kind: ErrorKind::Overloaded,
+                detail: "queue full (32 waiting)".into(),
+            },
+            Response::Error {
+                kind: ErrorKind::DeadlineExceeded,
+                detail: String::new(),
+            },
+            Response::Stats {
+                body: "ca_serve.admitted 12\n".into(),
+            },
+            Response::Draining,
+        ]
+    }
+
+    #[test]
+    fn requests_and_responses_round_trip() {
+        for req in sample_requests() {
+            assert_eq!(decode_request(&encode_request(&req)).unwrap(), req);
+        }
+        for resp in sample_responses() {
+            assert_eq!(decode_response(&encode_response(&resp)).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn framed_stream_round_trips_back_to_back_messages() {
+        let mut wire = Vec::new();
+        for req in sample_requests() {
+            write_request(&mut wire, &req).unwrap();
+        }
+        let mut r = &wire[..];
+        for req in sample_requests() {
+            assert_eq!(read_request(&mut r).unwrap(), Some(req));
+        }
+        assert!(read_request(&mut r).unwrap().is_none(), "clean EOF");
+    }
+
+    /// Satellite property: every truncation of every sample message, at
+    /// every byte boundary, decodes to a structured error — no panics,
+    /// no hangs, no partial successes.
+    #[test]
+    fn every_truncation_is_a_structured_error() {
+        for req in sample_requests() {
+            let payload = encode_request(&req);
+            for cut in 0..payload.len() {
+                let err = decode_request(&payload[..cut])
+                    .expect_err(&format!("{req:?} truncated at {cut} must not decode"));
+                // The error renders; this is what lands in Error frames.
+                assert!(!err.to_string().is_empty());
+            }
+        }
+        for resp in sample_responses() {
+            let payload = encode_response(&resp);
+            for cut in 0..payload.len() {
+                assert!(
+                    decode_response(&payload[..cut]).is_err(),
+                    "{resp:?} at {cut}"
+                );
+            }
+        }
+    }
+
+    /// Satellite property: a bit flip anywhere in a *framed* message is
+    /// caught — by the CRC for payload/length damage, or by the typed
+    /// decoders for damage that still frames cleanly. Either way the
+    /// result is a structured error or a *different valid message*,
+    /// never a panic.
+    #[test]
+    fn every_bit_flip_in_a_framed_request_is_contained() {
+        let req = Request::Characterize {
+            client: "fuzz".into(),
+            deadline_ms: 77,
+            target: Target::Name("INV_X1".into()),
+        };
+        let mut wire = Vec::new();
+        write_request(&mut wire, &req).unwrap();
+        for byte in 0..wire.len() {
+            for bit in 0..8 {
+                let mut dam = wire.clone();
+                dam[byte] ^= 1 << bit;
+                // Must return — structured error, clean EOF (length
+                // field shrank to a prefix that frames as torn), or a
+                // decoded message. All are contained outcomes.
+                let _ = read_request(&mut &dam[..]);
+            }
+        }
+    }
+
+    /// Satellite property: hostile length prefixes are rejected by cap
+    /// comparison before any allocation.
+    #[test]
+    fn oversized_and_garbage_frames_are_rejected_cheaply() {
+        // Frame-level: a 2 GiB length prefix.
+        let mut wire = (u32::MAX / 2).to_le_bytes().to_vec();
+        wire.extend_from_slice(&[0u8; 12]);
+        match read_request(&mut &wire[..]) {
+            Err(ProtocolError::Frame(FrameError::TooLarge { .. })) => {}
+            other => panic!("{other:?}"),
+        }
+        // String-level: a valid frame whose string length field claims
+        // more bytes than the payload holds.
+        let mut payload = vec![WIRE_VERSION, 3];
+        payload.extend_from_slice(&u32::MAX.to_le_bytes());
+        match decode_request(&payload) {
+            Err(ProtocolError::Truncated(_)) => {}
+            other => panic!("{other:?}"),
+        }
+        // Garbage: random-ish bytes at every prefix length.
+        let garbage: Vec<u8> = (0..256u32)
+            .map(|i| (i.wrapping_mul(167) >> 3) as u8)
+            .collect();
+        for len in 0..garbage.len() {
+            let _ = read_request(&mut &garbage[..len]);
+        }
+    }
+
+    #[test]
+    fn version_and_tag_domain_errors_are_explicit() {
+        assert!(matches!(
+            decode_request(&[9, 1, 0, 0, 0, 0, 0, 0, 0, 0]),
+            Err(ProtocolError::BadVersion(9))
+        ));
+        assert!(matches!(
+            decode_request(&[WIRE_VERSION, 77]),
+            Err(ProtocolError::BadTag(77))
+        ));
+        // Trailing bytes after a complete message are a protocol error,
+        // not silently ignored (they'd desync a stream otherwise).
+        let mut payload = encode_request(&Request::Stats);
+        payload.push(0);
+        assert!(matches!(
+            decode_request(&payload),
+            Err(ProtocolError::TrailingBytes(1))
+        ));
+        // Non-UTF-8 in a string field.
+        let mut payload = vec![WIRE_VERSION, 3];
+        payload.extend_from_slice(&2u32.to_le_bytes());
+        payload.extend_from_slice(&[0xFF, 0xFE]);
+        assert!(matches!(
+            decode_request(&payload),
+            Err(ProtocolError::BadUtf8("lookup name"))
+        ));
+    }
+}

@@ -1,0 +1,73 @@
+//! Minimal SIGTERM/SIGINT latching without any libc crate.
+//!
+//! The daemon's graceful-drain contract (DESIGN.md §13) starts at
+//! `SIGTERM`: stop admitting, finish and journal in-flight work, then
+//! exit. All the handler itself does is flip one process-global atomic
+//! — the only action that is both async-signal-safe and useful — and
+//! the main loop polls [`termination_requested`]. `std` already links
+//! the platform C library on Unix, so the raw `signal(2)` binding
+//! introduces no new dependency; on non-Unix targets installation is a
+//! no-op and the daemon only stops via a `Drain` request.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static TERMINATION: AtomicBool = AtomicBool::new(false);
+
+/// Whether SIGTERM/SIGINT has been received since [`install`].
+pub fn termination_requested() -> bool {
+    TERMINATION.load(Ordering::SeqCst)
+}
+
+/// Test/embedding hook: latch the flag as if a signal had arrived.
+pub fn request_termination() {
+    TERMINATION.store(true, Ordering::SeqCst);
+}
+
+#[cfg(unix)]
+mod unix {
+    use super::TERMINATION;
+    use std::sync::atomic::Ordering;
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" fn latch(_signum: i32) {
+        // Only an atomic store: async-signal-safe by construction.
+        TERMINATION.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    pub fn install() {
+        // The handler performs a single async-signal-safe atomic store:
+        // no allocation, no locks, no Rust runtime re-entry. The return
+        // value (the previous handler) is deliberately discarded.
+        // SAFETY: `signal(2)` is called with a valid signal number and
+        // a function pointer of the exact `extern "C" fn(i32)` ABI.
+        unsafe {
+            signal(SIGTERM, latch);
+            signal(SIGINT, latch);
+        }
+    }
+}
+
+/// Installs the SIGTERM/SIGINT latch (no-op off Unix).
+pub fn install() {
+    #[cfg(unix)]
+    unix::install();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latch_is_observable_and_sticky() {
+        install();
+        request_termination();
+        assert!(termination_requested());
+        assert!(termination_requested(), "the latch never resets");
+    }
+}

@@ -46,6 +46,7 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod codec;
+pub mod heartbeat;
 pub mod merge;
 pub mod plan;
 pub mod spec;

@@ -26,6 +26,7 @@
 //! *excluded* and reported). The certified-donor session path makes the
 //! resulting `.cam` exports byte-identical to an unsharded run.
 
+use crate::heartbeat::{HeartbeatMonitor, HeartbeatStatus};
 use crate::merge::{merge_shard_stores, MergeReport};
 use crate::plan::ShardPlan;
 use crate::spec::WorkerSpec;
@@ -553,9 +554,13 @@ fn run_attempt(spec: &WorkerSpec, config: &CampaignConfig, spawner: &Spawner) ->
             return in_process_attempt(spec, Some(e.to_string()));
         }
     };
-    // Watch exit status and heartbeat progress.
-    let mut last_beat: Option<String> = None;
-    let mut silence = Stopwatch::start();
+    // Watch exit status and heartbeat progress. The monitor classifies
+    // each read (fresh / stale / unreadable): a partially-written or
+    // briefly unreadable heartbeat file is an observation problem, not
+    // proof of a hang, and only a Stale verdict — no progress for the
+    // whole timeout — kills the worker.
+    let mut monitor = HeartbeatMonitor::new(spec.heartbeat_path.clone(), config.heartbeat_timeout);
+    let mut was_unreadable = false;
     loop {
         match child.try_wait() {
             Ok(Some(status)) => {
@@ -570,26 +575,42 @@ fn run_attempt(spec: &WorkerSpec, config: &CampaignConfig, spawner: &Spawner) ->
             Ok(None) => {}
             Err(_) => return AttemptOutcome::Killed,
         }
-        let beat = std::fs::read_to_string(&spec.heartbeat_path).ok();
-        if beat.is_some() && beat != last_beat {
-            last_beat = beat;
-            silence = Stopwatch::start();
-        }
-        if silence.elapsed() >= config.heartbeat_timeout {
-            ca_obs::global()
-                .counter("ca_shard.campaign.heartbeat_timeouts", MetricClass::Ops)
-                .inc();
-            ca_obs::warn(
-                "ca_shard.supervisor",
-                "worker heartbeat stalled; killing it",
-                &[
-                    ("shard", &spec.shard_index.to_string()),
-                    ("attempt", &spec.attempt.to_string()),
-                ],
-            );
-            let _ = child.kill();
-            let _ = child.wait();
-            return AttemptOutcome::HeartbeatTimeout;
+        match monitor.poll() {
+            HeartbeatStatus::Fresh => was_unreadable = false,
+            HeartbeatStatus::Unreadable => {
+                // Counted once per unreadable episode, not per 10 ms
+                // poll; the liveness window keeps running unchanged.
+                if !was_unreadable {
+                    was_unreadable = true;
+                    ca_obs::global()
+                        .counter("ca_shard.campaign.heartbeat_unreadable", MetricClass::Ops)
+                        .inc();
+                    ca_obs::warn(
+                        "ca_shard.supervisor",
+                        "worker heartbeat unreadable; keeping the liveness window open",
+                        &[
+                            ("shard", &spec.shard_index.to_string()),
+                            ("attempt", &spec.attempt.to_string()),
+                        ],
+                    );
+                }
+            }
+            HeartbeatStatus::Stale => {
+                ca_obs::global()
+                    .counter("ca_shard.campaign.heartbeat_timeouts", MetricClass::Ops)
+                    .inc();
+                ca_obs::warn(
+                    "ca_shard.supervisor",
+                    "worker heartbeat stalled; killing it",
+                    &[
+                        ("shard", &spec.shard_index.to_string()),
+                        ("attempt", &spec.attempt.to_string()),
+                    ],
+                );
+                let _ = child.kill();
+                let _ = child.wait();
+                return AttemptOutcome::HeartbeatTimeout;
+            }
         }
         std::thread::sleep(Duration::from_millis(10));
     }

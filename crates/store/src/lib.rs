@@ -43,6 +43,7 @@ use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
 pub mod corrupt;
+pub mod frame;
 
 /// 8-byte file magic; the trailing byte is the format version.
 pub const MAGIC: [u8; 8] = *b"CASTOR\x00\x01";
@@ -552,10 +553,7 @@ impl Store {
         let payload = record
             .encode()
             .map_err(|msg| io::Error::new(io::ErrorKind::InvalidInput, msg))?;
-        let mut frame = Vec::with_capacity(8 + payload.len());
-        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-        frame.extend_from_slice(&crc32(&payload).to_le_bytes());
-        frame.extend_from_slice(&payload);
+        let frame = frame::encode(&payload);
         self.file.seek(SeekFrom::End(0))?;
         self.file.write_all(&frame)?;
         self.file.sync_data()?;
@@ -592,9 +590,7 @@ impl Store {
             let payload = record
                 .encode()
                 .map_err(|msg| io::Error::new(io::ErrorKind::InvalidInput, msg))?;
-            snapshot.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-            snapshot.extend_from_slice(&crc32(&payload).to_le_bytes());
-            snapshot.extend_from_slice(&payload);
+            snapshot.extend_from_slice(&frame::encode(&payload));
         }
         write_atomic(&self.path, &snapshot)?;
         // The old handle points at the replaced inode; reopen.
@@ -609,56 +605,27 @@ impl Store {
 }
 
 /// Replays one frame at `offset`; returns the record and the next offset.
+///
+/// The byte-level framing lives in [`frame`] (shared with the `ca-serve`
+/// wire protocol); this function maps its errors onto the journal's
+/// recovery taxonomy: a torn or over-long frame is a torn tail, a CRC
+/// failure is bit rot, and only a frame that passes both can fail as
+/// [`CorruptionKind::BadPayload`].
 fn replay_frame(bytes: &[u8], offset: usize) -> Result<(Record, usize), CorruptionEvent> {
     let at = |kind, detail: String| CorruptionEvent {
         offset: offset as u64,
         kind,
         detail,
     };
-    let remaining = bytes.len() - offset;
-    if remaining < 8 {
-        return Err(at(
-            CorruptionKind::TornFrame,
-            format!("{remaining} byte(s) left, frame header needs 8"),
-        ));
-    }
-    let len = u32::from_le_bytes([
-        bytes[offset],
-        bytes[offset + 1],
-        bytes[offset + 2],
-        bytes[offset + 3],
-    ]);
-    let crc = u32::from_le_bytes([
-        bytes[offset + 4],
-        bytes[offset + 5],
-        bytes[offset + 6],
-        bytes[offset + 7],
-    ]);
-    if len > MAX_PAYLOAD {
-        return Err(at(
-            CorruptionKind::TornFrame,
-            format!("declared payload length {len} exceeds sanity cap"),
-        ));
-    }
-    if (len as usize) > remaining - 8 {
-        return Err(at(
-            CorruptionKind::TornFrame,
-            format!(
-                "declared payload length {len}, only {} byte(s) left",
-                remaining - 8
-            ),
-        ));
-    }
-    let payload = &bytes[offset + 8..offset + 8 + len as usize];
-    let actual = crc32(payload);
-    if actual != crc {
-        return Err(at(
-            CorruptionKind::CrcMismatch,
-            format!("stored {crc:#010x}, computed {actual:#010x}"),
-        ));
-    }
+    let (payload, next) = match frame::decode(bytes, offset, MAX_PAYLOAD) {
+        Ok(ok) => ok,
+        Err(e @ frame::FrameError::CrcMismatch { .. }) => {
+            return Err(at(CorruptionKind::CrcMismatch, e.to_string()))
+        }
+        Err(e) => return Err(at(CorruptionKind::TornFrame, e.to_string())),
+    };
     match Record::decode(payload) {
-        Ok(record) => Ok((record, offset + 8 + len as usize)),
+        Ok(record) => Ok((record, next)),
         Err(msg) => Err(at(CorruptionKind::BadPayload, msg)),
     }
 }

@@ -1,0 +1,101 @@
+//! The characterization service end to end (README "Running the
+//! service").
+//!
+//! Starts an in-process [`Server`] on a Unix-domain socket, drives it
+//! with the wire client: a ping, a characterization (led simulation), a
+//! repeat of the same cell (identical bytes, resolved in the cache), a
+//! `Lookup` against the journaled store, and a graceful drain. Then
+//! reopens the same store under a fresh server and shows the model
+//! coming back byte-identical.
+
+use cell_aware::netlist::{generate_library, LibraryConfig, Technology};
+use cell_aware::serve::{Endpoint, ModelSource, Response, ServeClient, ServeConfig, Server};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut lib = generate_library(&LibraryConfig::quick(Technology::C40));
+    lib.cells.truncate(6);
+    let cell = lib.cells[0].cell.name().to_string();
+
+    let dir = std::env::temp_dir().join(format!("ca-serve-demo-{}", std::process::id()));
+    std::fs::create_dir_all(&dir)?;
+    let store = dir.join("service.caj");
+    let sock = dir.join("ca.sock");
+
+    // ---- First server: a fresh store. ------------------------------
+    let server = Server::start(
+        ServeConfig::new(store.clone(), lib.clone()),
+        &[Endpoint::Uds(sock.clone())],
+    )?;
+    let mut client = ServeClient::connect_uds(&sock)?;
+
+    assert!(client.ping(7)?, "pong echoes the token");
+    println!("ping -> pong");
+
+    let first = match client.characterize("demo", &cell, 0)? {
+        Response::Model {
+            cell,
+            source,
+            degraded,
+            cam,
+        } => {
+            println!(
+                "characterize {cell}: {} bytes, source {source:?}, degraded {degraded}",
+                cam.len()
+            );
+            assert_eq!(
+                source,
+                ModelSource::Fresh,
+                "first request leads the simulation"
+            );
+            cam
+        }
+        other => return Err(format!("unexpected: {other:?}").into()),
+    };
+
+    match client.characterize("demo", &cell, 0)? {
+        Response::Model { source, cam, .. } => {
+            println!(
+                "repeat request: source {source:?}, identical {}",
+                cam == first
+            );
+            assert_eq!(cam, first);
+        }
+        other => return Err(format!("unexpected: {other:?}").into()),
+    }
+
+    match client.lookup(&cell)? {
+        Response::Model { source, cam, .. } => {
+            println!("lookup: source {source:?}, identical {}", cam == first);
+            assert_eq!(source, ModelSource::Store);
+            assert_eq!(cam, first);
+        }
+        other => return Err(format!("unexpected: {other:?}").into()),
+    }
+
+    // Graceful drain over the wire: admissions stop, in-flight work
+    // finishes and journals, the socket file is removed.
+    match client.drain()? {
+        Response::Draining => println!("drain acknowledged"),
+        other => return Err(format!("unexpected: {other:?}").into()),
+    }
+    server.shutdown();
+    assert!(!sock.exists(), "drain removes the socket file");
+
+    // ---- Second server: same store, no new simulation needed. ------
+    let server = Server::start(ServeConfig::new(store, lib), &[Endpoint::Uds(sock.clone())])?;
+    let mut client = ServeClient::connect_uds(&sock)?;
+    match client.characterize("demo", &cell, 0)? {
+        Response::Model { source, cam, .. } => {
+            println!(
+                "after restart: source {source:?}, identical {}",
+                cam == first
+            );
+            assert_eq!(cam, first, "restart serves byte-identical bytes");
+        }
+        other => return Err(format!("unexpected: {other:?}").into()),
+    }
+    server.shutdown();
+
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok(())
+}

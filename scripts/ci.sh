@@ -53,6 +53,16 @@ CA_THREADS=1 cargo test -q --test shard_supervision --test shard_merge --offline
 echo "==> shard supervision (worker crash matrix, CA_THREADS=4)"
 CA_THREADS=4 cargo test -q --test shard_supervision --test shard_merge --offline
 
+# The serving layer's robustness matrix: hostile frames, overload
+# shedding, queue deadlines, wire-level drain, SIGTERM drain and a
+# SIGKILL mid-campaign with byte-identical resume (DESIGN.md §13). Both
+# thread counts, like every other crash gate.
+echo "==> serve robustness (drain + SIGKILL resume, CA_THREADS=1)"
+CA_THREADS=1 cargo test -q -p ca-serve --test serve_robustness --offline
+
+echo "==> serve robustness (drain + SIGKILL resume, CA_THREADS=4)"
+CA_THREADS=4 cargo test -q -p ca-serve --test serve_robustness --offline
+
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 
@@ -74,6 +84,12 @@ cargo clippy -p ca-obs --all-targets --offline -- -D warnings
 # zero-debt gate as the store.
 echo "==> cargo clippy (ca-shard, standalone gate)"
 cargo clippy -p ca-shard --all-targets --offline -- -D warnings
+
+# The serving daemon runs unattended and speaks to untrusted sockets; a
+# panic path or unwrap in it turns hostile input into an outage, so it
+# gets the same standalone zero-debt gate as the other always-on crates.
+echo "==> cargo clippy (ca-serve, standalone gate)"
+cargo clippy -p ca-serve --all-targets --offline -- -D warnings
 
 # The auditor is the machine-checked form of the determinism /
 # durability / observability conventions (DESIGN.md §10); it must never
@@ -110,5 +126,12 @@ fi
 echo "==> ca-bench profile --quick (flow profile + schema check)"
 cargo run -q --release --offline -p ca-bench -- profile --quick
 cargo run -q --release --offline -p ca-bench -- profile-check BENCH_profile.json
+
+# Serve load gate: daemon load-gen over a Unix socket, closed loop for
+# latency percentiles and an open loop that must shed with structured
+# frames; fails hard unless every served model is byte-identical to the
+# batch golden (DESIGN.md §13).
+echo "==> ca-bench serve --quick (daemon load-gen + byte-identity)"
+cargo run -q --release --offline -p ca-bench -- serve --quick
 
 echo "==> OK"

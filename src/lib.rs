@@ -23,6 +23,7 @@ pub use ca_defects as defects;
 pub use ca_ml as ml;
 pub use ca_netlist as netlist;
 pub use ca_obs as obs;
+pub use ca_serve as serve;
 pub use ca_shard as shard;
 pub use ca_sim as sim;
 pub use ca_store as store;
