@@ -14,6 +14,7 @@ pub mod report;
 pub mod serve_bench;
 pub mod shard_bench;
 pub mod tables;
+pub mod trace_cmd;
 
 pub use corpus::{build_corpus, CorpusBuild, Profile, SkippedCell};
 pub use report::Grid;

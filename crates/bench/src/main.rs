@@ -29,6 +29,11 @@
 //!   serve            daemon load-gen (closed + open loop) -> BENCH_serve.json
 //!                    (not part of `all`; fails hard unless served models
 //!                    are byte-identical to the batch golden)
+//!   trace            traced sharded campaign + serve round-trip, stitched
+//!                    into Chrome/Perfetto JSON -> TRACE_campaign.json
+//!                    (not part of `all`; `--stitch DIR` merges existing
+//!                    JSONL trace files instead, `--out FILE` renames the
+//!                    output; fails hard on any dangling parent link)
 //! ```
 //!
 //! The binary doubles as the campaign's worker executable: spawned with
@@ -69,6 +74,8 @@ fn main() {
     let mut eval_b = Technology::C28;
     let mut eval_c = Technology::C40;
     let mut check_path = String::from("BENCH_profile.json");
+    let mut stitch: Option<String> = None;
+    let mut trace_out = String::from("TRACE_campaign.json");
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -87,6 +94,21 @@ fn main() {
                     .and_then(|s| s.parse().ok())
                     .filter(|&n| n > 0)
                     .unwrap_or_else(|| die("--shards expects a positive integer"));
+            }
+            "--stitch" => {
+                i += 1;
+                stitch = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| die("--stitch expects a directory")),
+                );
+            }
+            "--out" => {
+                i += 1;
+                trace_out = args
+                    .get(i)
+                    .cloned()
+                    .unwrap_or_else(|| die("--out expects a file path"));
             }
             "--train" => {
                 i += 1;
@@ -267,6 +289,18 @@ fn main() {
         match ca_store::write_atomic(path, bench.to_json()) {
             Ok(()) => ca_obs::info_status("ca_bench", &format!("wrote {path}"), &[]),
             Err(e) => die(&format!("cannot write {path}: {e}")),
+        }
+    }
+    if command == "trace" {
+        matched = true;
+        let out = std::path::Path::new(&trace_out);
+        let result = match &stitch {
+            Some(dir) => ca_bench::trace_cmd::stitch_dir(std::path::Path::new(dir), out),
+            None => ca_bench::trace_cmd::demo(profile, out),
+        };
+        match result {
+            Ok(summary) => print!("{}", summary.render()),
+            Err(e) => die(&format!("trace round-trip failed: {e}")),
         }
     }
     if command == "profile-check" {

@@ -3,7 +3,8 @@
 //! Runs a representative characterization campaign through every
 //! instrumented layer — lint, a journaled robust characterization
 //! (simulator, cache, session, store), a session resume, CAM export,
-//! forest training and batch prediction — wrapping each phase in a
+//! forest training, batch prediction, and a short in-process serving
+//! pass through the `ca-serve` daemon — wrapping each phase in a
 //! [`FlowProfile`] stage. The result renders as a human table and as
 //! the machine artifact `BENCH_profile.json` (schema `ca-obs-profile/1`,
 //! validated by `ca-bench profile-check` in CI).
@@ -74,6 +75,10 @@ pub fn run_with(
     };
     let mut fp = FlowProfile::new(label, executor.threads());
     fp.set_meta("cells", library.len() as u64);
+    // Root span for the whole profiled flow (inert unless CA_TRACE is
+    // set): stage spans and everything the stages call parent here.
+    // The fingerprint is the workload size — deterministic per profile.
+    let _profile_span = ca_obs::trace::root("profile", library.len() as u64, "bench");
 
     let lint_rejects = fp.stage("lint", || {
         ca_obs::counter!("ca_bench.profile.stages", Work).inc();
@@ -155,6 +160,37 @@ pub fn run_with(
             .map_err(|e| e.to_string())
     })?;
 
+    // A short serving pass over the same workload: an in-process daemon
+    // answers a couple of requests sequentially (one slot, one client),
+    // so the profile — and the profile-check CI gate — covers the
+    // `ca_serve` layer too. Sequential requests keep every Work/Outcome
+    // counter thread-invariant.
+    fp.stage("serve", || -> Result<(), String> {
+        ca_obs::counter!("ca_bench.profile.stages", Work).inc();
+        let mut serve_lib = library.clone();
+        serve_lib.cells.truncate(2);
+        let mut config = ca_serve::ServeConfig::new(store.with_extension("serve.caj"), serve_lib);
+        config.admission.slots = 1;
+        let uds = store.with_extension("serve.sock");
+        let server = ca_serve::Server::start(config, &[ca_serve::Endpoint::Uds(uds.clone())])
+            .map_err(|e| e.to_string())?;
+        let mut client = ca_serve::ServeClient::connect_uds(&uds).map_err(|e| e.to_string())?;
+        let mut served = 0u64;
+        for lc in library.cells.iter().take(2) {
+            match client
+                .characterize("profile", lc.cell.name(), 0)
+                .map_err(|e| e.to_string())?
+            {
+                ca_serve::Response::Model { .. } => served += 1,
+                other => return Err(format!("unexpected serve response: {other:?}")),
+            }
+        }
+        drop(client);
+        server.shutdown();
+        ca_obs::counter!("ca_bench.profile.served", Work).add(served);
+        Ok(())
+    })?;
+
     let stats = cache.stats();
     fp.set_rate("cache_hit_rate", stats.hit_rate());
     fp.set_rate("cache_bypass_rate", stats.bypass_rate());
@@ -201,7 +237,7 @@ mod tests {
         std::fs::remove_dir_all(&dir).ok();
         let json = fp.to_json();
         ca_obs::validate_profile_json(&json).expect("emitted profile validates");
-        assert_eq!(fp.stages.len(), 6, "lint..predict stages");
+        assert_eq!(fp.stages.len(), 7, "lint..serve stages");
         // The corrupted cell must travel the quarantine path.
         assert!(fp.counter_total("ca_core.flow.quarantined") >= 1);
         // The resume stage must replay, not re-simulate.

@@ -54,6 +54,16 @@ pub struct ServeBench {
     /// Whether every served model matched the batch golden bytes
     /// (always true when this struct is returned by [`run`]).
     pub identical: bool,
+    /// Mean server-side queue wait per closed-loop request, µs (from
+    /// the per-request timing breakdown in wire-v2 `Model` frames).
+    pub srv_queue_us: u64,
+    /// Mean server-side service time per closed-loop request, µs.
+    pub srv_service_us: u64,
+    /// Mean server-side journal time per closed-loop request, µs.
+    pub srv_journal_us: u64,
+    /// `ca_serve.*` counters present in the scraped
+    /// `MetricsSnapshot` (proves the daemon is machine-scrapeable).
+    pub metrics_counters: usize,
 }
 
 impl ServeBench {
@@ -61,10 +71,12 @@ impl ServeBench {
     /// dependency-free).
     pub fn to_json(&self) -> String {
         format!(
-            "{{\n  \"schema\": \"ca-serve-bench/1\",\n  \"cells\": {},\n  \
+            "{{\n  \"schema\": \"ca-serve-bench/2\",\n  \"cells\": {},\n  \
              \"closed_requests\": {},\n  \"closed_rps\": {:.1},\n  \
              \"p50_us\": {},\n  \"p95_us\": {},\n  \"p99_us\": {},\n  \
+             \"srv_queue_us\": {},\n  \"srv_service_us\": {},\n  \"srv_journal_us\": {},\n  \
              \"open_offered\": {},\n  \"open_served\": {},\n  \"open_shed\": {},\n  \
+             \"metrics_counters\": {},\n  \
              \"identical\": {}\n}}\n",
             self.cells,
             self.closed_requests,
@@ -72,9 +84,13 @@ impl ServeBench {
             self.p50_us,
             self.p95_us,
             self.p99_us,
+            self.srv_queue_us,
+            self.srv_service_us,
+            self.srv_journal_us,
             self.open_offered,
             self.open_served,
             self.open_shed,
+            self.metrics_counters,
             self.identical
         )
     }
@@ -83,17 +99,23 @@ impl ServeBench {
     pub fn render(&self) -> String {
         format!(
             "serve bench — {} cells\n  closed loop: {} requests, {:.0} req/s, \
-             p50 {} µs, p95 {} µs, p99 {} µs\n  open loop:   {} offered, {} served, \
-             {} shed (structured)\n  models byte-identical to batch golden: {}\n",
+             p50 {} µs, p95 {} µs, p99 {} µs\n  server side: queue {} µs, service {} µs, \
+             journal {} µs (means)\n  open loop:   {} offered, {} served, \
+             {} shed (structured)\n  metrics snapshot: {} ca_serve counters scraped\n  \
+             models byte-identical to batch golden: {}\n",
             self.cells,
             self.closed_requests,
             self.closed_rps,
             self.p50_us,
             self.p95_us,
             self.p99_us,
+            self.srv_queue_us,
+            self.srv_service_us,
+            self.srv_journal_us,
             self.open_offered,
             self.open_served,
             self.open_shed,
+            self.metrics_counters,
             self.identical
         )
     }
@@ -198,6 +220,7 @@ pub fn run(profile: Profile) -> ServeBench {
             let mut client = connect(&server);
             std::thread::spawn(move || {
                 let mut latencies = Vec::new();
+                let mut timing_sum = [0u64; 3];
                 for _round in 0..rounds {
                     for i in 0..names.len() {
                         // Stagger start points so workers collide on
@@ -209,30 +232,68 @@ pub fn run(profile: Profile) -> ServeBench {
                             .characterize(&format!("bench-{w}"), name, 0)
                             .unwrap_or_else(|e| panic!("closed-loop request failed: {e}"))
                         {
-                            Response::Model { cell, cam, .. } => {
+                            Response::Model {
+                                cell, cam, timing, ..
+                            } => {
                                 let want = golden
                                     .get(&cell)
                                     .unwrap_or_else(|| panic!("golden misses {cell}"));
                                 assert_eq!(want, &cam, "{cell} diverged from batch golden");
+                                timing_sum[0] += timing.queue_us;
+                                timing_sum[1] += timing.service_us;
+                                timing_sum[2] += timing.journal_us;
                             }
                             other => panic!("closed-loop got {other:?}"),
                         }
                         latencies.push(t.elapsed().as_micros() as u64);
                     }
                 }
-                latencies
+                (latencies, timing_sum)
             })
         })
         .collect();
     let mut latencies: Vec<u64> = Vec::new();
+    let mut timing_sum = [0u64; 3];
     for worker in workers {
-        latencies.extend(
-            worker
-                .join()
-                .unwrap_or_else(|_| panic!("closed-loop worker panicked")),
-        );
+        let (worker_latencies, worker_timing) = worker
+            .join()
+            .unwrap_or_else(|_| panic!("closed-loop worker panicked"));
+        latencies.extend(worker_latencies);
+        for (total, part) in timing_sum.iter_mut().zip(worker_timing) {
+            *total += part;
+        }
     }
     let closed_elapsed = start.elapsed().as_secs_f64();
+    // Scrape the live daemon before shutdown: the machine-readable
+    // registry snapshot must parse and carry the serving counters.
+    let metrics_counters = {
+        let mut probe = connect(&server);
+        let json = match probe.metrics_snapshot() {
+            Ok(Response::MetricsSnapshot { json }) => json,
+            Ok(other) => panic!("metrics snapshot got {other:?}"),
+            Err(e) => panic!("metrics snapshot failed: {e}"),
+        };
+        let doc = ca_obs::json::parse(&json)
+            .unwrap_or_else(|e| panic!("metrics snapshot does not parse: {e}"));
+        assert_eq!(
+            doc.get("schema").and_then(|v| v.as_str()),
+            Some("ca-obs-metrics/1"),
+            "unexpected metrics schema"
+        );
+        doc.get("counters")
+            .and_then(|v| v.as_object())
+            .map(|counters| {
+                counters
+                    .keys()
+                    .filter(|name| name.starts_with("ca_serve."))
+                    .count()
+            })
+            .unwrap_or_else(|| panic!("metrics snapshot has no counters object"))
+    };
+    assert!(
+        metrics_counters > 0,
+        "a loaded daemon must expose ca_serve counters"
+    );
     server.shutdown();
     latencies.sort_unstable();
     let closed_requests = latencies.len();
@@ -290,6 +351,7 @@ pub fn run(profile: Profile) -> ServeBench {
     }
     server.shutdown();
 
+    let n = closed_requests.max(1) as u64;
     let bench = ServeBench {
         cells,
         closed_requests,
@@ -301,6 +363,10 @@ pub fn run(profile: Profile) -> ServeBench {
         open_served,
         open_shed,
         identical: true,
+        srv_queue_us: timing_sum[0] / n,
+        srv_service_us: timing_sum[1] / n,
+        srv_journal_us: timing_sum[2] / n,
+        metrics_counters,
     };
     let _ = std::fs::remove_dir_all(&work_dir);
     bench
@@ -323,12 +389,20 @@ mod tests {
             open_served: 40,
             open_shed: 20,
             identical: true,
+            srv_queue_us: 30,
+            srv_service_us: 700,
+            srv_journal_us: 12,
+            metrics_counters: 5,
         };
         let json = bench.to_json();
         assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
-        assert!(json.contains("\"schema\": \"ca-serve-bench/1\""), "{json}");
+        assert!(json.contains("\"schema\": \"ca-serve-bench/2\""), "{json}");
         assert!(json.contains("\"p99_us\": 4000"), "{json}");
-        assert!(bench.render().contains("p95 2500"));
+        assert!(json.contains("\"srv_service_us\": 700"), "{json}");
+        assert!(json.contains("\"metrics_counters\": 5"), "{json}");
+        let render = bench.render();
+        assert!(render.contains("p95 2500"), "{render}");
+        assert!(render.contains("service 700"), "{render}");
     }
 
     #[test]

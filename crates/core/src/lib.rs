@@ -73,4 +73,4 @@ pub use robust::{
     QuarantineEntry, RobustOutcome,
 };
 pub use service::{CellService, CellVerdict, StoredVerdict};
-pub use session::{cell_fingerprint, Session, SessionReport};
+pub use session::{cell_fingerprint, take_journal_ns, Session, SessionReport};

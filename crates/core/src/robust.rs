@@ -276,6 +276,11 @@ fn robust_driver(
     // Each item runs the full guarded pipeline, retries included; the
     // fold below never simulates, so the merge stays in library order.
     let results = executor.map(&library.cells, |_, lc| {
+        // One trace span per session cell, named after the cell. The
+        // executor adopted a per-item fork of the caller's context, so
+        // the id is a pure function of campaign + item — identical at
+        // any CA_THREADS and across a crash-resume (DESIGN.md §14).
+        let _cell_span = ca_obs::trace::span(lc.cell.name());
         let started = Stopwatch::start();
         match plan.reuse(lc.cell.name()) {
             // Store-verified degraded model: served back to this exact

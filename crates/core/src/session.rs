@@ -47,6 +47,22 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Mutex, MutexGuard};
 
+thread_local! {
+    // Nanoseconds this thread spent inside journal appends (lock wait
+    // included) since the last `take_journal_ns`. A ca-serve request
+    // runs leader-side on one connection thread, so draining this
+    // around the engine call attributes journal time per request
+    // without threading a handle through every layer.
+    static JOURNAL_NS: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// Takes (and resets) the nanoseconds the *calling thread* has spent in
+/// session journal appends since the previous take. Feeds the
+/// `journal_us` field of ca-serve response timing breakdowns.
+pub fn take_journal_ns() -> u64 {
+    JOURNAL_NS.with(|c| c.replace(0))
+}
+
 /// A durable characterization session bound to one on-disk store.
 ///
 /// Create with [`Session::open`], pass to the `*_with_session` drivers
@@ -451,6 +467,7 @@ impl Session {
     }
 
     fn append(&self, record: &Record) {
+        let journal_time = ca_obs::Stopwatch::start();
         let mut store = self.lock_store();
         match store.append(record) {
             Ok(()) => {
@@ -485,6 +502,7 @@ impl Session {
                     .push(format!("journal append for `{}` failed: {e}", record.cell));
             }
         }
+        JOURNAL_NS.with(|c| c.set(c.get().saturating_add(journal_time.elapsed_ns())));
     }
 
     fn evict(&self, store: &mut MutexGuard<'_, Store>, cell: &str, counter: &AtomicUsize) {

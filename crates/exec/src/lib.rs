@@ -190,12 +190,21 @@ impl Executor {
         F: Fn(usize, &T) -> R + Sync,
     {
         let workers = self.threads.min(items.len()).max(1);
+        // Trace adoption: capture the caller's context once, then
+        // re-establish it per item keyed by the item index — on the
+        // inline path exactly as on worker threads — so the spans an
+        // item opens derive identical ids at every CA_THREADS setting
+        // (DESIGN.md §14).
+        let fork = ca_obs::trace::fork();
         if workers == 1 {
             ca_obs::counter!("ca_exec.inline_batches", Ops).inc();
             return items
                 .iter()
                 .enumerate()
-                .map(|(i, item)| catch_unwind(AssertUnwindSafe(|| f(i, item))))
+                .map(|(i, item)| {
+                    let _trace = fork.as_ref().map(|fp| fp.adopt(i as u64));
+                    catch_unwind(AssertUnwindSafe(|| f(i, item)))
+                })
                 .collect();
         }
         ca_obs::counter!("ca_exec.workers_spawned", Ops).add(workers as u64);
@@ -220,6 +229,7 @@ impl Executor {
                             if i >= items.len() {
                                 break;
                             }
+                            let _trace = fork.as_ref().map(|fp| fp.adopt(i as u64));
                             local.push((i, catch_unwind(AssertUnwindSafe(|| f(i, &items[i])))));
                         }
                         // Every pull after a worker's first competes on
@@ -456,6 +466,31 @@ mod tests {
         assert!(count("ca_exec.items") >= 40);
         assert!(count("ca_exec.panics") >= 1);
         assert!(count("ca_exec.workers_spawned") >= 4);
+    }
+
+    /// The executor forks the caller's trace context per item, keyed by
+    /// item index: the span ids an item derives must be identical at
+    /// every thread count and distinct across items.
+    #[test]
+    fn trace_contexts_fork_identically_across_thread_counts() {
+        ca_obs::trace::set_enabled(Some(true));
+        let ids_at = |threads: usize| {
+            let exec = Executor::with_threads(threads);
+            let _root = ca_obs::trace::root("exec-trace-test", 42, "test");
+            let items: Vec<usize> = (0..32).collect();
+            exec.map(&items, |_, _| ca_obs::trace::span("item").id())
+        };
+        let serial = ids_at(1);
+        let parallel = ids_at(4);
+        ca_obs::trace::set_enabled(None);
+        assert_eq!(serial, parallel, "span ids must not depend on CA_THREADS");
+        assert!(serial.iter().all(Option::is_some));
+        let distinct: std::collections::BTreeSet<_> = serial.iter().collect();
+        assert_eq!(
+            distinct.len(),
+            serial.len(),
+            "sibling items must not collide"
+        );
     }
 
     #[test]

@@ -160,6 +160,14 @@ impl Sink {
     fn len(&self) -> usize {
         lock_recover(&self.state).lines.len()
     }
+
+    /// Takes the buffered lines out, resetting the overflow counter
+    /// but keeping `seq` monotone across drains.
+    fn drain(&self) -> Vec<String> {
+        let mut state = lock_recover(&self.state);
+        state.dropped = 0;
+        std::mem::take(&mut state.lines)
+    }
 }
 
 fn global_sink() -> &'static Sink {
@@ -217,6 +225,14 @@ pub fn info(target: &str, msg: &str, fields: &[(&str, &str)]) {
 /// Number of events currently buffered (diagnostic).
 pub fn buffered_events() -> usize {
     global_sink().len()
+}
+
+/// Takes the buffered event lines out of the sink, emptying it. For
+/// harnesses that compare event streams across phases of one process
+/// (`tests/trace_determinism.rs`); ordinary flows use [`flush`], which
+/// keeps the buffer. `seq` stays monotone across drains.
+pub fn drain_events() -> Vec<String> {
+    global_sink().drain()
 }
 
 /// Writes the buffered events as JSONL to `CA_OBS_PATH` (atomic tmp +

@@ -1,6 +1,6 @@
 //! `ca-obs` — dependency-light observability for the cell-aware stack.
 //!
-//! One crate, four pieces (DESIGN.md §9):
+//! One crate, five pieces (DESIGN.md §9, §14):
 //!
 //! - [`MetricRegistry`]: thread-safe counters, gauges and fixed-bucket
 //!   histograms, each counter tagged with a [`MetricClass`] stating its
@@ -19,6 +19,12 @@
 //! - [`FlowProfile`]: per-stage registry snapshots + wall/CPU clocks,
 //!   rendered as `BENCH_profile.json` (schema `ca-obs-profile/1`, see
 //!   [`validate_profile_json`]) and a human-readable table.
+//! - [`trace`]: deterministic distributed tracing — campaign trace
+//!   ids, parent-linked spans with FNV-derived ids, context
+//!   propagation across threads (`ca-exec`), processes (`CA_SHARD_TRACE*`)
+//!   and sockets (ca-serve wire v2), recorded as JSONL trace events
+//!   through the sink and stitched by `ca-bench trace` into a
+//!   Chrome/Perfetto `trace_event` timeline (DESIGN.md §14).
 //!
 //! Plus two cross-cutting helpers: [`clock`] is the workspace's only
 //! door to wall time (and hosts the pure [`Backoff`] retry schedule),
@@ -38,11 +44,12 @@ pub mod profile;
 pub mod recovery;
 pub mod registry;
 pub mod span;
+pub mod trace;
 
 pub use clock::{Backoff, Deadline, Stopwatch};
 pub use event::{
-    buffered_events, event, flush, flush_to, info, info_status, protocol_marker, warn, Level,
-    Mirror,
+    buffered_events, drain_events, event, flush, flush_to, info, info_status, protocol_marker,
+    warn, Level, Mirror,
 };
 pub use json::{escape_json, parse as parse_json, JsonValue};
 pub use profile::{

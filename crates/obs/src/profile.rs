@@ -76,7 +76,12 @@ impl FlowProfile {
         let before = global().snapshot();
         let cpu_before = cpu_time_s();
         let wall = Instant::now();
+        // When tracing is on, each stage is also a trace span: inert
+        // otherwise, and sequential on the calling thread either way,
+        // so stage span ids are deterministic (DESIGN.md §14).
+        let trace_span = crate::trace::span(name);
         let result = crate::span::timed(name, f);
+        drop(trace_span);
         let wall_s = wall.elapsed().as_secs_f64();
         let cpu_s = match (cpu_before, cpu_time_s()) {
             (Some(a), Some(b)) => Some((b - a).max(0.0)),
@@ -352,18 +357,19 @@ impl StageProfile {
     }
 }
 
-/// The six crates whose counters a complete profile must carry.
-pub const INSTRUMENTED_PREFIXES: [&str; 6] = [
+/// The seven crates whose counters a complete profile must carry.
+pub const INSTRUMENTED_PREFIXES: [&str; 7] = [
     "ca_exec.",
     "ca_sim.",
     "ca_ml.",
     "ca_core.",
     "ca_store.",
     "ca_bench.",
+    "ca_serve.",
 ];
 
 /// Validates a `BENCH_profile.json` document against schema
-/// `ca-obs-profile/1`, including coverage of all six instrumented
+/// `ca-obs-profile/1`, including coverage of all seven instrumented
 /// crates. Used by the `ca-bench profile-check` CI gate.
 pub fn validate_profile_json(text: &str) -> Result<(), String> {
     validate_profile_json_with(text, &INSTRUMENTED_PREFIXES)
@@ -492,8 +498,8 @@ mod tests {
         assert!(!outcome.contains("obs_test.profile.work"));
     }
 
-    /// A profile whose counters cover all six instrumented crates must
-    /// round-trip through its own validator.
+    /// A profile whose counters cover all seven instrumented crates
+    /// must round-trip through its own validator.
     #[test]
     fn emitted_json_passes_validator() {
         let mut profile = FlowProfile::new("quick", 4);

@@ -372,6 +372,65 @@ impl Snapshot {
         }
         out
     }
+
+    /// The whole snapshot as one machine-readable JSON object (schema
+    /// `ca-obs-metrics/1`) — the payload of a ca-serve
+    /// `MetricsSnapshot` frame, so a live daemon is scrapeable without
+    /// parsing the human-oriented `Stats` text. BTreeMap ordering makes
+    /// the rendering canonical for a given snapshot.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("{\"schema\":\"ca-obs-metrics/1\",\"counters\":{");
+        for (i, (name, (class, value))) in self.counters.iter().enumerate() {
+            let _ = write!(
+                out,
+                "{}\"{}\":{{\"class\":\"{}\",\"value\":{value}}}",
+                if i == 0 { "" } else { "," },
+                crate::json::escape_json(name),
+                class.as_str(),
+            );
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (name, value)) in self.gauges.iter().enumerate() {
+            let _ = write!(
+                out,
+                "{}\"{}\":{value}",
+                if i == 0 { "" } else { "," },
+                crate::json::escape_json(name),
+            );
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            let bounds: Vec<String> = h.bounds.iter().map(u64::to_string).collect();
+            let buckets: Vec<String> = h.buckets.iter().map(u64::to_string).collect();
+            let _ = write!(
+                out,
+                "{}\"{}\":{{\"class\":\"{}\",\"bounds\":[{}],\"buckets\":[{}],\
+                 \"count\":{},\"sum\":{}}}",
+                if i == 0 { "" } else { "," },
+                crate::json::escape_json(name),
+                h.class.as_str(),
+                bounds.join(","),
+                buckets.join(","),
+                h.count,
+                h.sum,
+            );
+        }
+        out.push_str("},\"timers\":{");
+        for (i, (name, t)) in self.timers.iter().enumerate() {
+            let _ = write!(
+                out,
+                "{}\"{}\":{{\"count\":{},\"total_ns\":{},\"max_ns\":{}}}",
+                if i == 0 { "" } else { "," },
+                crate::json::escape_json(name),
+                t.count,
+                t.total_ns,
+                t.max_ns,
+            );
+        }
+        out.push_str("}}");
+        out
+    }
 }
 
 /// The process-wide registry every `ca-*` crate records into.
@@ -504,5 +563,42 @@ mod tests {
             }
         });
         assert_eq!(reg.snapshot().counters["shared"].1, 4000);
+    }
+
+    #[test]
+    fn snapshot_json_is_parseable_and_complete() {
+        let reg = MetricRegistry::new();
+        reg.counter("alpha.count", MetricClass::Outcome).add(3);
+        reg.gauge("alpha.depth").set(7);
+        reg.histogram("alpha.lat", MetricClass::Ops, &[10, 100])
+            .observe(42);
+        reg.timer("alpha.span").record_ns(1_500);
+        let json = reg.snapshot().to_json();
+        let parsed = crate::json::parse(&json).expect("snapshot JSON parses");
+        assert_eq!(
+            parsed.get("schema").and_then(|v| v.as_str()),
+            Some("ca-obs-metrics/1")
+        );
+        let counters = parsed.get("counters").expect("counters object");
+        let alpha = counters.get("alpha.count").expect("counter present");
+        assert_eq!(alpha.get("class").and_then(|v| v.as_str()), Some("outcome"));
+        assert_eq!(alpha.get("value").and_then(|v| v.as_f64()), Some(3.0));
+        assert_eq!(
+            parsed
+                .get("gauges")
+                .and_then(|g| g.get("alpha.depth"))
+                .and_then(|v| v.as_f64()),
+            Some(7.0)
+        );
+        let hist = parsed
+            .get("histograms")
+            .and_then(|h| h.get("alpha.lat"))
+            .expect("histogram present");
+        assert_eq!(hist.get("count").and_then(|v| v.as_f64()), Some(1.0));
+        let timer = parsed
+            .get("timers")
+            .and_then(|t| t.get("alpha.span"))
+            .expect("timer present");
+        assert_eq!(timer.get("total_ns").and_then(|v| v.as_f64()), Some(1500.0));
     }
 }

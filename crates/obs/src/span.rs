@@ -17,7 +17,12 @@ use std::cell::RefCell;
 use std::time::Instant;
 
 thread_local! {
-    static SPAN_STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+    // (token, path): the token lets a span's drop remove *its own*
+    // entry by identity. A blind `pop()` would corrupt nesting paths
+    // whenever guards drop out of LIFO order (a span stored in a
+    // struct, or held across an early return past a younger sibling).
+    static SPAN_STACK: RefCell<Vec<(u64, String)>> = const { RefCell::new(Vec::new()) };
+    static NEXT_SPAN_TOKEN: std::cell::Cell<u64> = const { std::cell::Cell::new(1) };
 }
 
 /// Live timing span; records its elapsed time on drop. Use as an RAII
@@ -26,6 +31,7 @@ thread_local! {
 pub struct Span {
     timer: Timer,
     start: Instant,
+    token: u64,
 }
 
 /// Opens a span named `name`, nested under any span already live on
@@ -43,18 +49,24 @@ pub fn span_root(name: &str) -> Span {
 }
 
 fn open(name: &str, nest: bool) -> Span {
+    let token = NEXT_SPAN_TOKEN.with(|t| {
+        let v = t.get();
+        t.set(v + 1);
+        v
+    });
     let path = SPAN_STACK.with(|stack| {
         let mut stack = stack.borrow_mut();
         let path = match stack.last() {
-            Some(parent) if nest => format!("{parent}/{name}"),
+            Some((_, parent)) if nest => format!("{parent}/{name}"),
             _ => name.to_string(),
         };
-        stack.push(path.clone());
+        stack.push((token, path.clone()));
         path
     });
     Span {
         timer: global().timer(&path),
         start: Instant::now(),
+        token,
     }
 }
 
@@ -63,7 +75,12 @@ impl Drop for Span {
         let ns = u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
         self.timer.record_ns(ns);
         SPAN_STACK.with(|stack| {
-            stack.borrow_mut().pop();
+            let mut stack = stack.borrow_mut();
+            // Remove by identity, not position: this span's entry may no
+            // longer be on top if guards dropped out of LIFO order.
+            if let Some(at) = stack.iter().rposition(|(token, _)| *token == self.token) {
+                stack.remove(at);
+            }
         });
     }
 }
@@ -106,6 +123,28 @@ mod tests {
         assert!(!delta
             .timers
             .contains_key("obs-test-enclosing/obs-test-rooted"));
+    }
+
+    #[test]
+    fn non_lifo_drops_pop_by_identity_not_position() {
+        let before = global().snapshot();
+        let outer = span("obs-test-nonlifo-outer");
+        let inner = span("obs-test-nonlifo-inner");
+        // Drop the *outer* guard first: it must remove its own entry,
+        // leaving the inner span's path intact on the stack...
+        drop(outer);
+        // ...so a span opened now still nests under the live inner span
+        // instead of landing at top level (the old blind-pop bug left
+        // the outer path on the stack here).
+        drop(span("obs-test-nonlifo-late"));
+        drop(inner);
+        let delta = global().snapshot().delta(&before);
+        assert_eq!(delta.timers["obs-test-nonlifo-outer"].count, 1);
+        let nested = "obs-test-nonlifo-outer/obs-test-nonlifo-inner";
+        assert_eq!(delta.timers[nested].count, 1);
+        let late = format!("{nested}/obs-test-nonlifo-late");
+        assert_eq!(delta.timers[late.as_str()].count, 1);
+        assert!(!delta.timers.contains_key("obs-test-nonlifo-late"));
     }
 
     #[test]

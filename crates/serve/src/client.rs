@@ -87,31 +87,41 @@ impl ServeClient {
         }
     }
 
-    /// Characterizes a library cell by name.
+    /// Characterizes a library cell by name. When tracing is enabled
+    /// and a span is open on this thread, an `rpc` client span wraps
+    /// the call and its context rides the wire so the server-side
+    /// `request` span parents under it.
     pub fn characterize(
         &mut self,
         client: &str,
         name: &str,
         deadline_ms: u64,
     ) -> Result<Response, ClientError> {
+        let rpc = ca_obs::trace::span("rpc");
+        let trace = rpc.context();
         self.request(&Request::Characterize {
             client: client.to_string(),
             deadline_ms,
             target: Target::Name(name.to_string()),
+            trace,
         })
     }
 
-    /// Characterizes an inline SPICE netlist.
+    /// Characterizes an inline SPICE netlist (traced like
+    /// [`ServeClient::characterize`]).
     pub fn characterize_spice(
         &mut self,
         client: &str,
         spice: &str,
         deadline_ms: u64,
     ) -> Result<Response, ClientError> {
+        let rpc = ca_obs::trace::span("rpc");
+        let trace = rpc.context();
         self.request(&Request::Characterize {
             client: client.to_string(),
             deadline_ms,
             target: Target::Spice(spice.to_string()),
+            trace,
         })
     }
 
@@ -125,6 +135,11 @@ impl ServeClient {
     /// Server counters.
     pub fn stats(&mut self) -> Result<Response, ClientError> {
         self.request(&Request::Stats)
+    }
+
+    /// Full machine-readable metrics registry snapshot (wire v2).
+    pub fn metrics_snapshot(&mut self) -> Result<Response, ClientError> {
+        self.request(&Request::MetricsSnapshot)
     }
 
     /// Asks the server to drain.

@@ -46,5 +46,5 @@ pub mod signal;
 pub use admission::{Admission, AdmissionConfig, Denial};
 pub use client::{ClientError, ServeClient};
 pub use engine::Engine;
-pub use protocol::{ErrorKind, ModelSource, ProtocolError, Request, Response, Target};
+pub use protocol::{ErrorKind, ModelSource, ProtocolError, Request, Response, Target, Timing};
 pub use server::{Endpoint, ServeConfig, ServeError, Server};

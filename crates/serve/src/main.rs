@@ -21,6 +21,7 @@ use std::time::Duration;
 
 fn die(detail: &str) -> ! {
     ca_obs::warn("ca_serve.main", "fatal", &[("detail", detail)]);
+    let _ = ca_obs::flush();
     std::process::exit(2);
 }
 
@@ -133,4 +134,7 @@ fn main() {
     }
     server.shutdown();
     protocol_marker("CA-SERVE-DRAINED");
+    // Trace spans and structured events buffered in the sink survive
+    // only if flushed before exit (CA_OBS_PATH picks the file).
+    let _ = ca_obs::flush();
 }

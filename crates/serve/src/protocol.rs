@@ -18,11 +18,18 @@
 //! every split point, bit flips at every position and garbage prefixes
 //! through both decoders to hold that line.
 
+use ca_obs::trace::TraceContext;
 use ca_store::frame::{self, FrameError};
 use std::io::{Read, Write};
 
 /// Wire protocol version; the first payload byte of every message.
-pub const WIRE_VERSION: u8 = 1;
+/// Encoders always emit the current version; decoders accept every
+/// version back to [`WIRE_V1`], filling fields a legacy frame cannot
+/// carry with their neutral values (no trace context, zero timing).
+pub const WIRE_VERSION: u8 = 2;
+/// The original protocol version: no trace context in `Characterize`,
+/// no timing breakdown in `Model`, no `MetricsSnapshot` messages.
+pub const WIRE_V1: u8 = 1;
 /// Request frames larger than this are rejected before allocation.
 pub const MAX_REQUEST_PAYLOAD: u32 = 1 << 20;
 /// Response frames larger than this are rejected before allocation.
@@ -51,6 +58,9 @@ pub enum Request {
         deadline_ms: u64,
         /// The cell to characterize.
         target: Target,
+        /// Caller's trace context (wire v2+); the server adopts it so
+        /// the request span parents under the client's span.
+        trace: Option<TraceContext>,
     },
     /// Snapshot-isolated read of a journaled record; no simulation.
     Lookup { name: String },
@@ -58,6 +68,22 @@ pub enum Request {
     Stats,
     /// Ask the server to stop admitting and drain.
     Drain,
+    /// Full metric-registry snapshot as machine-readable JSON (wire
+    /// v2+) — the scrapeable form of [`Request::Stats`].
+    MetricsSnapshot,
+}
+
+/// Server-side timing breakdown of one characterize request,
+/// microseconds (wire v2+; a v1 `Model` frame decodes to zeros).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Timing {
+    /// Admission-to-slot wait.
+    pub queue_us: u64,
+    /// Engine service time (simulation, cache, store, coalescing).
+    pub service_us: u64,
+    /// Portion of service spent in journal appends (leader requests;
+    /// `0` for followers and store-served lookups).
+    pub journal_us: u64,
 }
 
 /// Where a served model came from.
@@ -112,6 +138,8 @@ pub enum Response {
         source: ModelSource,
         /// The `.cam` export body.
         cam: String,
+        /// Server-side timing breakdown (wire v2+; zeros from v1).
+        timing: Timing,
     },
     /// A structured failure; never a dropped connection.
     Error { kind: ErrorKind, detail: String },
@@ -119,6 +147,9 @@ pub enum Response {
     Stats { body: String },
     /// Acknowledgement of [`Request::Drain`].
     Draining,
+    /// Registry snapshot as JSON (schema `ca-obs-metrics/1`), answering
+    /// [`Request::MetricsSnapshot`] (wire v2+).
+    MetricsSnapshot { json: String },
 }
 
 /// Why a message failed to decode. Every variant is a protocol-level
@@ -129,7 +160,8 @@ pub enum ProtocolError {
     Frame(FrameError),
     /// The payload ended before the field named here.
     Truncated(&'static str),
-    /// First payload byte is not [`WIRE_VERSION`].
+    /// First payload byte is not a supported version
+    /// ([`WIRE_V1`]..=[`WIRE_VERSION`]).
     BadVersion(u8),
     /// Unknown message tag for this direction.
     BadTag(u8),
@@ -184,6 +216,7 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             client,
             deadline_ms,
             target,
+            trace,
         } => {
             out.push(2);
             put_str(&mut out, client);
@@ -198,6 +231,15 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
                     put_str(&mut out, src);
                 }
             }
+            match trace {
+                None => out.push(0),
+                Some(ctx) => {
+                    out.push(1);
+                    out.extend_from_slice(&ctx.trace_id.to_le_bytes());
+                    out.extend_from_slice(&ctx.span_id.to_le_bytes());
+                    out.extend_from_slice(&ctx.child_seed.to_le_bytes());
+                }
+            }
         }
         Request::Lookup { name } => {
             out.push(3);
@@ -205,6 +247,7 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
         }
         Request::Stats => out.push(4),
         Request::Drain => out.push(5),
+        Request::MetricsSnapshot => out.push(6),
     }
     out
 }
@@ -222,12 +265,16 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             degraded,
             source,
             cam,
+            timing,
         } => {
             out.push(2);
             put_str(&mut out, cell);
             out.push(u8::from(*degraded));
             out.push(*source as u8);
             put_str(&mut out, cam);
+            out.extend_from_slice(&timing.queue_us.to_le_bytes());
+            out.extend_from_slice(&timing.service_us.to_le_bytes());
+            out.extend_from_slice(&timing.journal_us.to_le_bytes());
         }
         Response::Error { kind, detail } => {
             out.push(3);
@@ -239,6 +286,10 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             put_str(&mut out, body);
         }
         Response::Draining => out.push(5),
+        Response::MetricsSnapshot { json } => {
+            out.push(6);
+            put_str(&mut out, json);
+        }
     }
     out
 }
@@ -319,19 +370,24 @@ impl<'a> Reader<'a> {
     }
 }
 
-fn check_version(r: &mut Reader<'_>) -> Result<(), ProtocolError> {
+/// Reads and validates the version byte; returns it so tag-specific
+/// decoding can pick the per-version field layout.
+fn check_version(r: &mut Reader<'_>) -> Result<u8, ProtocolError> {
     let v = r.u8("version")?;
-    if v == WIRE_VERSION {
-        Ok(())
+    if (WIRE_V1..=WIRE_VERSION).contains(&v) {
+        Ok(v)
     } else {
         Err(ProtocolError::BadVersion(v))
     }
 }
 
-/// Decodes a request payload (unframed).
+/// Decodes a request payload (unframed). Accepts both wire versions:
+/// a v1 `Characterize` simply carries no trace context, and the
+/// v2-only `MetricsSnapshot` tag is rejected under v1 exactly as a v1
+/// peer would have rejected it.
 pub fn decode_request(payload: &[u8]) -> Result<Request, ProtocolError> {
     let mut r = Reader::new(payload);
-    check_version(&mut r)?;
+    let version = check_version(&mut r)?;
     let req = match r.u8("request tag")? {
         1 => Request::Ping {
             token: r.u64("ping token")?,
@@ -344,10 +400,24 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, ProtocolError> {
                 1 => Target::Spice(r.str("target spice")?),
                 _ => return Err(ProtocolError::BadField("target kind")),
             };
+            let trace = if version >= 2 {
+                match r.u8("trace present")? {
+                    0 => None,
+                    1 => Some(TraceContext {
+                        trace_id: r.u64("trace id")?,
+                        span_id: r.u64("trace span")?,
+                        child_seed: r.u64("trace seed")?,
+                    }),
+                    _ => return Err(ProtocolError::BadField("trace present")),
+                }
+            } else {
+                None
+            };
             Request::Characterize {
                 client,
                 deadline_ms,
                 target,
+                trace,
             }
         }
         3 => Request::Lookup {
@@ -355,16 +425,18 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, ProtocolError> {
         },
         4 => Request::Stats,
         5 => Request::Drain,
+        6 if version >= 2 => Request::MetricsSnapshot,
         t => return Err(ProtocolError::BadTag(t)),
     };
     r.finish()?;
     Ok(req)
 }
 
-/// Decodes a response payload (unframed).
+/// Decodes a response payload (unframed). A v1 `Model` frame decodes
+/// with a zeroed [`Timing`] — the legacy protocol had no breakdown.
 pub fn decode_response(payload: &[u8]) -> Result<Response, ProtocolError> {
     let mut r = Reader::new(payload);
-    check_version(&mut r)?;
+    let version = check_version(&mut r)?;
     let resp = match r.u8("response tag")? {
         1 => Response::Pong {
             token: r.u64("pong token")?,
@@ -383,11 +455,22 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, ProtocolError> {
                 3 => ModelSource::Coalesced,
                 _ => return Err(ProtocolError::BadField("source")),
             };
+            let cam = r.str("cam")?;
+            let timing = if version >= 2 {
+                Timing {
+                    queue_us: r.u64("timing queue_us")?,
+                    service_us: r.u64("timing service_us")?,
+                    journal_us: r.u64("timing journal_us")?,
+                }
+            } else {
+                Timing::default()
+            };
             Response::Model {
                 cell,
                 degraded,
                 source,
-                cam: r.str("cam")?,
+                cam,
+                timing,
             }
         }
         3 => {
@@ -411,6 +494,9 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, ProtocolError> {
             body: r.str("stats body")?,
         },
         5 => Response::Draining,
+        6 if version >= 2 => Response::MetricsSnapshot {
+            json: r.str("metrics json")?,
+        },
         t => return Err(ProtocolError::BadTag(t)),
     };
     r.finish()?;
@@ -460,17 +546,30 @@ mod tests {
                 client: "loadgen-7".into(),
                 deadline_ms: 2500,
                 target: Target::Name("INV_X1".into()),
+                trace: None,
+            },
+            Request::Characterize {
+                client: "traced".into(),
+                deadline_ms: 100,
+                target: Target::Name("ND2_X1".into()),
+                trace: Some(TraceContext {
+                    trace_id: 0x0123_4567_89ab_cdef,
+                    span_id: u64::MAX,
+                    child_seed: 7,
+                }),
             },
             Request::Characterize {
                 client: String::new(),
                 deadline_ms: 0,
                 target: Target::Spice(".SUBCKT X A Z VDD VSS\n.ENDS".into()),
+                trace: None,
             },
             Request::Lookup {
                 name: "ND2_X1".into(),
             },
             Request::Stats,
             Request::Drain,
+            Request::MetricsSnapshot,
         ]
     }
 
@@ -482,12 +581,18 @@ mod tests {
                 degraded: false,
                 source: ModelSource::Fresh,
                 cam: "* CAM body\n".into(),
+                timing: Timing {
+                    queue_us: 12,
+                    service_us: 3400,
+                    journal_us: 56,
+                },
             },
             Response::Model {
                 cell: "ND2_X1".into(),
                 degraded: true,
                 source: ModelSource::Coalesced,
                 cam: String::new(),
+                timing: Timing::default(),
             },
             Response::Error {
                 kind: ErrorKind::Overloaded,
@@ -501,6 +606,9 @@ mod tests {
                 body: "ca_serve.admitted 12\n".into(),
             },
             Response::Draining,
+            Response::MetricsSnapshot {
+                json: "{\"schema\":\"ca-obs-metrics/1\"}".into(),
+            },
         ]
     }
 
@@ -563,6 +671,7 @@ mod tests {
             client: "fuzz".into(),
             deadline_ms: 77,
             target: Target::Name("INV_X1".into()),
+            trace: None,
         };
         let mut wire = Vec::new();
         write_request(&mut wire, &req).unwrap();
@@ -632,5 +741,65 @@ mod tests {
             decode_request(&payload),
             Err(ProtocolError::BadUtf8("lookup name"))
         ));
+    }
+
+    /// Old-frame compatibility: v1 payloads (no trace context, no
+    /// timing block, no tag 6) still decode, with the v2-only fields
+    /// defaulted. A v1 peer never sees the new fields; a v2 decoder
+    /// never demands them from a v1 frame.
+    #[test]
+    fn v1_frames_decode_with_defaulted_v2_fields() {
+        // v1 Characterize: version 1, tag 2, client, deadline, target —
+        // and nothing after the target (no trace presence byte).
+        let mut payload = vec![WIRE_V1, 2];
+        put_str(&mut payload, "old-client");
+        payload.extend_from_slice(&1500u64.to_le_bytes());
+        payload.push(0); // Target::Name
+        put_str(&mut payload, "INV_X1");
+        assert_eq!(
+            decode_request(&payload).unwrap(),
+            Request::Characterize {
+                client: "old-client".into(),
+                deadline_ms: 1500,
+                target: Target::Name("INV_X1".into()),
+                trace: None,
+            }
+        );
+
+        // v1 Model: version 1, tag 2, cell, degraded, source, cam —
+        // no timing block. Decodes with Timing::default().
+        let mut payload = vec![WIRE_V1, 2];
+        put_str(&mut payload, "INV_X1");
+        payload.push(0); // degraded = false
+        payload.push(ModelSource::Fresh as u8);
+        put_str(&mut payload, "* CAM\n");
+        assert_eq!(
+            decode_response(&payload).unwrap(),
+            Response::Model {
+                cell: "INV_X1".into(),
+                degraded: false,
+                source: ModelSource::Fresh,
+                cam: "* CAM\n".into(),
+                timing: Timing::default(),
+            }
+        );
+
+        // Tag 6 did not exist in v1: a v1 frame claiming it is a
+        // BadTag, not a silent MetricsSnapshot.
+        assert!(matches!(
+            decode_request(&[WIRE_V1, 6]),
+            Err(ProtocolError::BadTag(6))
+        ));
+        assert!(matches!(
+            decode_response(&[WIRE_V1, 6]),
+            Err(ProtocolError::BadTag(6))
+        ));
+
+        // v1 messages without version-gated fields round-trip through
+        // a v1 version byte unchanged (encoders always emit v2; this
+        // pins the *decode* path only).
+        let mut payload = encode_request(&Request::Stats);
+        payload[0] = WIRE_V1;
+        assert_eq!(decode_request(&payload).unwrap(), Request::Stats);
     }
 }

@@ -21,18 +21,21 @@
 
 use crate::admission::{Admission, AdmissionConfig, Denial};
 use crate::engine::Engine;
-use crate::protocol::{self, ErrorKind, ModelSource, ProtocolError, Request, Response, Target};
+use crate::protocol::{
+    self, ErrorKind, ModelSource, ProtocolError, Request, Response, Target, Timing,
+};
 use ca_core::{CellService, CellVerdict, CoreError, StoredVerdict};
 use ca_defects::GenerateOptions;
 use ca_netlist::library::Library;
 use ca_netlist::{spice, Cell};
 use ca_obs::clock::{Backoff, Deadline, Stopwatch};
+use ca_obs::trace::{self, TraceContext};
 use ca_sim::SimBudget;
 use std::collections::BTreeMap;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -474,18 +477,23 @@ fn dispatch(shared: &Shared, request: Request) -> Response {
             shared.admission.begin_drain();
             Response::Draining
         }
+        Request::MetricsSnapshot => Response::MetricsSnapshot {
+            json: ca_obs::global().snapshot().to_json(),
+        },
         Request::Lookup { name } => match shared.engine.service().lookup(&name) {
             Some(StoredVerdict::Complete(cam)) => Response::Model {
                 cell: name,
                 degraded: false,
                 source: ModelSource::Store,
                 cam,
+                timing: Timing::default(),
             },
             Some(StoredVerdict::Degraded(cam)) => Response::Model {
                 cell: name,
                 degraded: true,
                 source: ModelSource::Store,
                 cam,
+                timing: Timing::default(),
             },
             Some(StoredVerdict::Quarantined { reason, .. }) => Response::Error {
                 kind: ErrorKind::Quarantined,
@@ -500,11 +508,30 @@ fn dispatch(shared: &Shared, request: Request) -> Response {
             client,
             deadline_ms,
             target,
-        } => characterize(shared, &client, deadline_ms, target),
+            trace,
+        } => characterize(shared, &client, deadline_ms, target, trace),
     }
 }
 
-fn characterize(shared: &Shared, client: &str, deadline_ms: u64, target: Target) -> Response {
+fn characterize(
+    shared: &Shared,
+    client: &str,
+    deadline_ms: u64,
+    target: Target,
+    wire_trace: Option<TraceContext>,
+) -> Response {
+    // Parent server-side spans under the caller's wire context when one
+    // arrived; otherwise open a server-local root so an untraced client
+    // still yields a self-contained request tree. The sequence counter
+    // only disambiguates roots within one process — it never feeds
+    // canonical output (ca-audit D3 covers model bytes, not trace ids).
+    let _adopt = wire_trace.map(trace::adopt);
+    let _request_span = if wire_trace.is_some() {
+        trace::span("request")
+    } else {
+        static REQ_SEQ: AtomicU64 = AtomicU64::new(0);
+        trace::root("request", REQ_SEQ.fetch_add(1, Ordering::Relaxed), "serve")
+    };
     if client.is_empty() {
         return Response::Error {
             kind: ErrorKind::BadRequest,
@@ -539,6 +566,7 @@ fn characterize(shared: &Shared, client: &str, deadline_ms: u64, target: Target)
             .map_or(Deadline::never(), Deadline::after)
     };
     let queued = Stopwatch::start();
+    let queue_span = trace::span("queue");
     let mut ticket = match shared.admission.try_admit(client) {
         Ok(ticket) => ticket,
         Err(denial) => {
@@ -559,12 +587,25 @@ fn characterize(shared: &Shared, client: &str, deadline_ms: u64, target: Target)
             detail: "deadline expired waiting for an execution slot".into(),
         };
     }
-    ca_obs::histogram!("ca_serve.latency.queue_us", Ops, LATENCY_BOUNDS_US)
-        .observe(queued.elapsed_ns() / 1_000);
+    drop(queue_span);
+    let queue_us = queued.elapsed_ns() / 1_000;
+    ca_obs::histogram!("ca_serve.latency.queue_us", Ops, LATENCY_BOUNDS_US).observe(queue_us);
+    // Journal time is attributed per request via a thread-local the
+    // session bumps on append; the leader journals on its own
+    // connection thread, so draining before the call isolates this
+    // request's share (followers report zero).
+    let _ = ca_core::take_journal_ns();
     let in_service = Stopwatch::start();
+    let service_span = trace::span("service");
     let (verdict, source) = shared.engine.characterize(&cell, deadline);
-    ca_obs::histogram!("ca_serve.latency.service_us", Ops, LATENCY_BOUNDS_US)
-        .observe(in_service.elapsed_ns() / 1_000);
+    drop(service_span);
+    let service_us = in_service.elapsed_ns() / 1_000;
+    let timing = Timing {
+        queue_us,
+        service_us,
+        journal_us: ca_core::take_journal_ns() / 1_000,
+    };
+    ca_obs::histogram!("ca_serve.latency.service_us", Ops, LATENCY_BOUNDS_US).observe(service_us);
     ca_obs::histogram!("ca_serve.latency.total_us", Ops, LATENCY_BOUNDS_US)
         .observe(queued.elapsed_ns() / 1_000);
     drop(ticket);
@@ -577,6 +618,7 @@ fn characterize(shared: &Shared, client: &str, deadline_ms: u64, target: Target)
                     degraded: model.degraded,
                     source,
                     cam: ca_defects::to_cam(model),
+                    timing,
                 },
                 None => Response::Error {
                     kind: ErrorKind::Internal,

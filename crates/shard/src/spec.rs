@@ -15,6 +15,7 @@
 
 use ca_core::FaultPolicy;
 use ca_defects::GenerateOptions;
+use ca_obs::trace::{self, TraceContext};
 use ca_sim::{DetectionPolicy, SimBudget};
 use std::path::PathBuf;
 use std::time::Duration;
@@ -58,12 +59,16 @@ pub struct WorkerSpec {
     pub attempt: u32,
     /// How often the worker rewrites the heartbeat file.
     pub heartbeat_interval: Duration,
+    /// Trace context of the supervisor's shard-attempt span, so worker
+    /// spans parent under it across the process boundary. `None` when
+    /// the campaign is untraced.
+    pub trace: Option<TraceContext>,
 }
 
 impl WorkerSpec {
     /// The spec as env `(name, value)` pairs for `Command::envs`.
     pub fn to_env(&self) -> Vec<(String, String)> {
-        vec![
+        let mut env = vec![
             (ENV_LIBRARY.into(), self.library_path.display().to_string()),
             (ENV_STORE.into(), self.store_path.display().to_string()),
             (
@@ -79,7 +84,11 @@ impl WorkerSpec {
                 ENV_HB_INTERVAL_MS.into(),
                 self.heartbeat_interval.as_millis().to_string(),
             ),
-        ]
+        ];
+        if let Some(ctx) = &self.trace {
+            env.extend(trace::context_to_env(ctx));
+        }
+        env
     }
 
     /// Reads a spec from the process environment. `Ok(None)` when
@@ -120,6 +129,25 @@ impl WorkerSpec {
             shard_index: parse_num(ENV_INDEX)? as usize,
             attempt: parse_num(ENV_ATTEMPT)? as u32,
             heartbeat_interval: Duration::from_millis(parse_num(ENV_HB_INTERVAL_MS)?),
+            trace: {
+                // Optional trio: absent (untraced campaign) is fine, a
+                // partially-present or malformed trio is ignored the
+                // same way — tracing is best-effort, never a reason to
+                // fail a shard.
+                let read = |name: &str| lookup(name).and_then(|v| trace::parse_id(&v));
+                match (
+                    read(trace::ENV_TRACE_ID),
+                    read(trace::ENV_TRACE_SPAN),
+                    read(trace::ENV_TRACE_SEED),
+                ) {
+                    (Some(trace_id), Some(span_id), Some(child_seed)) => Some(TraceContext {
+                        trace_id,
+                        span_id,
+                        child_seed,
+                    }),
+                    _ => None,
+                }
+            },
         }))
     }
 }
@@ -265,6 +293,11 @@ mod tests {
             shard_index: 2,
             attempt: 3,
             heartbeat_interval: Duration::from_millis(50),
+            trace: Some(TraceContext {
+                trace_id: 0xdead_beef_0000_0001,
+                span_id: 0x0123_4567_89ab_cdef,
+                child_seed: 42,
+            }),
         }
     }
 
@@ -275,6 +308,18 @@ mod tests {
         let decoded = WorkerSpec::from_lookup(|name| env.get(name).cloned())
             .expect("decode")
             .expect("library var present");
+        assert_eq!(decoded, spec);
+    }
+
+    #[test]
+    fn untraced_spec_round_trips_without_trace_vars() {
+        let mut spec = sample_spec();
+        spec.trace = None;
+        let env: BTreeMap<String, String> = spec.to_env().into_iter().collect();
+        assert!(!env.contains_key(trace::ENV_TRACE_ID));
+        let decoded = WorkerSpec::from_lookup(|name| env.get(name).cloned())
+            .expect("decode")
+            .expect("present");
         assert_eq!(decoded, spec);
     }
 

@@ -305,6 +305,17 @@ pub fn run_campaign(
     }
     std::fs::create_dir_all(work_dir)?;
 
+    // Campaign root span: the trace id is derived from the library's
+    // cell fingerprints (order-sensitive FNV fold), so the same
+    // campaign yields the same trace id on every run and every resume.
+    let campaign_fp = library
+        .cells
+        .iter()
+        .fold(0xcbf2_9ce4_8422_2325u64, |acc, lc| {
+            acc.wrapping_mul(0x100_0000_01b3) ^ ca_core::cell_fingerprint(&lc.cell)
+        });
+    let _campaign_span = ca_obs::trace::root("campaign", campaign_fp, "supervisor");
+
     // Cells that cannot cross the process boundary losslessly are held
     // back for the final in-process pass: correctness over parallelism.
     let mut shardable = Library {
@@ -460,6 +471,10 @@ fn supervise_shard(
     spawner: &Spawner,
     work_dir: &Path,
 ) -> ShardReport {
+    // The executor adopted this closure into the campaign span's fork
+    // (keyed by shard position), so this parents under the campaign
+    // root at any concurrency level.
+    let _shard_span = ca_obs::trace::span_keyed("shard", index as u64);
     let mut attempts = Vec::new();
     for attempt in 1..=config.max_attempts {
         let pause = config.backoff.delay(attempt - 1);
@@ -476,6 +491,7 @@ fn supervise_shard(
             (true, Some(n)) => FaultPolicy::RetryWithReducedBudget(n),
             _ => config.retry_policy,
         };
+        let attempt_span = ca_obs::trace::span_keyed("shard_attempt", u64::from(attempt));
         let spec = WorkerSpec {
             library_path: shard_path(work_dir, index, "lib"),
             store_path: shard_path(work_dir, index, "caj"),
@@ -486,8 +502,10 @@ fn supervise_shard(
             shard_index: index,
             attempt,
             heartbeat_interval: config.heartbeat_interval,
+            trace: attempt_span.context(),
         };
         let outcome = run_attempt(&spec, config, spawner);
+        drop(attempt_span);
         let completed = matches!(
             outcome,
             AttemptOutcome::Completed | AttemptOutcome::CompletedInProcess
@@ -528,13 +546,24 @@ fn run_attempt(spec: &WorkerSpec, config: &CampaignConfig, spawner: &Spawner) ->
         Spawner::InProcess => return in_process_attempt(spec, None),
         Spawner::Process { program, args } => (program, args),
     };
-    let spawned = Command::new(program)
+    let mut command = Command::new(program);
+    command
         .args(args)
         .envs(spec.to_env())
         .stdin(Stdio::null())
         .stdout(Stdio::null())
-        .stderr(Stdio::null())
-        .spawn();
+        .stderr(Stdio::null());
+    if ca_obs::trace::enabled() {
+        // The worker inherits tracing and flushes its own span events
+        // to a per-attempt JSONL file next to the heartbeat; the
+        // stitcher later merges every such file into one trace.
+        command.env("CA_TRACE", "1").env(
+            "CA_OBS_PATH",
+            spec.heartbeat_path
+                .with_extension(format!("a{}.trace.jsonl", spec.attempt)),
+        );
+    }
+    let spawned = command.spawn();
     let mut child = match spawned {
         Ok(child) => child,
         Err(e) => {

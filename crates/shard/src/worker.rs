@@ -55,6 +55,22 @@ pub fn run(spec: &WorkerSpec) -> i32 {
     let attempt = spec.attempt.to_string();
     let fields: &[(&str, &str)] = &[("shard", shard.as_str()), ("attempt", attempt.as_str())];
 
+    // Adopt the supervisor's shard-attempt span (carried in the spec
+    // across the process boundary) so every span this worker emits —
+    // including per-cell spans inside the robust driver — parents into
+    // the campaign trace. Inert when the campaign is untraced.
+    let _trace_adopt = spec.trace.map(ca_obs::trace::adopt);
+    let worker_span = ca_obs::trace::span("worker");
+
+    // The spawned-process path exits immediately after this function
+    // returns, so the worker flushes its own buffered events (the
+    // supervisor points CA_OBS_PATH at a per-attempt JSONL file).
+    let finish = |code: i32, span: ca_obs::trace::TraceSpan| {
+        drop(span);
+        let _ = ca_obs::flush();
+        code
+    };
+
     // Crash-injection hooks, scoped by shard and attempt ceiling.
     let hook = |name: &str| {
         std::env::var(name)
@@ -64,7 +80,7 @@ pub fn run(spec: &WorkerSpec) -> i32 {
     };
     if let Some(h) = hook(ENV_TEST_FAIL) {
         ca_obs::warn("ca_shard.worker", "test hook: failing", fields);
-        return h.param as i32;
+        return finish(h.param as i32, worker_span);
     }
     if hook(ENV_TEST_HANG).is_some() {
         // One heartbeat, then silence: the supervisor must diagnose
@@ -83,14 +99,14 @@ pub fn run(spec: &WorkerSpec) -> i32 {
                 &format!("cannot read shard library: {e}"),
                 fields,
             );
-            return EXIT_BAD_SPEC;
+            return finish(EXIT_BAD_SPEC, worker_span);
         }
     };
     let library = match crate::codec::decode_library(&text) {
         Ok(lib) => lib,
         Err(e) => {
             ca_obs::warn("ca_shard.worker", &format!("{e}"), fields);
-            return EXIT_BAD_SPEC;
+            return finish(EXIT_BAD_SPEC, worker_span);
         }
     };
 
@@ -104,7 +120,7 @@ pub fn run(spec: &WorkerSpec) -> i32 {
                 fields,
             );
             heartbeat.stop();
-            return EXIT_RUN_FAILED;
+            return finish(EXIT_RUN_FAILED, worker_span);
         }
     };
     if let Some(h) = hook(ENV_HALT) {
@@ -122,10 +138,10 @@ pub fn run(spec: &WorkerSpec) -> i32 {
     );
     heartbeat.stop();
     match outcome {
-        Ok(_) => EXIT_OK,
+        Ok(_) => finish(EXIT_OK, worker_span),
         Err(e) => {
             ca_obs::warn("ca_shard.worker", &format!("shard run failed: {e}"), fields);
-            EXIT_RUN_FAILED
+            finish(EXIT_RUN_FAILED, worker_span)
         }
     }
 }
@@ -201,6 +217,7 @@ mod tests {
             shard_index: 0,
             attempt: 1,
             heartbeat_interval: Duration::from_millis(5),
+            trace: None,
         }
     }
 

@@ -37,10 +37,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             source,
             degraded,
             cam,
+            timing,
         } => {
             println!(
                 "characterize {cell}: {} bytes, source {source:?}, degraded {degraded}",
                 cam.len()
+            );
+            println!(
+                "server-side: queue {} µs, service {} µs, journal {} µs",
+                timing.queue_us, timing.service_us, timing.journal_us
             );
             assert_eq!(
                 source,

@@ -121,7 +121,7 @@ fi
 
 # End-to-end profile gate: the instrumented flow must run, emit
 # BENCH_profile.json, and that artifact must validate against schema
-# ca-obs-profile/1 with counters from all six instrumented crates
+# ca-obs-profile/1 with counters from all seven instrumented crates
 # (DESIGN.md §9).
 echo "==> ca-bench profile --quick (flow profile + schema check)"
 cargo run -q --release --offline -p ca-bench -- profile --quick
@@ -133,5 +133,31 @@ cargo run -q --release --offline -p ca-bench -- profile-check BENCH_profile.json
 # batch golden (DESIGN.md §13).
 echo "==> ca-bench serve --quick (daemon load-gen + byte-identity)"
 cargo run -q --release --offline -p ca-bench -- serve --quick
+
+# Trace round-trip gate: a traced 2-shard campaign (real worker
+# processes) plus one served request must stitch into a single Chrome
+# trace_event JSON with every parent link resolved and the structural
+# edges present — worker under shard_attempt, queue/service under the
+# serve request (DESIGN.md §14). The command dies on any violation.
+echo "==> ca-bench trace --quick (cross-process trace round-trip)"
+cargo run -q --release --offline -p ca-bench -- trace --quick --out TRACE_campaign.json
+
+# Trace overhead gate: tracing is opt-in but must stay cheap enough to
+# leave on for a whole campaign. Compare the quick flow profile's
+# wall-clock with tracing off vs on; fail if tracing costs >3%. One
+# untraced warm-up first so both measured runs hit a warm store path.
+echo "==> trace overhead (profile --quick, CA_TRACE on vs off, <3%)"
+cargo run -q --release --offline -p ca-bench -- profile --quick >/dev/null
+base_s=$( { time -p cargo run -q --release --offline -p ca-bench -- profile --quick >/dev/null; } 2>&1 | awk '/^real/{print $2}')
+traced_s=$( { time -p env CA_TRACE=1 cargo run -q --release --offline -p ca-bench -- profile --quick >/dev/null; } 2>&1 | awk '/^real/{print $2}')
+echo "    untraced ${base_s}s, traced ${traced_s}s"
+awk -v base="$base_s" -v traced="$traced_s" 'BEGIN {
+    # Sub-second quick runs jitter by scheduling noise; gate on the
+    # ratio but always allow 50 ms of absolute slack.
+    if (traced > base * 1.03 && traced - base > 0.05) {
+        printf "trace overhead %.1f%% exceeds 3%%\n", (traced / base - 1) * 100
+        exit 1
+    }
+}'
 
 echo "==> OK"
