@@ -1,0 +1,113 @@
+//! The `--baseline` ratchet file (DESIGN.md §15).
+//!
+//! A baseline is a plain text file, one accepted finding per line,
+//! keyed `rule|file|message`. Lines are insensitive to line/column
+//! drift so mechanical edits don't churn the file, but any change to
+//! what the finding *says* re-surfaces it. Findings matched by the
+//! baseline are filtered out of the report; baseline entries that no
+//! longer match anything are reported so the ratchet only tightens.
+//! CI runs with an empty baseline: the file exists for landing a new
+//! rule warn-first on a large tree, never for parking errors at merge.
+
+use crate::Finding;
+use std::collections::BTreeSet;
+
+/// The stable identity of a finding in a baseline file.
+pub fn key(f: &Finding) -> String {
+    format!("{}|{}|{}", f.rule, f.file, f.message)
+}
+
+/// Renders findings as baseline text (sorted, deduplicated).
+pub fn render(findings: &[Finding]) -> String {
+    let keys: BTreeSet<String> = findings.iter().map(key).collect();
+    let mut out =
+        String::from("# ca-audit baseline: accepted findings, one `rule|file|message` per line.\n");
+    for k in keys {
+        out.push_str(&k);
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses baseline text into its key set (comments and blanks skipped).
+pub fn parse(text: &str) -> BTreeSet<String> {
+    text.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(str::to_string)
+        .collect()
+}
+
+/// Splits `findings` into (surfaced, suppressed-by-baseline) and
+/// returns the stale baseline entries that matched nothing.
+pub fn apply(
+    findings: Vec<Finding>,
+    baseline: &BTreeSet<String>,
+) -> (Vec<Finding>, usize, Vec<String>) {
+    let mut surfaced = Vec::new();
+    let mut matched: BTreeSet<&String> = BTreeSet::new();
+    let mut suppressed = 0usize;
+    for f in findings {
+        let k = key(&f);
+        if let Some(entry) = baseline.get(&k) {
+            matched.insert(entry);
+            suppressed += 1;
+        } else {
+            surfaced.push(f);
+        }
+    }
+    let stale: Vec<String> = baseline
+        .iter()
+        .filter(|e| !matched.contains(e))
+        .cloned()
+        .collect();
+    (surfaced, suppressed, stale)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Severity;
+
+    fn finding(rule: &'static str, file: &str, msg: &str) -> Finding {
+        Finding {
+            file: file.to_string(),
+            line: 3,
+            col: 7,
+            rule,
+            severity: Severity::Warning,
+            message: msg.to_string(),
+            hint: "h",
+        }
+    }
+
+    #[test]
+    fn roundtrip_filters_and_reports_stale() {
+        let fs = vec![finding("D9", "a.rs", "x"), finding("D9", "b.rs", "y")];
+        let text = render(&fs[..1]);
+        let base = parse(&text);
+        let (surfaced, suppressed, stale) = apply(fs, &base);
+        assert_eq!(surfaced.len(), 1);
+        assert_eq!(surfaced[0].file, "b.rs");
+        assert_eq!(suppressed, 1);
+        assert!(stale.is_empty());
+    }
+
+    #[test]
+    fn stale_entries_surface() {
+        let base = parse("D9|gone.rs|old finding\n# comment\n\n");
+        let (surfaced, suppressed, stale) = apply(vec![], &base);
+        assert!(surfaced.is_empty());
+        assert_eq!(suppressed, 0);
+        assert_eq!(stale, vec!["D9|gone.rs|old finding".to_string()]);
+    }
+
+    #[test]
+    fn key_ignores_line_and_col() {
+        let mut f = finding("D9", "a.rs", "x");
+        let k1 = key(&f);
+        f.line = 99;
+        f.col = 1;
+        assert_eq!(key(&f), k1);
+    }
+}

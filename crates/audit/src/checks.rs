@@ -1,0 +1,1562 @@
+//! The analysis rule families D8–D12 (DESIGN.md §15).
+//!
+//! Each check walks the [`crate::model::FileModel`]s of the audited
+//! source set and emits findings through [`Ctx`], which routes them
+//! past the suppression pragmas and records which pragmas fired.
+
+use crate::lexer::TokKind;
+use crate::model::{adjacent, FileModel, LockKind, MetricKind};
+use crate::{Finding, Severity};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Shared check context: the parsed files, the optional README, the
+/// findings so far and the pragma-usage ledger.
+pub struct Ctx<'a> {
+    /// Parsed source files.
+    pub files: &'a [FileModel],
+    /// README `(label, content)` for D12; absent in single-file scans.
+    pub readme: Option<(&'a str, &'a str)>,
+    /// Findings accumulated by the checks.
+    pub findings: Vec<Finding>,
+    /// `(file label, pragma line)` pairs that suppressed something.
+    pub used: BTreeSet<(String, usize)>,
+}
+
+impl<'a> Ctx<'a> {
+    /// Emits a finding unless an `allow(rule, ..)` pragma covers it;
+    /// returns whether the finding was actually emitted.
+    #[allow(clippy::too_many_arguments)]
+    fn emit(
+        &mut self,
+        fi: usize,
+        line: usize,
+        col: usize,
+        rule: &'static str,
+        severity: Severity,
+        message: String,
+        hint: &'static str,
+    ) -> bool {
+        let file = &self.files[fi];
+        if let Some(pline) = file.scrub.allow_covering(line, rule) {
+            self.used.insert((file.label.clone(), pline));
+            return false;
+        }
+        self.findings.push(Finding {
+            file: file.label.clone(),
+            line,
+            col,
+            rule,
+            severity,
+            message,
+            hint,
+        });
+        true
+    }
+
+    /// Emits at a raw label (README rows, cycle summaries) with no
+    /// pragma routing.
+    #[allow(clippy::too_many_arguments)]
+    fn emit_raw(
+        &mut self,
+        label: &str,
+        line: usize,
+        col: usize,
+        rule: &'static str,
+        severity: Severity,
+        message: String,
+        hint: &'static str,
+    ) {
+        self.findings.push(Finding {
+            file: label.to_string(),
+            line,
+            col,
+            rule,
+            severity,
+            message,
+            hint,
+        });
+    }
+}
+
+/// Runs every analysis rule family.
+pub fn run_all(ctx: &mut Ctx<'_>) {
+    check_lock_order(ctx);
+    check_panic_path(ctx);
+    check_protocol_drift(ctx);
+    check_metric_inventory(ctx);
+    check_env_inventory(ctx);
+}
+
+const D8_HINT: &str =
+    "acquire locks in one global order; audit a deliberate nesting with `// ca-audit: allow(D8, <why>)`";
+const D9_HINT: &str = "supervise the panic with catch_unwind or annotate `// PANIC-OK: <reason>`";
+const D10_HINT: &str =
+    "keep encoder arm, decoder arm, size cap and wire-version note in lockstep for every tag";
+const D11_HINT: &str =
+    "name metrics `<crate>.<subsystem>.<event>` under an INSTRUMENTED_PREFIXES entry";
+const D12_HINT: &str =
+    "keep the README `ca-audit:env-table` rows in lockstep with the `CA_*` reads in code";
+
+// ---------------------------------------------------------------- D8
+
+/// Crates whose locking is supervised by D8.
+const D8_CRATES: &[&str] = &["ca-exec", "ca-serve", "ca-obs", "ca-core"];
+
+#[derive(Clone)]
+struct Site {
+    fi: usize,
+    line: usize,
+    col: usize,
+}
+
+struct Edge {
+    from: String,
+    to: String,
+    site: Site,
+    direct: bool,
+}
+
+/// Per-crate lock landscape: lock fields/statics and the fn tables.
+struct CrateLocks {
+    fields: BTreeMap<String, Vec<(String, LockKind)>>,
+    statics: BTreeMap<String, LockKind>,
+    helpers: BTreeSet<String>,
+    fn_names: BTreeSet<String>,
+}
+
+impl CrateLocks {
+    fn build(files: &[FileModel], crate_name: &str) -> CrateLocks {
+        let mut out = CrateLocks {
+            fields: BTreeMap::new(),
+            statics: BTreeMap::new(),
+            helpers: BTreeSet::new(),
+            fn_names: BTreeSet::new(),
+        };
+        for f in files.iter().filter(|f| f.crate_name == crate_name) {
+            for lf in &f.lock_fields {
+                out.fields
+                    .entry(lf.field.clone())
+                    .or_default()
+                    .push((lf.owner.clone(), lf.kind));
+            }
+            for ls in &f.lock_statics {
+                out.statics.insert(ls.name.clone(), ls.kind);
+            }
+            for func in &f.fns {
+                out.fn_names.insert(func.name.clone());
+                if func.mutex_param {
+                    out.helpers.insert(func.name.clone());
+                }
+            }
+        }
+        out
+    }
+
+    /// Resolves an identifier to a lock class (`crate/Owner.field` or
+    /// `crate/STATIC`). Condvars resolve to `None` — waiting adds no
+    /// lock class.
+    fn resolve(&self, crate_name: &str, name: &str, impl_type: Option<&str>) -> Option<String> {
+        if let Some(kind) = self.statics.get(name) {
+            return match kind {
+                LockKind::Condvar => None,
+                _ => Some(format!("{crate_name}/{name}")),
+            };
+        }
+        let cands = self.fields.get(name)?;
+        let (owner, kind) = cands
+            .iter()
+            .find(|(o, _)| impl_type == Some(o.as_str()))
+            .or_else(|| cands.first())?;
+        match kind {
+            LockKind::Condvar => None,
+            _ => Some(format!("{crate_name}/{owner}.{name}")),
+        }
+    }
+}
+
+struct Guard {
+    class: String,
+    name: Option<String>,
+    depth: usize,
+    transient: bool,
+}
+
+fn check_lock_order(ctx: &mut Ctx<'_>) {
+    let crates: BTreeSet<&str> = ctx
+        .files
+        .iter()
+        .map(|f| f.crate_name.as_str())
+        .filter(|c| D8_CRATES.contains(c))
+        .collect();
+    let mut edges: Vec<Edge> = Vec::new();
+    let mut fn_locks: BTreeMap<(String, String), BTreeSet<String>> = BTreeMap::new();
+    let mut fn_callees: BTreeMap<(String, String), BTreeSet<String>> = BTreeMap::new();
+    let mut held_calls: Vec<(String, Vec<String>, String, Site)> = Vec::new();
+
+    for crate_name in &crates {
+        let locks = CrateLocks::build(ctx.files, crate_name);
+        for fi in 0..ctx.files.len() {
+            if ctx.files[fi].crate_name != *crate_name {
+                continue;
+            }
+            for fx in 0..ctx.files[fi].fns.len() {
+                let f = &ctx.files[fi].fns[fx];
+                if f.is_test || f.mutex_param || f.body.is_none() {
+                    continue;
+                }
+                analyze_fn_locks(
+                    ctx,
+                    fi,
+                    fx,
+                    &locks,
+                    &mut edges,
+                    &mut fn_locks,
+                    &mut fn_callees,
+                    &mut held_calls,
+                );
+            }
+        }
+    }
+
+    // Transitive lock sets over the same-crate, name-matched call
+    // graph, then call-derived order edges (cycle evidence only — a
+    // call that transitively takes a lock is not a local nesting).
+    let mut trans = fn_locks.clone();
+    loop {
+        let mut changed = false;
+        for (key, callees) in &fn_callees {
+            for callee in callees {
+                let add: Vec<String> = trans
+                    .get(&(key.0.clone(), callee.clone()))
+                    .map(|s| s.iter().cloned().collect())
+                    .unwrap_or_default();
+                let entry = trans.entry(key.clone()).or_default();
+                for c in add {
+                    changed |= entry.insert(c);
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    for (crate_name, held, callee, site) in &held_calls {
+        let Some(callee_locks) = trans.get(&(crate_name.clone(), callee.clone())) else {
+            continue;
+        };
+        for to in callee_locks {
+            for from in held {
+                if from != to {
+                    edges.push(Edge {
+                        from: from.clone(),
+                        to: to.clone(),
+                        site: site.clone(),
+                        direct: false,
+                    });
+                }
+            }
+        }
+    }
+
+    report_lock_cycles(ctx, &edges);
+}
+
+/// Walks one fn body, tracking held guards and emitting D8 nesting
+/// findings; records order edges and call-graph facts.
+#[allow(clippy::too_many_arguments)]
+fn analyze_fn_locks(
+    ctx: &mut Ctx<'_>,
+    fi: usize,
+    fx: usize,
+    locks: &CrateLocks,
+    edges: &mut Vec<Edge>,
+    fn_locks: &mut BTreeMap<(String, String), BTreeSet<String>>,
+    fn_callees: &mut BTreeMap<(String, String), BTreeSet<String>>,
+    held_calls: &mut Vec<(String, Vec<String>, String, Site)>,
+) {
+    let file = &ctx.files[fi];
+    let f = &file.fns[fx];
+    let crate_name = file.crate_name.clone();
+    let fn_key = (crate_name.clone(), f.name.clone());
+    let impl_type = f.impl_type.clone();
+    let (bo, bc) = f.body.unwrap_or((0, 0));
+    let toks = &file.toks;
+
+    let mut held: Vec<Guard> = Vec::new();
+    let mut depth = 0usize;
+    // Deferred emissions (can't borrow ctx mutably mid-walk).
+    let mut nestings: Vec<(Site, String, String, bool)> = Vec::new();
+    let mut acquired: BTreeSet<String> = BTreeSet::new();
+    let mut callees: BTreeSet<String> = BTreeSet::new();
+    let mut while_held: Vec<(Vec<String>, String, Site)> = Vec::new();
+
+    let mut i = bo;
+    while i <= bc && i < toks.len() {
+        let t = &toks[i];
+        if t.is_punct('{') {
+            depth += 1;
+            i += 1;
+            continue;
+        }
+        if t.is_punct('}') {
+            held.retain(|g| g.depth < depth);
+            depth = depth.saturating_sub(1);
+            i += 1;
+            continue;
+        }
+        if t.is_punct(';') {
+            held.retain(|g| !g.transient);
+            i += 1;
+            continue;
+        }
+        // `drop(guard)` releases a named guard early.
+        if t.is_ident("drop")
+            && toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+            && toks.get(i + 2).is_some_and(|n| n.kind == TokKind::Ident)
+            && toks.get(i + 3).is_some_and(|n| n.is_punct(')'))
+        {
+            let name = toks[i + 2].text.clone();
+            held.retain(|g| g.name.as_deref() != Some(name.as_str()));
+            i += 4;
+            continue;
+        }
+        // Method acquisition: `recv.lock()` / `recv.read()` / `.write()`.
+        if t.is_punct('.') && i > bo {
+            let is_acq = toks
+                .get(i + 1)
+                .is_some_and(|m| m.is_ident("lock") || m.is_ident("read") || m.is_ident("write"))
+                && toks.get(i + 2).is_some_and(|n| n.is_punct('('));
+            if is_acq && toks[i - 1].kind == TokKind::Ident {
+                let recv = &toks[i - 1].text;
+                if let Some(class) = locks.resolve(&crate_name, recv, impl_type.as_deref()) {
+                    let site_tok = &toks[i + 1];
+                    let site = Site {
+                        fi,
+                        line: site_tok.line,
+                        col: site_tok.col,
+                    };
+                    let call_end = file.partner(i + 2);
+                    record_acquisition(
+                        file,
+                        i,
+                        call_end,
+                        bo,
+                        depth,
+                        &class,
+                        &site,
+                        &mut held,
+                        &mut nestings,
+                    );
+                    acquired.insert(class);
+                    i = call_end + 1;
+                    continue;
+                }
+            }
+        }
+        // Free-fn call: helper acquisition or call-graph edge.
+        if t.kind == TokKind::Ident
+            && toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+            && !(i > 0 && (toks[i - 1].is_punct('.') || toks[i - 1].is_ident("fn")))
+        {
+            let name = t.text.clone();
+            if locks.helpers.contains(&name) {
+                let close = file.partner(i + 1);
+                if let Some(arg) = first_arg_ident(file, i + 1, close) {
+                    if let Some(class) = locks.resolve(&crate_name, &arg, impl_type.as_deref()) {
+                        let site = Site {
+                            fi,
+                            line: t.line,
+                            col: t.col,
+                        };
+                        record_acquisition(
+                            file,
+                            i,
+                            close,
+                            bo,
+                            depth,
+                            &class,
+                            &site,
+                            &mut held,
+                            &mut nestings,
+                        );
+                        acquired.insert(class);
+                    }
+                }
+            } else if locks.fn_names.contains(&name) && name != f.name {
+                callees.insert(name.clone());
+                if !held.is_empty() {
+                    while_held.push((
+                        held.iter().map(|g| g.class.clone()).collect(),
+                        name,
+                        Site {
+                            fi,
+                            line: t.line,
+                            col: t.col,
+                        },
+                    ));
+                }
+            }
+        } else if t.kind == TokKind::Ident
+            && i > 0
+            && toks[i - 1].is_punct('.')
+            && toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+            && locks.fn_names.contains(&t.text)
+        {
+            // Same-crate method call (name-matched).
+            callees.insert(t.text.clone());
+            if !held.is_empty() {
+                while_held.push((
+                    held.iter().map(|g| g.class.clone()).collect(),
+                    t.text.clone(),
+                    Site {
+                        fi,
+                        line: t.line,
+                        col: t.col,
+                    },
+                ));
+            }
+        }
+        i += 1;
+    }
+
+    for (site, held_class, new_class, reentrant) in nestings {
+        let msg = if reentrant {
+            format!("re-entrant acquisition: `{new_class}` is already held")
+        } else {
+            format!("`{new_class}` acquired while `{held_class}` is held")
+        };
+        let emitted = ctx.emit(
+            site.fi,
+            site.line,
+            site.col,
+            "D8",
+            Severity::Error,
+            msg,
+            D8_HINT,
+        );
+        if !reentrant {
+            edges.push(Edge {
+                from: held_class,
+                to: new_class,
+                site,
+                direct: true,
+            });
+            let _ = emitted; // pragma'd nestings still feed the graph
+        }
+    }
+    fn_locks.entry(fn_key.clone()).or_default().extend(acquired);
+    fn_callees.entry(fn_key).or_default().extend(callees);
+    for (h, c, s) in while_held {
+        held_calls.push((crate_name.clone(), h, c, s));
+    }
+}
+
+/// Registers one acquisition: nesting records against held guards,
+/// then the new guard with its binding lifetime.
+#[allow(clippy::too_many_arguments)]
+fn record_acquisition(
+    file: &FileModel,
+    acq_idx: usize,
+    call_end: usize,
+    body_open: usize,
+    depth: usize,
+    class: &str,
+    site: &Site,
+    held: &mut Vec<Guard>,
+    nestings: &mut Vec<(Site, String, String, bool)>,
+) {
+    for g in held.iter() {
+        nestings.push((
+            site.clone(),
+            g.class.clone(),
+            class.to_string(),
+            g.class == class,
+        ));
+    }
+    let (name, until_block) = binding_of(file, acq_idx, call_end, body_open);
+    held.push(Guard {
+        class: class.to_string(),
+        name,
+        depth,
+        transient: !until_block,
+    });
+}
+
+/// Determines how long the guard produced at `acq_idx` lives: a plain
+/// `let g = <acquire>(.unwrap()/…)?;` binds to end of block; anything
+/// else (chained access, expression position) is a temporary that dies
+/// at the statement's `;`.
+fn binding_of(
+    file: &FileModel,
+    acq_idx: usize,
+    call_end: usize,
+    body_open: usize,
+) -> (Option<String>, bool) {
+    let toks = &file.toks;
+    // Statement start: walk back to the previous `;`, `{`, `}` or `=>`.
+    let mut s = acq_idx;
+    while s > body_open {
+        let t = &toks[s - 1];
+        if t.is_punct(';') || t.is_punct('{') || t.is_punct('}') {
+            break;
+        }
+        if t.is_punct('>') && s >= 2 && toks[s - 2].is_punct('=') && adjacent(&toks[s - 2], t) {
+            break;
+        }
+        s -= 1;
+    }
+    if !toks.get(s).is_some_and(|t| t.is_ident("let")) {
+        return (None, false);
+    }
+    let mut j = s + 1;
+    if toks.get(j).is_some_and(|t| t.is_ident("mut")) {
+        j += 1;
+    }
+    let name = toks
+        .get(j)
+        .filter(|t| t.kind == TokKind::Ident)
+        .map(|t| t.text.clone());
+    // Tail after the acquiring call: only error-handling chains and
+    // `?` may follow before the `;` for the guard to be block-lived.
+    let mut k = call_end + 1;
+    loop {
+        let Some(t) = toks.get(k) else {
+            return (name, false);
+        };
+        if t.is_punct(';') {
+            return (name, true);
+        }
+        if t.is_punct('?') {
+            k += 1;
+            continue;
+        }
+        if t.is_punct('.')
+            && toks.get(k + 1).is_some_and(|m| {
+                matches!(
+                    m.text.as_str(),
+                    "unwrap" | "expect" | "unwrap_or_else" | "unwrap_or" | "map_err"
+                )
+            })
+            && toks.get(k + 2).is_some_and(|n| n.is_punct('('))
+        {
+            k = file.partner(k + 2) + 1;
+            continue;
+        }
+        return (name, false);
+    }
+}
+
+/// Last identifier of the first argument inside `(open..close)`.
+fn first_arg_ident(file: &FileModel, open: usize, close: usize) -> Option<String> {
+    let toks = &file.toks;
+    let mut last = None;
+    let mut k = open + 1;
+    while k < close {
+        let t = &toks[k];
+        if t.is_punct(',') {
+            break;
+        }
+        if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+            k = file.partner(k) + 1;
+            continue;
+        }
+        if t.kind == TokKind::Ident {
+            last = Some(t.text.clone());
+        }
+        k += 1;
+    }
+    last
+}
+
+/// SCC detection over the order graph; one error per non-trivial SCC.
+fn report_lock_cycles(ctx: &mut Ctx<'_>, edges: &[Edge]) {
+    let mut adj: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    let mut nodes: BTreeSet<&str> = BTreeSet::new();
+    for e in edges {
+        adj.entry(&e.from).or_default().insert(&e.to);
+        nodes.insert(&e.from);
+        nodes.insert(&e.to);
+    }
+    // Kosaraju: order by completion, then assign on the transpose.
+    let mut order: Vec<&str> = Vec::new();
+    let mut seen: BTreeSet<&str> = BTreeSet::new();
+    for &n in &nodes {
+        if seen.contains(n) {
+            continue;
+        }
+        // Iterative DFS with an explicit done-marker frame.
+        let mut stack: Vec<(&str, bool)> = vec![(n, false)];
+        while let Some((v, done)) = stack.pop() {
+            if done {
+                order.push(v);
+                continue;
+            }
+            if !seen.insert(v) {
+                continue;
+            }
+            stack.push((v, true));
+            if let Some(next) = adj.get(v) {
+                for &w in next {
+                    if !seen.contains(w) {
+                        stack.push((w, false));
+                    }
+                }
+            }
+        }
+    }
+    let mut radj: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for e in edges {
+        radj.entry(&e.to).or_default().insert(&e.from);
+    }
+    let mut comp: BTreeMap<&str, usize> = BTreeMap::new();
+    let mut n_comp = 0usize;
+    for &n in order.iter().rev() {
+        if comp.contains_key(n) {
+            continue;
+        }
+        let mut stack = vec![n];
+        while let Some(v) = stack.pop() {
+            if comp.contains_key(v) {
+                continue;
+            }
+            comp.insert(v, n_comp);
+            if let Some(prev) = radj.get(v) {
+                for &w in prev {
+                    if !comp.contains_key(w) {
+                        stack.push(w);
+                    }
+                }
+            }
+        }
+        n_comp += 1;
+    }
+    for c in 0..n_comp {
+        let members: Vec<&str> = comp
+            .iter()
+            .filter(|(_, &cc)| cc == c)
+            .map(|(&n, _)| n)
+            .collect();
+        if members.len() < 2 {
+            continue;
+        }
+        // Representative site: the first direct edge inside the SCC
+        // (fall back to a derived one), by (file, line, col).
+        let mut in_scc: Vec<&Edge> = edges
+            .iter()
+            .filter(|e| members.contains(&e.from.as_str()) && members.contains(&e.to.as_str()))
+            .collect();
+        in_scc.sort_by_key(|e| {
+            (
+                !e.direct,
+                ctx.files[e.site.fi].label.clone(),
+                e.site.line,
+                e.site.col,
+            )
+        });
+        let Some(rep) = in_scc.first() else { continue };
+        let label = ctx.files[rep.site.fi].label.clone();
+        let (line, col) = (rep.site.line, rep.site.col);
+        ctx.emit_raw(
+            &label,
+            line,
+            col,
+            "D8",
+            Severity::Error,
+            format!("lock-order cycle between {}", members.join(" <-> ")),
+            D8_HINT,
+        );
+    }
+}
+
+// ---------------------------------------------------------------- D9
+
+/// Crates whose request/worker/item bodies are panic-supervised.
+const D9_CRATES: &[&str] = &["ca-serve", "ca-shard", "ca-exec"];
+
+fn check_panic_path(ctx: &mut Ctx<'_>) {
+    let mut sites: Vec<(usize, usize, usize, String)> = Vec::new();
+    for (fi, file) in ctx.files.iter().enumerate() {
+        if !D9_CRATES.contains(&file.crate_name.as_str()) {
+            continue;
+        }
+        for f in &file.fns {
+            if f.is_test {
+                continue;
+            }
+            let Some((bo, bc)) = f.body else { continue };
+            let toks = &file.toks;
+            for i in bo..=bc.min(toks.len().saturating_sub(1)) {
+                let t = &toks[i];
+                // `.unwrap()` / `.expect(..)`.
+                if t.is_punct('.')
+                    && toks
+                        .get(i + 1)
+                        .is_some_and(|m| m.is_ident("unwrap") || m.is_ident("expect"))
+                    && toks.get(i + 2).is_some_and(|n| n.is_punct('('))
+                {
+                    let m = &toks[i + 1];
+                    if !exempt(file, i + 1, m.line) {
+                        sites.push((fi, m.line, m.col, format!("`.{}()` may panic", m.text)));
+                    }
+                }
+                // Slice/array index `x[i]` (ranges are out of scope).
+                if t.is_punct('[') && i > bo {
+                    let prev = &toks[i - 1];
+                    // A keyword before `[` means a slice pattern
+                    // (`let [a, b] = ..`), not an index expression.
+                    let keyword = matches!(
+                        prev.text.as_str(),
+                        "let"
+                            | "ref"
+                            | "mut"
+                            | "in"
+                            | "if"
+                            | "else"
+                            | "while"
+                            | "for"
+                            | "match"
+                            | "return"
+                            | "move"
+                            | "as"
+                            | "box"
+                            | "break"
+                            | "continue"
+                    );
+                    let indexes = (prev.kind == TokKind::Ident && !keyword)
+                        || prev.is_punct(')')
+                        || prev.is_punct(']');
+                    let close = file.partner(i);
+                    if indexes
+                        && close > i + 1
+                        && !has_top_level_range(file, i, close)
+                        && !exempt(file, i, t.line)
+                    {
+                        sites.push((fi, t.line, t.col, "indexing may panic".to_string()));
+                    }
+                }
+            }
+        }
+    }
+    for (fi, line, col, what) in sites {
+        ctx.emit(
+            fi,
+            line,
+            col,
+            "D9",
+            Severity::Warning,
+            format!("{what} in a supervised region"),
+            D9_HINT,
+        );
+    }
+}
+
+/// D9 exemptions that don't need the pragma ledger: inside a
+/// `catch_unwind(..)` argument, or annotated `// PANIC-OK:`.
+fn exempt(file: &FileModel, idx: usize, line: usize) -> bool {
+    file.catch_ranges.iter().any(|&(o, c)| o < idx && idx < c) || file.scrub.has_panic_ok(line)
+}
+
+/// Whether `(open..close)` contains a `..` at bracket top level.
+fn has_top_level_range(file: &FileModel, open: usize, close: usize) -> bool {
+    let toks = &file.toks;
+    let mut k = open + 1;
+    while k < close {
+        let t = &toks[k];
+        if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+            k = file.partner(k) + 1;
+            continue;
+        }
+        if t.is_punct('.')
+            && toks
+                .get(k + 1)
+                .is_some_and(|n| n.is_punct('.') && adjacent(t, n))
+        {
+            return true;
+        }
+        k += 1;
+    }
+    false
+}
+
+// --------------------------------------------------------------- D10
+
+#[derive(Default)]
+struct TagSide {
+    /// tag -> (variant name if known, site, decoder-guard-has-version).
+    tags: BTreeMap<u64, (Option<String>, Site, bool)>,
+    /// tag -> every `Head::Variant` path in the decoder arm body. Arm
+    /// bodies construct nested enums (field decoders) before the outer
+    /// variant, so the real variant is resolved against the encoder's
+    /// enum name once both sides are known.
+    cands: BTreeMap<u64, Vec<(String, String)>>,
+    dups: Vec<(u64, Site)>,
+    enum_name: Option<String>,
+    has_wildcard: bool,
+    fn_site: Option<Site>,
+}
+
+fn check_protocol_drift(ctx: &mut Ctx<'_>) {
+    // (crate, direction) -> encoder/decoder tag tables.
+    let mut enc: BTreeMap<(String, String), TagSide> = BTreeMap::new();
+    let mut dec: BTreeMap<(String, String), TagSide> = BTreeMap::new();
+    for (fi, file) in ctx.files.iter().enumerate() {
+        for f in &file.fns {
+            if f.is_test || f.body.is_none() {
+                continue;
+            }
+            let (is_enc, dir) = if let Some(d) = f.name.strip_prefix("encode_") {
+                (true, d.to_string())
+            } else if let Some(d) = f.name.strip_prefix("decode_") {
+                (false, d.to_string())
+            } else {
+                continue;
+            };
+            let key = (file.crate_name.clone(), dir);
+            let side = if is_enc {
+                extract_encoder(file, fi, f.body.unwrap())
+            } else {
+                extract_decoder(file, fi, f.body.unwrap())
+            };
+            let Some(mut side) = side else { continue };
+            side.fn_site = Some(Site {
+                fi,
+                line: f.line,
+                col: f.col,
+            });
+            let table = if is_enc { &mut enc } else { &mut dec };
+            let entry = table.entry(key).or_default();
+            merge_side(entry, side);
+        }
+    }
+
+    let keys: BTreeSet<(String, String)> = enc.keys().chain(dec.keys()).cloned().collect();
+    for key in keys {
+        let e = enc.remove(&key).unwrap_or_default();
+        let mut d = dec.remove(&key).unwrap_or_default();
+        if e.tags.is_empty() && d.tags.is_empty() {
+            continue; // length-prefixed codecs with no tag byte (ca-shard)
+        }
+        resolve_decoder_variants(&mut d, e.enum_name.as_deref());
+        let (crate_name, dir) = &key;
+        for (tag, site) in e.dups.iter().chain(d.dups.iter()) {
+            let s = site.clone();
+            ctx.emit(
+                s.fi,
+                s.line,
+                s.col,
+                "D10",
+                Severity::Error,
+                format!("duplicate wire tag {tag} for direction `{dir}`"),
+                D10_HINT,
+            );
+        }
+        for (tag, (variant, site, _)) in &e.tags {
+            match d.tags.get(tag) {
+                None if !d.tags.is_empty() || d.fn_site.is_some() => {
+                    let v = variant.clone().unwrap_or_else(|| format!("tag {tag}"));
+                    ctx.emit(
+                        site.fi,
+                        site.line,
+                        site.col,
+                        "D10",
+                        Severity::Error,
+                        format!("`{v}` (tag {tag}) is encoded but has no decoder arm"),
+                        D10_HINT,
+                    );
+                }
+                Some((dvar, dsite, _)) => {
+                    if let (Some(ev), Some(dv)) = (variant, dvar) {
+                        if ev != dv {
+                            ctx.emit(
+                                dsite.fi,
+                                dsite.line,
+                                dsite.col,
+                                "D10",
+                                Severity::Error,
+                                format!(
+                                    "tag {tag} encodes `{ev}` but decodes `{dv}` (direction `{dir}`)"
+                                ),
+                                D10_HINT,
+                            );
+                        }
+                    }
+                }
+                None => {}
+            }
+        }
+        for (tag, (variant, site, _)) in &d.tags {
+            if !e.tags.contains_key(tag) && (!e.tags.is_empty() || e.fn_site.is_some()) {
+                let v = variant.clone().unwrap_or_else(|| format!("tag {tag}"));
+                ctx.emit(
+                    site.fi,
+                    site.line,
+                    site.col,
+                    "D10",
+                    Severity::Error,
+                    format!("`{v}` (tag {tag}) is decoded but has no encoder arm"),
+                    D10_HINT,
+                );
+            }
+        }
+        if let Some(fs) = &d.fn_site {
+            if !d.tags.is_empty() && !d.has_wildcard {
+                ctx.emit(
+                    fs.fi,
+                    fs.line,
+                    fs.col,
+                    "D10",
+                    Severity::Error,
+                    format!("decoder for `{dir}` has no wildcard arm rejecting unknown tags"),
+                    D10_HINT,
+                );
+            }
+        }
+        check_caps(
+            ctx,
+            crate_name,
+            dir,
+            e.fn_site.as_ref().or(d.fn_site.as_ref()),
+        );
+        check_wire_docs(ctx, crate_name, dir, &e, &d);
+    }
+}
+
+/// Fills each decoder tag's variant from its candidate paths: the one
+/// whose head matches the encoder's enum, or — for decoder-only
+/// directions — the first head that isn't a std wrapper or error type.
+fn resolve_decoder_variants(d: &mut TagSide, encoder_enum: Option<&str>) {
+    let guessed = encoder_enum.map(str::to_string).or_else(|| {
+        d.cands
+            .values()
+            .flatten()
+            .find(|(h, _)| {
+                !matches!(h.as_str(), "Ok" | "Err" | "Some" | "None") && !h.ends_with("Error")
+            })
+            .map(|(h, _)| h.clone())
+    });
+    let Some(en) = guessed else { return };
+    for (tag, info) in d.tags.iter_mut() {
+        if info.0.is_none() {
+            info.0 = d
+                .cands
+                .get(tag)
+                .and_then(|cs| cs.iter().find(|(h, _)| *h == en).map(|(_, v)| v.clone()));
+        }
+    }
+    d.enum_name.get_or_insert(en);
+}
+
+fn merge_side(into: &mut TagSide, from: TagSide) {
+    for (tag, v) in from.tags {
+        match into.tags.entry(tag) {
+            std::collections::btree_map::Entry::Occupied(_) => into.dups.push((tag, v.1.clone())),
+            std::collections::btree_map::Entry::Vacant(slot) => {
+                slot.insert(v);
+            }
+        }
+    }
+    for (tag, cs) in from.cands {
+        into.cands.entry(tag).or_default().extend(cs);
+    }
+    into.dups.extend(from.dups);
+    into.enum_name = into.enum_name.take().or(from.enum_name);
+    into.has_wildcard |= from.has_wildcard;
+    into.fn_site = into.fn_site.take().or(from.fn_site);
+}
+
+/// A `match` arm: pattern and body token ranges (`[start, end)`).
+struct Arm {
+    pat: (usize, usize),
+    body: (usize, usize),
+}
+
+/// Iterates the arms of the match whose brace pair is `(open, close)`.
+fn match_arms(file: &FileModel, open: usize, close: usize) -> Vec<Arm> {
+    let toks = &file.toks;
+    let mut arms = Vec::new();
+    let mut i = open + 1;
+    while i < close {
+        let pat_start = i;
+        let mut arrow = None;
+        while i < close {
+            let t = &toks[i];
+            if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                i = file.partner(i) + 1;
+                continue;
+            }
+            if file.is_fat_arrow(i) {
+                arrow = Some(i);
+                break;
+            }
+            i += 1;
+        }
+        let Some(arrow) = arrow else { break };
+        let body_start = arrow + 2;
+        let body_end;
+        if toks.get(body_start).is_some_and(|t| t.is_punct('{')) {
+            body_end = file.partner(body_start) + 1;
+            i = body_end;
+            if toks.get(i).is_some_and(|t| t.is_punct(',')) {
+                i += 1;
+            }
+        } else {
+            let mut j = body_start;
+            while j < close {
+                let t = &toks[j];
+                if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                    j = file.partner(j) + 1;
+                    continue;
+                }
+                if t.is_punct(',') {
+                    break;
+                }
+                j += 1;
+            }
+            body_end = j;
+            i = j + 1;
+        }
+        arms.push(Arm {
+            pat: (pat_start, arrow),
+            body: (body_start, body_end),
+        });
+    }
+    arms
+}
+
+/// All `match` brace pairs in a body, in source order.
+fn find_matches(file: &FileModel, bo: usize, bc: usize) -> Vec<(usize, usize)> {
+    let toks = &file.toks;
+    let mut out = Vec::new();
+    let mut i = bo;
+    while i <= bc && i < toks.len() {
+        if toks[i].is_ident("match") {
+            let mut j = i + 1;
+            while j <= bc && j < toks.len() {
+                let t = &toks[j];
+                if t.is_punct('(') || t.is_punct('[') {
+                    j = file.partner(j) + 1;
+                    continue;
+                }
+                if t.is_punct('{') {
+                    out.push((j, file.partner(j)));
+                    break;
+                }
+                j += 1;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// First `A::B` path in `[from, to)` matching `enum_name` (or any
+/// plausibly enum-like path when the enum is unknown).
+fn first_variant_path(
+    file: &FileModel,
+    from: usize,
+    to: usize,
+    enum_name: Option<&str>,
+) -> Option<(String, String)> {
+    let toks = &file.toks;
+    let mut fallback = None;
+    let mut k = from;
+    while k + 3 < toks.len() && k < to {
+        if toks[k].kind == TokKind::Ident
+            && file.is_path_sep(k + 1)
+            && toks.get(k + 3).is_some_and(|t| t.kind == TokKind::Ident)
+        {
+            let a = toks[k].text.clone();
+            let b = toks[k + 3].text.clone();
+            let caps = |s: &str| s.chars().next().is_some_and(char::is_uppercase);
+            if caps(&a) && caps(&b) {
+                if enum_name == Some(a.as_str()) {
+                    return Some((a, b));
+                }
+                if enum_name.is_none()
+                    && fallback.is_none()
+                    && !matches!(a.as_str(), "Ok" | "Err" | "Some" | "None")
+                    && !a.ends_with("Error")
+                {
+                    fallback = Some((a, b));
+                }
+            }
+        }
+        k += 1;
+    }
+    if enum_name.is_none() {
+        fallback
+    } else {
+        None
+    }
+}
+
+/// Every `Head::Variant` path in `[from, to)` with a capitalised head
+/// that isn't a std wrapper, in source order.
+fn all_variant_paths(file: &FileModel, from: usize, to: usize) -> Vec<(String, String)> {
+    let toks = &file.toks;
+    let mut out = Vec::new();
+    let mut k = from;
+    while k + 3 < toks.len() && k < to {
+        if toks[k].kind == TokKind::Ident
+            && file.is_path_sep(k + 1)
+            && toks.get(k + 3).is_some_and(|t| t.kind == TokKind::Ident)
+        {
+            let a = toks[k].text.clone();
+            let b = toks[k + 3].text.clone();
+            let caps = |s: &str| s.chars().next().is_some_and(char::is_uppercase);
+            if caps(&a) && caps(&b) && !matches!(a.as_str(), "Ok" | "Err" | "Some" | "None") {
+                out.push((a, b));
+            }
+        }
+        k += 1;
+    }
+    out
+}
+
+/// Encoder extraction: the first match whose arms pattern on
+/// `Enum::Variant`; tag = first `push(<int>)` in each arm body.
+fn extract_encoder(file: &FileModel, fi: usize, body: (usize, usize)) -> Option<TagSide> {
+    let toks = &file.toks;
+    for (open, close) in find_matches(file, body.0, body.1) {
+        let arms = match_arms(file, open, close);
+        let mut side = TagSide::default();
+        for arm in &arms {
+            let Some((e, v)) = first_variant_path(file, arm.pat.0, arm.pat.1, None) else {
+                continue;
+            };
+            side.enum_name.get_or_insert(e);
+            // First `push(<int>)` in the arm body is the tag write.
+            let mut tag = None;
+            let mut site = None;
+            let mut k = arm.body.0;
+            while k < arm.body.1 && k + 2 < toks.len() {
+                if toks[k].is_ident("push")
+                    && toks[k + 1].is_punct('(')
+                    && toks[k + 2].kind == TokKind::Num
+                {
+                    tag = parse_int(&toks[k + 2].text);
+                    site = Some(Site {
+                        fi,
+                        line: toks[k + 2].line,
+                        col: toks[k + 2].col,
+                    });
+                    break;
+                }
+                k += 1;
+            }
+            if let (Some(tag), Some(site)) = (tag, site) {
+                match side.tags.entry(tag) {
+                    std::collections::btree_map::Entry::Occupied(_) => {
+                        side.dups.push((tag, site));
+                    }
+                    std::collections::btree_map::Entry::Vacant(slot) => {
+                        slot.insert((Some(v), site, false));
+                    }
+                }
+            }
+        }
+        if !side.tags.is_empty() {
+            return Some(side);
+        }
+    }
+    None
+}
+
+/// Decoder extraction: the first match with integer-literal arm
+/// patterns is the tag dispatch.
+fn extract_decoder(file: &FileModel, fi: usize, body: (usize, usize)) -> Option<TagSide> {
+    let toks = &file.toks;
+    for (open, close) in find_matches(file, body.0, body.1) {
+        let arms = match_arms(file, open, close);
+        let mut side = TagSide::default();
+        for arm in &arms {
+            let first = &toks[arm.pat.0];
+            if first.kind == TokKind::Num {
+                let Some(tag) = parse_int(&first.text) else {
+                    continue;
+                };
+                let guard_has_version = (arm.pat.0..arm.pat.1).any(|k| toks[k].is_ident("if"))
+                    && (arm.pat.0..arm.pat.1).any(|k| toks[k].is_ident("version"));
+                let site = Site {
+                    fi,
+                    line: first.line,
+                    col: first.col,
+                };
+                if side.tags.contains_key(&tag) {
+                    side.dups.push((tag, site));
+                } else {
+                    side.cands
+                        .insert(tag, all_variant_paths(file, arm.body.0, arm.body.1));
+                    side.tags.insert(tag, (None, site, guard_has_version));
+                }
+            } else if (first.kind == TokKind::Ident || first.is_punct('_'))
+                && arm.pat.1 == arm.pat.0 + 1
+            {
+                side.has_wildcard = true;
+            }
+        }
+        if !side.tags.is_empty() {
+            return Some(side);
+        }
+    }
+    None
+}
+
+fn parse_int(text: &str) -> Option<u64> {
+    let t = text.replace('_', "");
+    let t = t
+        .trim_end_matches(|c: char| c.is_ascii_alphabetic())
+        .to_string();
+    t.parse().ok()
+}
+
+/// A referenced `MAX_<DIRECTION>*` cap const must exist in the crate.
+fn check_caps(ctx: &mut Ctx<'_>, crate_name: &str, dir: &str, at: Option<&Site>) {
+    let want = format!("MAX_{}", dir.to_uppercase());
+    let mut decl = false;
+    let mut uses = 0usize;
+    for file in ctx.files.iter().filter(|f| f.crate_name == crate_name) {
+        for (i, t) in file.toks.iter().enumerate() {
+            if t.kind == TokKind::Ident && t.text.starts_with(&want) {
+                if i > 0
+                    && (file.toks[i - 1].is_ident("const") || file.toks[i - 1].is_ident("static"))
+                {
+                    decl = true;
+                } else {
+                    uses += 1;
+                }
+            }
+        }
+    }
+    if !(decl && uses >= 1) {
+        if let Some(s) = at {
+            ctx.emit(
+                s.fi,
+                s.line,
+                s.col,
+                "D10",
+                Severity::Error,
+                format!("no referenced `{want}*` size cap for wire direction `{dir}`"),
+                D10_HINT,
+            );
+        }
+    }
+}
+
+/// Every codec variant needs a `wire v1` / `wire v2` doc note; v2-only
+/// frames must be behind a version guard in the decoder.
+fn check_wire_docs(ctx: &mut Ctx<'_>, crate_name: &str, dir: &str, e: &TagSide, d: &TagSide) {
+    let Some(enum_name) = e.enum_name.clone().or_else(|| d.enum_name.clone()) else {
+        return;
+    };
+    let Some((fi, en)) = ctx
+        .files
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| f.crate_name == crate_name)
+        .find_map(|(fi, f)| {
+            f.enums
+                .iter()
+                .find(|en| en.name == enum_name)
+                .map(|en| (fi, en))
+        })
+    else {
+        return;
+    };
+    let variants: Vec<(String, usize, usize, String)> = en
+        .variants
+        .iter()
+        .map(|v| (v.name.clone(), v.line, v.col, v.doc.clone()))
+        .collect();
+    for (name, line, col, doc) in variants {
+        let v1 = doc.contains("wire v1");
+        let v2 = doc.contains("wire v2");
+        if !v1 && !v2 {
+            ctx.emit(
+                fi,
+                line,
+                col,
+                "D10",
+                Severity::Warning,
+                format!("`{enum_name}::{name}` has no wire-version note (direction `{dir}`)"),
+                D10_HINT,
+            );
+            continue;
+        }
+        if v2 && !v1 {
+            // v2-only frame: its decoder arm must be version-guarded.
+            let guarded = d
+                .tags
+                .values()
+                .any(|(dv, _, g)| dv.as_deref() == Some(name.as_str()) && *g);
+            let decoded = d
+                .tags
+                .values()
+                .any(|(dv, _, _)| dv.as_deref() == Some(name.as_str()));
+            if decoded && !guarded {
+                ctx.emit(
+                    fi,
+                    line,
+                    col,
+                    "D10",
+                    Severity::Error,
+                    format!("v2-only `{enum_name}::{name}` is decoded without a version guard"),
+                    D10_HINT,
+                );
+            }
+        }
+    }
+}
+
+// --------------------------------------------------------------- D11
+
+fn check_metric_inventory(ctx: &mut Ctx<'_>) {
+    let prefixes: Option<(usize, usize, Vec<String>)> =
+        ctx.files.iter().enumerate().find_map(|(fi, f)| {
+            f.str_consts
+                .iter()
+                .find(|c| c.name == "INSTRUMENTED_PREFIXES")
+                .map(|c| (fi, c.line, c.values.clone()))
+        });
+    // (name, kind, class, fi, line, col) for every live literal site.
+    let mut named: Vec<(String, MetricKind, String, usize, usize, usize)> = Vec::new();
+    let mut pending: Vec<(usize, usize, usize, Severity, String)> = Vec::new();
+    for (fi, file) in ctx.files.iter().enumerate() {
+        for s in &file.metric_sites {
+            if s.is_test {
+                continue;
+            }
+            let Some(name) = &s.name else {
+                pending.push((
+                    fi,
+                    s.line,
+                    s.col,
+                    Severity::Warning,
+                    format!("{} name must be a string literal", s.kind.label()),
+                ));
+                continue;
+            };
+            if !taxonomy_ok(name) {
+                pending.push((
+                    fi,
+                    s.line,
+                    s.col,
+                    Severity::Warning,
+                    format!("metric `{name}` does not parse into the taxonomy"),
+                ));
+                continue;
+            }
+            let prefix = prefix_of(name);
+            if let Some((_, _, values)) = &prefixes {
+                if !values.contains(&prefix) {
+                    pending.push((
+                        fi,
+                        s.line,
+                        s.col,
+                        Severity::Warning,
+                        format!(
+                            "metric `{name}`: prefix `{prefix}` is not in INSTRUMENTED_PREFIXES"
+                        ),
+                    ));
+                }
+            }
+            let expected = format!("{}.", file.crate_name.replace('-', "_"));
+            if prefix != expected {
+                pending.push((
+                    fi,
+                    s.line,
+                    s.col,
+                    Severity::Warning,
+                    format!(
+                        "metric `{name}` is recorded under `{prefix}` from crate `{}`",
+                        file.crate_name
+                    ),
+                ));
+            }
+            let class = s.class.clone().unwrap_or_else(|| "-".to_string());
+            named.push((name.clone(), s.kind, class, fi, s.line, s.col));
+        }
+    }
+    for (fi, line, col, sev, msg) in pending {
+        ctx.emit(fi, line, col, "D11", sev, msg, D11_HINT);
+    }
+    // Signature collisions: the registry fixes (kind, class) at first
+    // registration, so a second signature is silent data corruption.
+    named.sort_by(|a, b| {
+        (&a.0, &ctx.files[a.3].label, a.4).cmp(&(&b.0, &ctx.files[b.3].label, b.4))
+    });
+    let mut first_sig: BTreeMap<&str, (MetricKind, &str, usize, usize)> = BTreeMap::new();
+    let mut collisions: Vec<(usize, usize, usize, String)> = Vec::new();
+    for (name, kind, class, fi, line, col) in &named {
+        match first_sig.get(name.as_str()) {
+            None => {
+                first_sig.insert(name, (*kind, class, *fi, *line));
+            }
+            Some((k0, c0, fi0, l0)) => {
+                if k0 != kind || *c0 != class.as_str() {
+                    let msg = format!(
+                        "metric `{name}` re-registered as {}/{class}; first registered as {}/{c0} at {}:{l0}",
+                        kind.label(),
+                        k0.label(),
+                        ctx.files[*fi0].label,
+                    );
+                    collisions.push((*fi, *line, *col, msg));
+                }
+            }
+        }
+    }
+    for (fi, line, col, msg) in collisions {
+        ctx.emit(fi, line, col, "D11", Severity::Error, msg, D11_HINT);
+    }
+    // Stale prefixes: a declared prefix with no live site is debt.
+    if let Some((fi, line, values)) = prefixes {
+        if !named.is_empty() {
+            for p in values {
+                if !named.iter().any(|(n, ..)| prefix_of(n) == p) {
+                    ctx.emit(
+                        fi,
+                        line,
+                        1,
+                        "D11",
+                        Severity::Warning,
+                        format!("INSTRUMENTED_PREFIXES entry `{p}` has no metric site"),
+                        D11_HINT,
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// `ca_x.seg(.seg)*`: lower-case dotted path with ≥ 2 segments.
+fn taxonomy_ok(name: &str) -> bool {
+    let segs: Vec<&str> = name.split('.').collect();
+    segs.len() >= 2
+        && segs.iter().all(|s| {
+            !s.is_empty()
+                && s.bytes()
+                    .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'_')
+        })
+        && name.as_bytes()[0].is_ascii_lowercase()
+}
+
+/// The taxonomy prefix: everything up to and including the first dot.
+pub fn prefix_of(name: &str) -> String {
+    match name.find('.') {
+        Some(i) => name[..=i].to_string(),
+        None => name.to_string(),
+    }
+}
+
+// --------------------------------------------------------------- D12
+
+/// The README marker that opens the checked env-var table.
+pub const ENV_TABLE_SENTINEL: &str = "<!-- ca-audit:env-table -->";
+
+fn check_env_inventory(ctx: &mut Ctx<'_>) {
+    let Some((readme_label, readme)) = ctx.readme else {
+        return;
+    };
+    let readme_label = readme_label.to_string();
+    let mut table: BTreeMap<String, usize> = BTreeMap::new();
+    let mut dup_rows: Vec<(String, usize)> = Vec::new();
+    let mut in_table = false;
+    let mut saw_sentinel = false;
+    for (lno, line) in readme.lines().enumerate() {
+        let lno = lno + 1;
+        if line.contains(ENV_TABLE_SENTINEL) {
+            in_table = true;
+            saw_sentinel = true;
+            continue;
+        }
+        if !in_table {
+            continue;
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() && table.is_empty() {
+            continue; // blank line between sentinel and table head
+        }
+        if !trimmed.starts_with('|') {
+            in_table = false;
+            continue;
+        }
+        // Row name: the first `CA_*` between backticks.
+        let Some(name) = trimmed.split('`').nth(1).filter(|n| looks_like_env(n)) else {
+            continue; // header / separator rows
+        };
+        if table.insert(name.to_string(), lno).is_some() {
+            dup_rows.push((name.to_string(), lno));
+        }
+    }
+
+    // Live reads grouped by var, first site wins for reporting.
+    let mut reads: BTreeMap<String, (usize, usize, usize)> = BTreeMap::new();
+    for (fi, file) in ctx.files.iter().enumerate() {
+        for s in &file.env_sites {
+            if s.is_test {
+                continue;
+            }
+            reads.entry(s.name.clone()).or_insert((fi, s.line, s.col));
+        }
+    }
+    if reads.is_empty() && table.is_empty() {
+        return;
+    }
+    if !saw_sentinel {
+        ctx.emit_raw(
+            &readme_label,
+            1,
+            1,
+            "D12",
+            Severity::Error,
+            "README has no `ca-audit:env-table` sentinel for the CA_* env-var table".to_string(),
+            D12_HINT,
+        );
+        return;
+    }
+    for (name, lno) in dup_rows {
+        ctx.emit_raw(
+            &readme_label,
+            lno,
+            1,
+            "D12",
+            Severity::Error,
+            format!("duplicate env-table row for `{name}`"),
+            D12_HINT,
+        );
+    }
+    for (name, (fi, line, col)) in &reads {
+        if !table.contains_key(name) {
+            ctx.emit(
+                *fi,
+                *line,
+                *col,
+                "D12",
+                Severity::Error,
+                format!("env var `{name}` is read here but missing from the README env-var table"),
+                D12_HINT,
+            );
+        }
+    }
+    for (name, lno) in &table {
+        if !reads.contains_key(name) {
+            ctx.emit_raw(
+                &readme_label,
+                *lno,
+                1,
+                "D12",
+                Severity::Error,
+                format!("documented env var `{name}` has no reader in the workspace"),
+                D12_HINT,
+            );
+        }
+    }
+}
+
+/// `CA_`-prefixed upper-snake name, as the model extracts from code.
+fn looks_like_env(s: &str) -> bool {
+    s.len() > 3
+        && s.starts_with("CA_")
+        && s.bytes()
+            .all(|b| b.is_ascii_uppercase() || b.is_ascii_digit() || b == b'_')
+}

@@ -1,4 +1,4 @@
-//! `ca-audit` — the workspace's invariant auditor (DESIGN.md §10).
+//! `ca-audit` — the workspace's invariant auditor (DESIGN.md §10, §15).
 //!
 //! The reproduction's core guarantees — canonical CA-matrix bytes and
 //! `.cam` exports identical at any thread count and across crash-resume
@@ -8,12 +8,16 @@
 //! This crate enforces those conventions as machine-checked rules over
 //! the workspace's own sources.
 //!
-//! The analyzer is a comment- and string-literal-aware token scanner:
-//! no rustc internals, no nightly, no dependencies. It scrubs comments
-//! and string/char literals out of each source file (so rule tokens in
-//! docs, messages and fixtures never fire), tracks `#[cfg(test)]`
-//! regions, and then searches the remaining code text for each rule's
-//! forbidden tokens with identifier-boundary checks.
+//! The analyzer is dependency-free and built in two layers:
+//!
+//! 1. A real Rust lexer ([`lexer`]) — nested block comments, raw
+//!    strings, lifetimes vs. char literals — feeding a scrubbed
+//!    code-only view ([`scrub`]) that the token rules D1–D7 search.
+//! 2. An item-level workspace model ([`model`]) — functions with impl
+//!    context and body spans, lock fields and statics, enums with
+//!    variant docs, metric-macro and `CA_*` env sites — that the
+//!    analysis rules D8–D12 ([`checks`]) reason over: lock order,
+//!    panic paths, protocol drift, metric and env inventories.
 //!
 //! Suppressions are explicit and audited themselves:
 //!
@@ -25,13 +29,19 @@
 //! A pragma covers its own line and the next line, must name a known
 //! rule, must carry a non-empty reason, and must actually suppress
 //! something — malformed or unused pragmas are findings in their own
-//! right. See [`rules::rules`] for the rule table.
+//! right, and an unused pragma points at its own `file:line:col`. See
+//! [`rules::rules`] and [`rules::analysis_rules`] for the rule tables.
 
+pub mod baseline;
+pub mod checks;
+pub mod lexer;
+pub mod model;
 pub mod rules;
 pub mod scrub;
 
+use model::FileModel;
 use rules::RuleSpec;
-use scrub::ScrubbedSource;
+use std::collections::BTreeSet;
 use std::fmt;
 use std::path::{Path, PathBuf};
 
@@ -40,7 +50,7 @@ use std::path::{Path, PathBuf};
 pub enum Severity {
     /// An invariant violation; fails CI under `--deny warn`.
     Warning,
-    /// A broken suppression pragma; always fails CI.
+    /// A structural violation or broken suppression; always fails CI.
     Error,
 }
 
@@ -53,14 +63,16 @@ impl fmt::Display for Severity {
     }
 }
 
-/// One audit finding, pointing at a `file:line`.
+/// One audit finding, pointing at a `file:line:col`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
     /// Path relative to the audited root.
     pub file: String,
     /// 1-based line number.
     pub line: usize,
-    /// Rule id (`D1`..`D7`, or `A0`/`A1` for pragma hygiene).
+    /// 1-based column (byte offset within the line).
+    pub col: usize,
+    /// Rule id (`D1`..`D12`, or `A0`/`A1` for pragma hygiene).
     pub rule: &'static str,
     /// Severity.
     pub severity: Severity,
@@ -74,89 +86,159 @@ impl fmt::Display for Finding {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{}[{}] {}:{}: {} (fix: {})",
-            self.severity, self.rule, self.file, self.line, self.message, self.hint
+            "{}[{}] {}:{}:{}: {} (fix: {})",
+            self.severity, self.rule, self.file, self.line, self.col, self.message, self.hint
         )
     }
 }
 
-/// Scans one file's content as crate `crate_name`.
-///
-/// `path_label` is only used to label findings. This is the unit the
-/// fixture self-tests drive; [`audit_workspace`] feeds it every file.
+/// One source file handed to the auditor.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Package name (`ca-core`, …, or `cell-aware` for the facade).
+    pub crate_name: String,
+    /// Root-relative path label used in findings.
+    pub label: String,
+    /// File contents.
+    pub content: String,
+}
+
+/// A full audit input: sources plus the optional README (for D12).
+#[derive(Debug, Clone, Default)]
+pub struct SourceSet {
+    /// The `.rs` sources.
+    pub files: Vec<SourceFile>,
+    /// README `(label, content)`; absent disables D12.
+    pub readme: Option<(String, String)>,
+}
+
+/// Audits a source set with the standard rule tables. This is the one
+/// entry point both [`audit_workspace`] and the fixture self-tests
+/// drive; findings come back sorted by `(file, line, col, rule)`.
+pub fn audit_sources(set: &SourceSet) -> Vec<Finding> {
+    run(set, rules::rules())
+}
+
+/// Scans one file's content as crate `crate_name` with a custom token
+/// rule table (plus the always-on analysis rules and pragma hygiene).
 pub fn scan_source(
     crate_name: &str,
     path_label: &str,
     content: &str,
     rules: &[RuleSpec],
 ) -> Vec<Finding> {
-    let src = ScrubbedSource::new(content);
-    let mut findings = Vec::new();
-    let mut used_pragma_lines: Vec<usize> = Vec::new();
+    let set = SourceSet {
+        files: vec![SourceFile {
+            crate_name: crate_name.to_string(),
+            label: path_label.to_string(),
+            content: content.to_string(),
+        }],
+        readme: None,
+    };
+    run(&set, rules)
+}
 
-    for rule in rules {
-        if !rule.scope.applies(crate_name) {
-            continue;
+fn run(set: &SourceSet, token_rules: &[RuleSpec]) -> Vec<Finding> {
+    let models: Vec<FileModel> = set
+        .files
+        .iter()
+        .map(|f| FileModel::build(&f.crate_name, &f.label, &f.content))
+        .collect();
+
+    let mut findings = Vec::new();
+    // (label, pragma line) pairs that suppressed at least one finding.
+    let mut used: BTreeSet<(String, usize)> = BTreeSet::new();
+
+    // Layer 1: token rules over the scrubbed code view.
+    for m in &models {
+        for rule in token_rules {
+            if !rule.scope.applies(&m.crate_name) {
+                continue;
+            }
+            for token in rule.tokens {
+                for (line, col) in m.scrub.token_sites(token) {
+                    if !rule.include_tests && m.scrub.is_test_line(line) {
+                        continue;
+                    }
+                    if rule.id == "D6" && m.scrub.has_safety_comment(line) {
+                        continue;
+                    }
+                    if let Some(pline) = m.scrub.allow_covering(line, rule.id) {
+                        used.insert((m.label.clone(), pline));
+                        continue;
+                    }
+                    findings.push(Finding {
+                        file: m.label.clone(),
+                        line,
+                        col,
+                        rule: rule.id,
+                        severity: Severity::Warning,
+                        message: format!("`{}`: {}", token, rule.summary),
+                        hint: rule.hint,
+                    });
+                }
+            }
         }
-        for token in rule.tokens {
-            for line in src.token_lines(token) {
-                if !rule.include_tests && src.is_test_line(line) {
-                    continue;
-                }
-                if rule.id == "D6" && src.has_safety_comment(line) {
-                    continue;
-                }
-                if let Some(pline) = src.allow_covering(line, rule.id) {
-                    used_pragma_lines.push(pline);
-                    continue;
-                }
+    }
+
+    // Layer 2: the model-driven analysis rules.
+    let mut ctx = checks::Ctx {
+        files: &models,
+        readme: set
+            .readme
+            .as_ref()
+            .map(|(label, content)| (label.as_str(), content.as_str())),
+        findings: Vec::new(),
+        used: BTreeSet::new(),
+    };
+    checks::run_all(&mut ctx);
+    findings.extend(ctx.findings);
+    used.extend(ctx.used);
+
+    // Pragma hygiene last, against the global ledger: malformed
+    // pragmas and unknown rules are errors; a pragma that suppressed
+    // nothing anywhere is a warning pointing at the pragma itself.
+    let known = rules::known_rule_ids();
+    for m in &models {
+        for bad in &m.scrub.malformed_pragmas {
+            findings.push(Finding {
+                file: m.label.clone(),
+                line: bad.line,
+                col: bad.col,
+                rule: "A0",
+                severity: Severity::Error,
+                message: format!("malformed ca-audit pragma: {}", bad.problem),
+                hint: "write `// ca-audit: allow(<rule-id>, <reason>)` with a non-empty reason",
+            });
+        }
+        for allow in &m.scrub.allows {
+            if !known.contains(&allow.rule.as_str()) {
                 findings.push(Finding {
-                    file: path_label.to_string(),
-                    line,
-                    rule: rule.id,
+                    file: m.label.clone(),
+                    line: allow.line,
+                    col: allow.col,
+                    rule: "A0",
+                    severity: Severity::Error,
+                    message: format!("pragma names unknown rule `{}`", allow.rule),
+                    hint: "use a rule id from `ca-audit --list-rules`",
+                });
+            } else if !used.contains(&(m.label.clone(), allow.line)) {
+                findings.push(Finding {
+                    file: m.label.clone(),
+                    line: allow.line,
+                    col: allow.col,
+                    rule: "A1",
                     severity: Severity::Warning,
-                    message: format!("`{}`: {}", token, rule.summary),
-                    hint: rule.hint,
+                    message: format!("unused suppression for rule `{}`", allow.rule),
+                    hint: "delete the pragma; it no longer suppresses anything",
                 });
             }
         }
     }
 
-    // Pragma hygiene: malformed pragmas are errors, pragmas naming an
-    // unknown rule are errors, pragmas that suppressed nothing are
-    // warnings (stale suppressions hide future violations).
-    for bad in &src.malformed_pragmas {
-        findings.push(Finding {
-            file: path_label.to_string(),
-            line: bad.line,
-            rule: "A0",
-            severity: Severity::Error,
-            message: format!("malformed ca-audit pragma: {}", bad.problem),
-            hint: "write `// ca-audit: allow(<rule-id>, <reason>)` with a non-empty reason",
-        });
-    }
-    for allow in &src.allows {
-        if !rules.iter().any(|r| r.id == allow.rule) {
-            findings.push(Finding {
-                file: path_label.to_string(),
-                line: allow.line,
-                rule: "A0",
-                severity: Severity::Error,
-                message: format!("pragma names unknown rule `{}`", allow.rule),
-                hint: "use a rule id from `ca-audit --list-rules`",
-            });
-        } else if !used_pragma_lines.contains(&allow.line) {
-            findings.push(Finding {
-                file: path_label.to_string(),
-                line: allow.line,
-                rule: "A1",
-                severity: Severity::Warning,
-                message: format!("unused suppression for rule `{}`", allow.rule),
-                hint: "delete the pragma; it no longer suppresses anything",
-            });
-        }
-    }
-
+    findings.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.col, a.rule).cmp(&(b.file.as_str(), b.line, b.col, b.rule))
+    });
     findings
 }
 
@@ -236,40 +318,108 @@ fn collect_rs(
     Ok(())
 }
 
-/// Audits every library source under `root` with the standard rule set,
-/// returning findings sorted by `(file, line, rule)`.
+/// Loads the workspace under `root` into a [`SourceSet`], including
+/// `README.md` when present (enables D12).
+///
+/// # Errors
+///
+/// I/O errors reading the tree.
+pub fn load_workspace(root: &Path) -> std::io::Result<SourceSet> {
+    let mut set = SourceSet::default();
+    for file in workspace_files(root)? {
+        let content = std::fs::read_to_string(&file.path)?;
+        set.files.push(SourceFile {
+            crate_name: file.crate_name,
+            label: file.label,
+            content,
+        });
+    }
+    let readme = root.join("README.md");
+    if readme.is_file() {
+        set.readme = Some(("README.md".to_string(), std::fs::read_to_string(readme)?));
+    }
+    Ok(set)
+}
+
+/// Audits every library source under `root` with the standard rule
+/// tables, returning findings sorted by `(file, line, col, rule)`.
 ///
 /// # Errors
 ///
 /// I/O errors reading the tree.
 pub fn audit_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
-    let rule_set = rules::rules();
-    let mut findings = Vec::new();
-    for file in workspace_files(root)? {
-        let content = std::fs::read_to_string(&file.path)?;
-        findings.extend(scan_source(
-            &file.crate_name,
-            &file.label,
-            &content,
-            rule_set,
-        ));
-    }
-    findings
-        .sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
-    Ok(findings)
+    Ok(audit_sources(&load_workspace(root)?))
 }
 
-/// Renders findings as a JSON report (`{"schema":"ca-audit/1",...}`).
+/// One record of the statically-extracted metric inventory.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct MetricRecord {
+    /// Metric name (`ca_sim.patterns.simulated`).
+    pub name: String,
+    /// Macro flavour label (`counter`/`histogram`/`timer`).
+    pub kind: &'static str,
+    /// Class ident, or `-` for timers (class is implicit).
+    pub class: String,
+}
+
+/// Extracts the live metric inventory (non-test, literal-named macro
+/// sites) from a source set, deduplicated and sorted.
+pub fn metric_inventory_of(set: &SourceSet) -> Vec<MetricRecord> {
+    let mut records: BTreeSet<MetricRecord> = BTreeSet::new();
+    for f in &set.files {
+        let m = FileModel::build(&f.crate_name, &f.label, &f.content);
+        for s in &m.metric_sites {
+            if s.is_test {
+                continue;
+            }
+            let Some(name) = &s.name else { continue };
+            records.insert(MetricRecord {
+                name: name.clone(),
+                kind: s.kind.label(),
+                class: s.class.clone().unwrap_or_else(|| "-".to_string()),
+            });
+        }
+    }
+    records.into_iter().collect()
+}
+
+/// Extracts the metric inventory from the workspace under `root`.
+///
+/// # Errors
+///
+/// I/O errors reading the tree.
+pub fn metric_inventory(root: &Path) -> std::io::Result<Vec<MetricRecord>> {
+    Ok(metric_inventory_of(&load_workspace(root)?))
+}
+
+/// Renders the inventory one `name kind class` per line — the byte
+/// format `ca-bench profile-check` consumes.
+pub fn render_metric_inventory(records: &[MetricRecord]) -> String {
+    let mut out = String::new();
+    for r in records {
+        out.push_str(&format!("{} {} {}\n", r.name, r.kind, r.class));
+    }
+    out
+}
+
+/// Distinct taxonomy prefixes (`ca_x.`) of an inventory, sorted.
+pub fn inventory_prefixes(records: &[MetricRecord]) -> Vec<String> {
+    let set: BTreeSet<String> = records.iter().map(|r| checks::prefix_of(&r.name)).collect();
+    set.into_iter().collect()
+}
+
+/// Renders findings as a JSON report (`{"schema":"ca-audit/2",...}`).
 pub fn render_json(findings: &[Finding]) -> String {
-    let mut out = String::from("{\"schema\":\"ca-audit/1\",\"findings\":[");
+    let mut out = String::from("{\"schema\":\"ca-audit/2\",\"findings\":[");
     for (i, f) in findings.iter().enumerate() {
         if i > 0 {
             out.push(',');
         }
         out.push_str(&format!(
-            "{{\"file\":\"{}\",\"line\":{},\"rule\":\"{}\",\"severity\":\"{}\",\"message\":\"{}\",\"hint\":\"{}\"}}",
+            "{{\"file\":\"{}\",\"line\":{},\"col\":{},\"rule\":\"{}\",\"severity\":\"{}\",\"message\":\"{}\",\"hint\":\"{}\"}}",
             escape_json(&f.file),
             f.line,
+            f.col,
             f.rule,
             f.severity,
             escape_json(&f.message),
@@ -315,16 +465,20 @@ mod tests {
     use rules::Scope;
 
     #[test]
-    fn findings_display_as_file_line() {
+    fn findings_display_as_file_line_col() {
         let f = Finding {
             file: "crates/x/src/lib.rs".into(),
             line: 7,
+            col: 4,
             rule: "D1",
             severity: Severity::Warning,
             message: "m".into(),
             hint: "h",
         };
-        assert_eq!(f.to_string(), "warn[D1] crates/x/src/lib.rs:7: m (fix: h)");
+        assert_eq!(
+            f.to_string(),
+            "warn[D1] crates/x/src/lib.rs:7:4: m (fix: h)"
+        );
     }
 
     #[test]
@@ -332,6 +486,7 @@ mod tests {
         let f = Finding {
             file: "a\"b.rs".into(),
             line: 1,
+            col: 2,
             rule: "A0",
             severity: Severity::Error,
             message: "x".into(),
@@ -340,7 +495,8 @@ mod tests {
         let json = render_json(&[f]);
         assert!(json.contains("\\\"b.rs"));
         assert!(json.contains("\"errors\":1"));
-        assert!(json.contains("\"schema\":\"ca-audit/1\""));
+        assert!(json.contains("\"col\":2"));
+        assert!(json.contains("\"schema\":\"ca-audit/2\""));
     }
 
     #[test]
@@ -349,5 +505,24 @@ mod tests {
         assert!(!Scope::Except(&["ca-obs"]).applies("ca-obs"));
         assert!(Scope::Only(&["ca-core"]).applies("ca-core"));
         assert!(!Scope::Only(&["ca-core"]).applies("ca-ml"));
+    }
+
+    #[test]
+    fn inventory_renders_and_prefixes() {
+        let set = SourceSet {
+            files: vec![SourceFile {
+                crate_name: "ca-sim".into(),
+                label: "crates/sim/src/lib.rs".into(),
+                content: "fn f() {\n    counter!(\"ca_sim.patterns\", Work).inc();\n    timer!(\"ca_sim.wall\").record(d);\n}\n"
+                    .into(),
+            }],
+            readme: None,
+        };
+        let inv = metric_inventory_of(&set);
+        assert_eq!(
+            render_metric_inventory(&inv),
+            "ca_sim.patterns counter Work\nca_sim.wall timer -\n"
+        );
+        assert_eq!(inventory_prefixes(&inv), vec!["ca_sim.".to_string()]);
     }
 }

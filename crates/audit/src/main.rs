@@ -1,14 +1,19 @@
-//! `ca-audit` CLI — audits the workspace sources against DESIGN.md §10.
+//! `ca-audit` CLI — audits the workspace sources against DESIGN.md §10/§15.
 //!
 //! ```text
 //! ca-audit [--root DIR] [--json] [--deny warn] [--list-rules]
+//!          [--baseline FILE] [--write-baseline FILE]
+//!          [--metrics] [--env-table]
 //! ```
 //!
 //! Exit codes: 0 clean, 1 findings that fail the selected policy
 //! (errors always fail; warnings fail under `--deny warn`), 2 usage or
 //! I/O error.
 
-use ca_audit::{audit_workspace, render_json, rule_table, Severity};
+use ca_audit::{
+    audit_workspace, baseline, metric_inventory, render_json, render_metric_inventory, rule_table,
+    rules, Severity,
+};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -17,6 +22,10 @@ fn main() -> ExitCode {
     let mut json = false;
     let mut deny_warn = false;
     let mut list_rules = false;
+    let mut baseline_file: Option<PathBuf> = None;
+    let mut write_baseline: Option<PathBuf> = None;
+    let mut metrics = false;
+    let mut env_table = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -29,6 +38,16 @@ fn main() -> ExitCode {
                 Some("warn") => deny_warn = true,
                 _ => return usage("--deny takes the literal `warn`"),
             },
+            "--baseline" => match args.next() {
+                Some(f) => baseline_file = Some(PathBuf::from(f)),
+                None => return usage("--baseline needs a file"),
+            },
+            "--write-baseline" => match args.next() {
+                Some(f) => write_baseline = Some(PathBuf::from(f)),
+                None => return usage("--write-baseline needs a file"),
+            },
+            "--metrics" => metrics = true,
+            "--env-table" => env_table = true,
             "--list-rules" => list_rules = true,
             "--help" | "-h" => {
                 print_help();
@@ -43,6 +62,10 @@ fn main() -> ExitCode {
             println!("{:4} {}", rule.id, rule.summary);
             println!("     fix: {}", rule.hint);
         }
+        for rule in rules::analysis_rules() {
+            println!("{:4} {}", rule.id, rule.summary);
+            println!("     fix: {}", rule.hint);
+        }
         return ExitCode::SUCCESS;
     }
 
@@ -50,6 +73,43 @@ fn main() -> ExitCode {
     // directory (cargo run sets cwd to the invocation dir).
     if !root.join("crates").is_dir() && root.join("../../crates").is_dir() {
         root = root.join("../..");
+    }
+
+    if metrics {
+        return match metric_inventory(&root) {
+            Ok(inv) => {
+                print!("{}", render_metric_inventory(&inv));
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!(
+                    "ca-audit: cannot extract metrics from {}: {e}",
+                    root.display()
+                );
+                ExitCode::from(2)
+            }
+        };
+    }
+    if env_table {
+        return match ca_audit::load_workspace(&root) {
+            Ok(set) => {
+                for file in &set.files {
+                    let m = ca_audit::model::FileModel::build(
+                        &file.crate_name,
+                        &file.label,
+                        &file.content,
+                    );
+                    for s in m.env_sites.iter().filter(|s| !s.is_test) {
+                        println!("{}\t{}:{}", s.name, file.label, s.line);
+                    }
+                }
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("ca-audit: cannot scan {}: {e}", root.display());
+                ExitCode::from(2)
+            }
+        };
     }
 
     let findings = match audit_workspace(&root) {
@@ -60,28 +120,68 @@ fn main() -> ExitCode {
         }
     };
 
+    if let Some(path) = write_baseline {
+        let text = baseline::render(&findings);
+        // ca-audit: allow(D4, baseline ratchet is a dev-only artifact, not durable campaign state)
+        if let Err(e) = std::fs::write(&path, text) {
+            eprintln!("ca-audit: cannot write baseline {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "ca-audit: wrote baseline with {} finding(s) to {}",
+            findings.len(),
+            path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let (findings, suppressed, stale) = match &baseline_file {
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(text) => {
+                let keys = baseline::parse(&text);
+                baseline::apply(findings, &keys)
+            }
+            Err(e) => {
+                eprintln!("ca-audit: cannot read baseline {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        },
+        None => (findings, 0, Vec::new()),
+    };
+
     if json {
         println!("{}", render_json(&findings));
-    } else if findings.is_empty() {
-        println!("ca-audit: workspace clean ({} rules)", rule_table().len());
+    } else if findings.is_empty() && stale.is_empty() {
+        let n_rules = rule_table().len() + rules::analysis_rules().len();
+        if suppressed > 0 {
+            println!(
+                "ca-audit: workspace clean ({n_rules} rules, {suppressed} baselined finding(s))"
+            );
+        } else {
+            println!("ca-audit: workspace clean ({n_rules} rules)");
+        }
     } else {
         for finding in &findings {
             println!("{finding}");
+        }
+        for entry in &stale {
+            println!("error[A2] {entry}: stale baseline entry matches nothing; remove it");
         }
         let errors = findings
             .iter()
             .filter(|f| f.severity == Severity::Error)
             .count();
         println!(
-            "ca-audit: {} finding(s) ({} error(s), {} warning(s))",
+            "ca-audit: {} finding(s) ({} error(s), {} warning(s), {} stale baseline entr(y/ies))",
             findings.len(),
             errors,
-            findings.len() - errors
+            findings.len() - errors,
+            stale.len(),
         );
     }
 
     let errors = findings.iter().any(|f| f.severity == Severity::Error);
-    let fail = errors || (deny_warn && !findings.is_empty());
+    let fail = errors || !stale.is_empty() || (deny_warn && !findings.is_empty());
     if fail {
         ExitCode::FAILURE
     } else {
@@ -97,12 +197,17 @@ fn usage(msg: &str) -> ExitCode {
 
 fn print_help() {
     println!(
-        "ca-audit — workspace invariant auditor (DESIGN.md \u{a7}10)\n\n\
-         USAGE: ca-audit [--root DIR] [--json] [--deny warn] [--list-rules]\n\n\
+        "ca-audit — workspace invariant auditor (DESIGN.md \u{a7}10, \u{a7}15)\n\n\
+         USAGE: ca-audit [--root DIR] [--json] [--deny warn] [--list-rules]\n\
+                \u{20}       [--baseline FILE] [--write-baseline FILE] [--metrics] [--env-table]\n\n\
          OPTIONS:\n\
-           --root DIR     workspace root to audit (default: .)\n\
-           --json         emit a ca-audit/1 JSON report instead of text\n\
-           --deny warn    exit non-zero on warnings, not just errors\n\
-           --list-rules   print the rule table and exit"
+           --root DIR            workspace root to audit (default: .)\n\
+           --json                emit a ca-audit/2 JSON report instead of text\n\
+           --deny warn           exit non-zero on warnings, not just errors\n\
+           --baseline FILE       filter findings through a ratchet file; stale entries fail\n\
+           --write-baseline FILE write the current findings as a ratchet file and exit\n\
+           --metrics             print the extracted metric inventory (name kind class)\n\
+           --env-table           print the extracted CA_* env-var reads (name\\tfile:line)\n\
+           --list-rules          print the rule tables and exit"
     );
 }

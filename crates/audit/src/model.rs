@@ -1,0 +1,902 @@
+//! The workspace model: item-level structure recovered from the token
+//! stream (DESIGN.md §15).
+//!
+//! [`FileModel::build`] turns one lexed file into the facts the
+//! analysis rules (D8–D12) reason about: functions with body spans and
+//! impl context, lock-typed struct fields and statics, enums with
+//! per-variant doc text, `const` string arrays, `counter!` /
+//! `histogram!` / `timer!` invocation sites, `CA_*` env-var string
+//! literals, and `catch_unwind` argument ranges. It is a *recognizer*,
+//! not a full parser: it only understands the handful of shapes the
+//! rules need, and unknown syntax simply contributes no facts.
+
+use crate::lexer::{self, Tok, TokKind};
+use crate::scrub::ScrubbedSource;
+
+/// Which lock-ish type a field or static holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockKind {
+    /// `std::sync::Mutex`.
+    Mutex,
+    /// `std::sync::RwLock`.
+    RwLock,
+    /// `std::sync::Condvar` (blocks, but adds no lock class).
+    Condvar,
+}
+
+/// A struct field of lock type (`state: Mutex<State>`).
+#[derive(Debug, Clone)]
+pub struct LockField {
+    /// The struct that owns the field.
+    pub owner: String,
+    /// Field name.
+    pub field: String,
+    /// Lock flavour.
+    pub kind: LockKind,
+}
+
+/// A `static` item of lock type.
+#[derive(Debug, Clone)]
+pub struct LockStatic {
+    /// Static name.
+    pub name: String,
+    /// Lock flavour.
+    pub kind: LockKind,
+    /// 1-based declaration line.
+    pub line: usize,
+    /// Declared inside `#[cfg(test)]`.
+    pub is_test: bool,
+}
+
+/// One function item.
+#[derive(Debug, Clone)]
+pub struct FnModel {
+    /// Function name.
+    pub name: String,
+    /// Self type of the enclosing `impl`, if any.
+    pub impl_type: Option<String>,
+    /// Token index of the name.
+    pub name_idx: usize,
+    /// `{`/`}` token indices of the body (absent for trait decls).
+    pub body: Option<(usize, usize)>,
+    /// 1-based line of the name.
+    pub line: usize,
+    /// 1-based column of the name.
+    pub col: usize,
+    /// Inside a `#[cfg(test)]` region.
+    pub is_test: bool,
+    /// Whether a parameter is typed `&Mutex<..>` — such helpers
+    /// acquire on behalf of their caller, so D8 attributes the lock at
+    /// the call site and ignores the helper's own `.lock()`.
+    pub mutex_param: bool,
+}
+
+/// One enum variant with its doc text.
+#[derive(Debug, Clone)]
+pub struct Variant {
+    /// Variant name.
+    pub name: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+    /// Concatenated `///` doc lines directly above the variant.
+    pub doc: String,
+}
+
+/// One enum item.
+#[derive(Debug, Clone)]
+pub struct EnumModel {
+    /// Enum name.
+    pub name: String,
+    /// Variants in declaration order.
+    pub variants: Vec<Variant>,
+}
+
+/// A `const NAME: .. = [ "a", "b", .. ]` string-array constant.
+#[derive(Debug, Clone)]
+pub struct StrArrayConst {
+    /// Constant name.
+    pub name: String,
+    /// Literal values in order.
+    pub values: Vec<String>,
+    /// 1-based declaration line.
+    pub line: usize,
+}
+
+/// Which metric macro a site invokes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum MetricKind {
+    /// `counter!(name, Class)`.
+    Counter,
+    /// `histogram!(name, Class, bounds)`.
+    Histogram,
+    /// `timer!(name)` — class is implicit.
+    Timer,
+}
+
+impl MetricKind {
+    /// Lower-case label used in the rendered inventory.
+    pub fn label(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Histogram => "histogram",
+            MetricKind::Timer => "timer",
+        }
+    }
+}
+
+/// One `counter!` / `histogram!` / `timer!` invocation.
+#[derive(Debug, Clone)]
+pub struct MetricSite {
+    /// Macro flavour.
+    pub kind: MetricKind,
+    /// Metric name when the first argument is a string literal.
+    pub name: Option<String>,
+    /// Metric class ident (`Outcome`/`Work`/`Ops`); `None` for timers.
+    pub class: Option<String>,
+    /// 1-based line of the macro name.
+    pub line: usize,
+    /// 1-based column of the macro name.
+    pub col: usize,
+    /// Inside a `#[cfg(test)]` region.
+    pub is_test: bool,
+}
+
+/// One `CA_*` env-var string literal.
+#[derive(Debug, Clone)]
+pub struct EnvSite {
+    /// The variable name (cooked literal).
+    pub name: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+    /// Inside a `#[cfg(test)]` region.
+    pub is_test: bool,
+}
+
+/// One audited source file, parsed.
+pub struct FileModel {
+    /// Owning package name.
+    pub crate_name: String,
+    /// Root-relative path label.
+    pub label: String,
+    /// The token stream.
+    pub toks: Vec<Tok>,
+    /// For each bracket token, the index of its partner (`(){}[]`).
+    pub match_idx: Vec<Option<usize>>,
+    /// Function items.
+    pub fns: Vec<FnModel>,
+    /// Lock-typed struct fields.
+    pub lock_fields: Vec<LockField>,
+    /// Lock-typed statics.
+    pub lock_statics: Vec<LockStatic>,
+    /// Enum items.
+    pub enums: Vec<EnumModel>,
+    /// String-array constants.
+    pub str_consts: Vec<StrArrayConst>,
+    /// Metric macro sites.
+    pub metric_sites: Vec<MetricSite>,
+    /// `CA_*` env-var literals.
+    pub env_sites: Vec<EnvSite>,
+    /// Token ranges of `catch_unwind(..)` argument lists.
+    pub catch_ranges: Vec<(usize, usize)>,
+    /// The scrubbed view (pragmas, test mask, marker comments).
+    pub scrub: ScrubbedSource,
+}
+
+/// Whether tokens `a` then `b` touch in the source (`::`, `=>`, `..`).
+pub fn adjacent(a: &Tok, b: &Tok) -> bool {
+    a.pos + a.raw_len == b.pos
+}
+
+impl FileModel {
+    /// Parses `content` as one file of crate `crate_name`.
+    pub fn build(crate_name: &str, label: &str, content: &str) -> FileModel {
+        let lexed = lexer::lex(content);
+        let scrub = ScrubbedSource::from_lexed(content, &lexed);
+        let toks = lexed.toks;
+        let match_idx = pair_brackets(&toks);
+        let mut m = FileModel {
+            crate_name: crate_name.to_string(),
+            label: label.to_string(),
+            toks,
+            match_idx,
+            fns: Vec::new(),
+            lock_fields: Vec::new(),
+            lock_statics: Vec::new(),
+            enums: Vec::new(),
+            str_consts: Vec::new(),
+            metric_sites: Vec::new(),
+            env_sites: Vec::new(),
+            catch_ranges: Vec::new(),
+            scrub,
+        };
+        let docs = doc_lines(&lexed.comments);
+        m.scan_items(&docs);
+        m.scan_leaf_sites();
+        m
+    }
+
+    /// Partner index of the bracket token at `i`, or `i` itself when
+    /// unmatched (degenerate input).
+    pub fn partner(&self, i: usize) -> usize {
+        self.match_idx.get(i).copied().flatten().unwrap_or(i)
+    }
+
+    /// `::` path separator at token index `i`?
+    pub fn is_path_sep(&self, i: usize) -> bool {
+        self.toks[i].is_punct(':')
+            && self
+                .toks
+                .get(i + 1)
+                .is_some_and(|n| n.is_punct(':') && adjacent(&self.toks[i], n))
+    }
+
+    /// `=>` fat arrow starting at token index `i`?
+    pub fn is_fat_arrow(&self, i: usize) -> bool {
+        self.toks[i].is_punct('=')
+            && self
+                .toks
+                .get(i + 1)
+                .is_some_and(|n| n.is_punct('>') && adjacent(&self.toks[i], n))
+    }
+
+    /// Item scan: impl regions, fns, structs, statics, enums, consts.
+    fn scan_items(&mut self, docs: &std::collections::BTreeMap<usize, String>) {
+        // impl regions, innermost-wins, resolved per fn below.
+        let mut impls: Vec<(usize, usize, String)> = Vec::new();
+        let mut i = 0;
+        while i < self.toks.len() {
+            let t = &self.toks[i];
+            if t.is_ident("impl") {
+                if let Some((ty, open)) = self.impl_header(i) {
+                    impls.push((open, self.partner(open), ty));
+                }
+            } else if t.is_ident("fn") {
+                self.scan_fn(i, &impls);
+            } else if t.is_ident("struct") {
+                self.scan_struct(i);
+            } else if t.is_ident("static") {
+                self.scan_static(i);
+            } else if t.is_ident("enum") {
+                self.scan_enum(i, docs);
+            } else if t.is_ident("const") {
+                self.scan_const(i);
+            }
+            i += 1;
+        }
+    }
+
+    /// Parses an `impl` header at `at`; returns (self type, body `{`).
+    fn impl_header(&self, at: usize) -> Option<(String, usize)> {
+        let mut i = at + 1;
+        // Skip `<..>` generic params (angle depth; `->` cannot occur).
+        if self.toks.get(i)?.is_punct('<') {
+            let mut depth = 0usize;
+            while i < self.toks.len() {
+                if self.toks[i].is_punct('<') {
+                    depth += 1;
+                } else if self.toks[i].is_punct('>') {
+                    depth -= 1;
+                    if depth == 0 {
+                        i += 1;
+                        break;
+                    }
+                }
+                i += 1;
+            }
+        }
+        let (first, mut i) = self.parse_type_path(i)?;
+        let mut ty = first;
+        // `impl Trait for Type` — the type is the path after `for`.
+        while i < self.toks.len() && !self.toks[i].is_punct('{') {
+            if self.toks[i].is_ident("for") {
+                if let Some((t, j)) = self.parse_type_path(i + 1) {
+                    ty = t;
+                    i = j;
+                    continue;
+                }
+            }
+            if self.toks[i].is_punct(';') {
+                return None;
+            }
+            i += 1;
+        }
+        if i < self.toks.len() && self.toks[i].is_punct('{') {
+            Some((ty, i))
+        } else {
+            None
+        }
+    }
+
+    /// Parses a type path starting at `i` (`a::B<..>`), returning the
+    /// last segment and the index after the path.
+    fn parse_type_path(&self, mut i: usize) -> Option<(String, usize)> {
+        // Skip leading `&`, lifetimes, `dyn`, `mut`.
+        while let Some(t) = self.toks.get(i) {
+            if t.is_punct('&')
+                || t.kind == TokKind::Lifetime
+                || t.is_ident("dyn")
+                || t.is_ident("mut")
+            {
+                i += 1;
+            } else {
+                break;
+            }
+        }
+        let mut last: Option<String> = None;
+        while let Some(t) = self.toks.get(i) {
+            if t.kind == TokKind::Ident && !t.is_ident("for") && !t.is_ident("where") {
+                last = Some(t.text.clone());
+                i += 1;
+                if self.toks.get(i).is_some_and(|_| self.is_path_sep(i)) {
+                    i += 2;
+                    continue;
+                }
+                // Trailing generics on the final segment.
+                if self.toks.get(i).is_some_and(|n| n.is_punct('<')) {
+                    let mut depth = 0usize;
+                    while i < self.toks.len() {
+                        if self.toks[i].is_punct('<') {
+                            depth += 1;
+                        } else if self.toks[i].is_punct('>') {
+                            depth -= 1;
+                            if depth == 0 {
+                                i += 1;
+                                break;
+                            }
+                        }
+                        i += 1;
+                    }
+                }
+                break;
+            }
+            break;
+        }
+        last.map(|l| (l, i))
+    }
+
+    fn scan_fn(&mut self, at: usize, impls: &[(usize, usize, String)]) {
+        let Some(name_tok) = self.toks.get(at + 1) else {
+            return;
+        };
+        if name_tok.kind != TokKind::Ident {
+            return;
+        }
+        let name = name_tok.text.clone();
+        let (line, col) = (name_tok.line, name_tok.col);
+        // Find the parameter list, then the body `{` or a `;`.
+        let mut i = at + 2;
+        let mut params: Option<(usize, usize)> = None;
+        let mut body = None;
+        while i < self.toks.len() {
+            let t = &self.toks[i];
+            if t.is_punct('(') && params.is_none() {
+                params = Some((i, self.partner(i)));
+                i = self.partner(i) + 1;
+                continue;
+            }
+            if t.is_punct('{') {
+                body = Some((i, self.partner(i)));
+                break;
+            }
+            if t.is_punct(';') {
+                break;
+            }
+            i += 1;
+        }
+        let mutex_param = params.is_some_and(|(o, c)| {
+            (o..=c).any(|k| self.toks[k].is_ident("Mutex") || self.toks[k].is_ident("RwLock"))
+        });
+        let impl_type = impls
+            .iter()
+            .rfind(|(o, c, _)| *o < at && at < *c)
+            .map(|(_, _, ty)| ty.clone());
+        let is_test = self.scrub.is_test_line(line);
+        self.fns.push(FnModel {
+            name,
+            impl_type,
+            name_idx: at + 1,
+            body,
+            line,
+            col,
+            is_test,
+            mutex_param,
+        });
+    }
+
+    fn scan_struct(&mut self, at: usize) {
+        let Some(name_tok) = self.toks.get(at + 1) else {
+            return;
+        };
+        if name_tok.kind != TokKind::Ident {
+            return;
+        }
+        let owner = name_tok.text.clone();
+        // Skip generics, find `{` (tuple structs / unit structs: none).
+        let mut i = at + 2;
+        while i < self.toks.len() {
+            let t = &self.toks[i];
+            if t.is_punct('{') {
+                break;
+            }
+            if t.is_punct(';') || t.is_punct('(') {
+                return;
+            }
+            i += 1;
+        }
+        if i >= self.toks.len() {
+            return;
+        }
+        let close = self.partner(i);
+        // Fields at depth 1: `name: Type, ...`.
+        let mut j = i + 1;
+        while j < close {
+            // Skip attributes.
+            if self.toks[j].is_punct('#') {
+                if let Some(n) = self.toks.get(j + 1) {
+                    if n.is_punct('[') {
+                        j = self.partner(j + 1) + 1;
+                        continue;
+                    }
+                }
+            }
+            // Field name = last ident before `:` (skips `pub`).
+            let start = j;
+            let mut colon = None;
+            while j < close {
+                if self.toks[j].is_punct(':') && !self.is_path_sep(j) {
+                    colon = Some(j);
+                    break;
+                }
+                if self.toks[j].is_punct(',') {
+                    break;
+                }
+                j += 1;
+            }
+            let Some(colon) = colon else {
+                j += 1;
+                continue;
+            };
+            let field = (start..colon)
+                .rev()
+                .find(|&k| self.toks[k].kind == TokKind::Ident)
+                .map(|k| self.toks[k].text.clone());
+            // Type tokens run to the `,` at depth 1 (skip groups).
+            let mut k = colon + 1;
+            let mut kind = None;
+            while k < close {
+                let t = &self.toks[k];
+                if t.is_punct(',') {
+                    break;
+                }
+                if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                    k = self.partner(k) + 1;
+                    continue;
+                }
+                kind = kind.or(match t.text.as_str() {
+                    "Mutex" => Some(LockKind::Mutex),
+                    "RwLock" => Some(LockKind::RwLock),
+                    "Condvar" => Some(LockKind::Condvar),
+                    _ => None,
+                });
+                k += 1;
+            }
+            if let (Some(field), Some(kind)) = (field, kind) {
+                self.lock_fields.push(LockField {
+                    owner: owner.clone(),
+                    field,
+                    kind,
+                });
+            }
+            j = k + 1;
+        }
+    }
+
+    fn scan_static(&mut self, at: usize) {
+        let mut i = at + 1;
+        if self.toks.get(i).is_some_and(|t| t.is_ident("mut")) {
+            i += 1;
+        }
+        let Some(name_tok) = self.toks.get(i) else {
+            return;
+        };
+        if name_tok.kind != TokKind::Ident {
+            return;
+        }
+        let name = name_tok.text.clone();
+        let line = name_tok.line;
+        let mut kind = None;
+        let mut j = i + 1;
+        while j < self.toks.len() {
+            let t = &self.toks[j];
+            if t.is_punct(';') || t.is_punct('=') {
+                break;
+            }
+            kind = kind.or(match t.text.as_str() {
+                "Mutex" => Some(LockKind::Mutex),
+                "RwLock" => Some(LockKind::RwLock),
+                "Condvar" => Some(LockKind::Condvar),
+                _ => None,
+            });
+            j += 1;
+        }
+        if let Some(kind) = kind {
+            let is_test = self.scrub.is_test_line(line);
+            self.lock_statics.push(LockStatic {
+                name,
+                kind,
+                line,
+                is_test,
+            });
+        }
+    }
+
+    fn scan_enum(&mut self, at: usize, docs: &std::collections::BTreeMap<usize, String>) {
+        let Some(name_tok) = self.toks.get(at + 1) else {
+            return;
+        };
+        if name_tok.kind != TokKind::Ident {
+            return;
+        }
+        let name = name_tok.text.clone();
+        let mut i = at + 2;
+        while i < self.toks.len() && !self.toks[i].is_punct('{') {
+            if self.toks[i].is_punct(';') {
+                return;
+            }
+            i += 1;
+        }
+        if i >= self.toks.len() {
+            return;
+        }
+        let close = self.partner(i);
+        let mut variants = Vec::new();
+        let mut j = i + 1;
+        while j < close {
+            // Skip attributes on the variant.
+            if self.toks[j].is_punct('#') {
+                if let Some(n) = self.toks.get(j + 1) {
+                    if n.is_punct('[') {
+                        j = self.partner(j + 1) + 1;
+                        continue;
+                    }
+                }
+            }
+            if self.toks[j].kind == TokKind::Ident {
+                let vtok = &self.toks[j];
+                let mut doc_parts: Vec<String> = Vec::new();
+                let mut l = vtok.line;
+                while l > 1 && docs.contains_key(&(l - 1)) {
+                    l -= 1;
+                    doc_parts.push(docs[&l].clone());
+                }
+                doc_parts.reverse();
+                variants.push(Variant {
+                    name: vtok.text.clone(),
+                    line: vtok.line,
+                    col: vtok.col,
+                    doc: doc_parts.join(" "),
+                });
+                // Skip payload and discriminant to the next `,`.
+                j += 1;
+                while j < close {
+                    let t = &self.toks[j];
+                    if t.is_punct(',') {
+                        j += 1;
+                        break;
+                    }
+                    if t.is_punct('(') || t.is_punct('{') || t.is_punct('[') {
+                        j = self.partner(j) + 1;
+                        continue;
+                    }
+                    j += 1;
+                }
+                continue;
+            }
+            j += 1;
+        }
+        self.enums.push(EnumModel { name, variants });
+    }
+
+    fn scan_const(&mut self, at: usize) {
+        let Some(name_tok) = self.toks.get(at + 1) else {
+            return;
+        };
+        if name_tok.kind != TokKind::Ident {
+            return;
+        }
+        let name = name_tok.text.clone();
+        let line = name_tok.line;
+        // Walk (group-skipping, so the `[..]` of an array *type* is not
+        // mistaken for the initializer) to the `=`.
+        let mut i = at + 2;
+        while i < self.toks.len() {
+            let t = &self.toks[i];
+            if t.is_punct('=') {
+                break;
+            }
+            if t.is_punct(';') {
+                return;
+            }
+            if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                i = self.partner(i) + 1;
+                continue;
+            }
+            i += 1;
+        }
+        let mut j = i + 1;
+        while self.toks.get(j).is_some_and(|t| t.is_punct('&')) {
+            j += 1;
+        }
+        let Some(open) = self.toks.get(j) else {
+            return;
+        };
+        if !open.is_punct('[') {
+            return;
+        }
+        let close = self.partner(j);
+        let values: Vec<String> = (j + 1..close)
+            .filter(|&k| self.toks[k].kind == TokKind::Str)
+            .map(|k| self.toks[k].text.clone())
+            .collect();
+        if !values.is_empty() {
+            self.str_consts.push(StrArrayConst { name, values, line });
+        }
+    }
+
+    /// Leaf-site scan: metric macros, env literals, catch_unwind args.
+    fn scan_leaf_sites(&mut self) {
+        let mut metric_sites = Vec::new();
+        let mut env_sites = Vec::new();
+        let mut catch_ranges = Vec::new();
+        for i in 0..self.toks.len() {
+            let t = &self.toks[i];
+            if t.kind == TokKind::Str && is_env_name(&t.text) {
+                env_sites.push(EnvSite {
+                    name: t.text.clone(),
+                    line: t.line,
+                    col: t.col,
+                    is_test: self.scrub.is_test_line(t.line),
+                });
+            }
+            if t.is_ident("catch_unwind") {
+                if let Some(n) = self.toks.get(i + 1) {
+                    if n.is_punct('(') {
+                        catch_ranges.push((i + 1, self.partner(i + 1)));
+                    }
+                }
+            }
+            let kind = match t.text.as_str() {
+                "counter" => Some(MetricKind::Counter),
+                "histogram" => Some(MetricKind::Histogram),
+                "timer" => Some(MetricKind::Timer),
+                _ => None,
+            };
+            let Some(kind) = kind else { continue };
+            if t.kind != TokKind::Ident {
+                continue;
+            }
+            let Some(bang) = self.toks.get(i + 1) else {
+                continue;
+            };
+            let Some(open) = self.toks.get(i + 2) else {
+                continue;
+            };
+            if !bang.is_punct('!') || !open.is_punct('(') {
+                continue;
+            }
+            let close = self.partner(i + 2);
+            // First argument: a string literal is the metric name.
+            let name = self
+                .toks
+                .get(i + 3)
+                .filter(|a| a.kind == TokKind::Str)
+                .map(|a| a.text.clone());
+            // Second argument: the class ident (counter/histogram).
+            let mut class = None;
+            if kind != MetricKind::Timer {
+                let mut k = i + 3;
+                let mut comma = None;
+                while k < close {
+                    if self.toks[k].is_punct(',') {
+                        comma = Some(k);
+                        break;
+                    }
+                    if self.toks[k].is_punct('(') || self.toks[k].is_punct('[') {
+                        k = self.partner(k) + 1;
+                        continue;
+                    }
+                    k += 1;
+                }
+                if let Some(c) = comma {
+                    class = (c + 1..close)
+                        .take_while(|&k| !self.toks[k].is_punct(','))
+                        .find(|&k| self.toks[k].kind == TokKind::Ident)
+                        .map(|k| self.toks[k].text.clone());
+                }
+            }
+            metric_sites.push(MetricSite {
+                kind,
+                name,
+                class,
+                line: t.line,
+                col: t.col,
+                is_test: self.scrub.is_test_line(t.line),
+            });
+        }
+        self.metric_sites = metric_sites;
+        self.env_sites = env_sites;
+        self.catch_ranges = catch_ranges;
+    }
+}
+
+/// Whether a cooked string literal is a `CA_*` env-var name.
+fn is_env_name(s: &str) -> bool {
+    s.len() > 3
+        && s.starts_with("CA_")
+        && s.bytes()
+            .all(|b| b.is_ascii_uppercase() || b.is_ascii_digit() || b == b'_')
+}
+
+/// Map of 1-based line → stripped `///` doc-comment text.
+fn doc_lines(comments: &[lexer::Comment]) -> std::collections::BTreeMap<usize, String> {
+    comments
+        .iter()
+        .filter(|c| c.text.starts_with("///") && !c.text.starts_with("////"))
+        .map(|c| (c.line, c.text.trim_start_matches('/').trim().to_string()))
+        .collect()
+}
+
+/// Pairs `(){}[]` tokens; returns partner index per token.
+fn pair_brackets(toks: &[Tok]) -> Vec<Option<usize>> {
+    let mut out = vec![None; toks.len()];
+    let mut paren = Vec::new();
+    let mut brace = Vec::new();
+    let mut square = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Punct {
+            continue;
+        }
+        match t.text.as_bytes().first() {
+            Some(b'(') => paren.push(i),
+            Some(b'{') => brace.push(i),
+            Some(b'[') => square.push(i),
+            Some(b')') => {
+                if let Some(o) = paren.pop() {
+                    out[o] = Some(i);
+                    out[i] = Some(o);
+                }
+            }
+            Some(b'}') => {
+                if let Some(o) = brace.pop() {
+                    out[o] = Some(i);
+                    out[i] = Some(o);
+                }
+            }
+            Some(b']') => {
+                if let Some(o) = square.pop() {
+                    out[o] = Some(i);
+                    out[i] = Some(o);
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(src: &str) -> FileModel {
+        FileModel::build("ca-test", "crates/test/src/lib.rs", src)
+    }
+
+    #[test]
+    fn fns_get_impl_context_and_bodies() {
+        let m = model(
+            "struct Engine;\nimpl Engine {\n    fn start(&self) { run(); }\n}\nfn free() {}\nfn decl();\n",
+        );
+        let start = m.fns.iter().find(|f| f.name == "start").unwrap();
+        assert_eq!(start.impl_type.as_deref(), Some("Engine"));
+        assert!(start.body.is_some());
+        let free = m.fns.iter().find(|f| f.name == "free").unwrap();
+        assert_eq!(free.impl_type, None);
+        assert!(m
+            .fns
+            .iter()
+            .find(|f| f.name == "decl")
+            .unwrap()
+            .body
+            .is_none());
+    }
+
+    #[test]
+    fn impl_trait_for_type_resolves_to_type() {
+        let m = model("impl fmt::Display for Engine {\n    fn fmt(&self) {}\n}\n");
+        assert_eq!(
+            m.fns[0].impl_type.as_deref(),
+            Some("Engine"),
+            "trait impl must attribute fns to the self type"
+        );
+    }
+
+    #[test]
+    fn lock_fields_and_statics() {
+        let m = model(
+            "struct S {\n    pub state: Mutex<Inner>,\n    changed: Condvar,\n    n: usize,\n}\nstatic REG: Mutex<Tables> = Mutex::new(Tables::new());\n",
+        );
+        assert_eq!(m.lock_fields.len(), 2);
+        assert_eq!(m.lock_fields[0].field, "state");
+        assert_eq!(m.lock_fields[0].owner, "S");
+        assert_eq!(m.lock_fields[0].kind, LockKind::Mutex);
+        assert_eq!(m.lock_fields[1].kind, LockKind::Condvar);
+        assert_eq!(m.lock_statics.len(), 1);
+        assert_eq!(m.lock_statics[0].name, "REG");
+    }
+
+    #[test]
+    fn enum_variants_carry_docs() {
+        let m = model(
+            "pub enum Request {\n    /// Liveness probe (wire v1).\n    Ping,\n    /// Characterize one target (wire v1).\n    Characterize { id: u64 },\n}\n",
+        );
+        assert_eq!(m.enums.len(), 1);
+        let e = &m.enums[0];
+        assert_eq!(e.name, "Request");
+        assert_eq!(e.variants.len(), 2);
+        assert!(e.variants[0].doc.contains("wire v1"));
+        assert_eq!(e.variants[1].name, "Characterize");
+    }
+
+    #[test]
+    fn const_str_arrays_extracted() {
+        let m =
+            model("pub const PREFIXES: [&str; 2] = [\n    \"ca_exec.\",\n    \"ca_sim.\",\n];\n");
+        assert_eq!(m.str_consts.len(), 1);
+        assert_eq!(m.str_consts[0].name, "PREFIXES");
+        assert_eq!(m.str_consts[0].values, vec!["ca_exec.", "ca_sim."]);
+    }
+
+    #[test]
+    fn metric_sites_parse_name_and_class() {
+        let m = model(
+            "fn f() {\n    counter!(\"ca_x.hits\", Outcome).inc();\n    histogram!(\"ca_x.sizes\", Ops, &[1, 2]).observe(n);\n    timer!(\"ca_x.wall\").record(d);\n    counter!(DYNAMIC, Ops).inc();\n}\n",
+        );
+        assert_eq!(m.metric_sites.len(), 4);
+        assert_eq!(m.metric_sites[0].name.as_deref(), Some("ca_x.hits"));
+        assert_eq!(m.metric_sites[0].class.as_deref(), Some("Outcome"));
+        assert_eq!(m.metric_sites[1].kind, MetricKind::Histogram);
+        assert_eq!(m.metric_sites[2].kind, MetricKind::Timer);
+        assert_eq!(m.metric_sites[2].class, None);
+        assert_eq!(m.metric_sites[3].name, None);
+    }
+
+    #[test]
+    fn env_sites_match_ca_upper_names() {
+        let m = model(
+            "fn f() {\n    let a = std::env::var(\"CA_THREADS\");\n    let b = \"CA-SERVE-READY\";\n    let c = \"ca_exec.items\";\n}\n",
+        );
+        assert_eq!(m.env_sites.len(), 1);
+        assert_eq!(m.env_sites[0].name, "CA_THREADS");
+    }
+
+    #[test]
+    fn catch_unwind_ranges_cover_args() {
+        let m = model("fn f() {\n    let r = catch_unwind(AssertUnwindSafe(|| body(x)));\n}\n");
+        assert_eq!(m.catch_ranges.len(), 1);
+        let (o, c) = m.catch_ranges[0];
+        assert!(m.toks[o].is_punct('('));
+        assert!(m.toks[c].is_punct(')'));
+    }
+
+    #[test]
+    fn mutex_param_helpers_flagged() {
+        let m = model("fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> { m.lock().unwrap() }\nfn plain(x: usize) {}\n");
+        assert!(m.fns[0].mutex_param);
+        assert!(!m.fns[1].mutex_param);
+    }
+}

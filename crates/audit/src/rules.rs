@@ -135,6 +135,62 @@ pub fn rules() -> &'static [RuleSpec] {
     ]
 }
 
+/// One model-driven analysis rule (D8–D12). Unlike [`RuleSpec`], these
+/// have no token list: their logic lives in [`crate::checks`]; this
+/// table only carries the identity used by `--list-rules` and the
+/// pragma validator.
+#[derive(Debug, Clone, Copy)]
+pub struct AnalysisRule {
+    /// Stable id (`D8`..`D12`).
+    pub id: &'static str,
+    /// What the rule forbids.
+    pub summary: &'static str,
+    /// One-line fix hint.
+    pub hint: &'static str,
+}
+
+/// The analysis rule families, in rule-id order.
+pub fn analysis_rules() -> &'static [AnalysisRule] {
+    &[
+        AnalysisRule {
+            id: "D8",
+            summary: "lock-order hazard: nested acquisition or a cycle in the static order graph",
+            hint: "acquire locks in one global order; audit a deliberate nesting with a D8 pragma",
+        },
+        AnalysisRule {
+            id: "D9",
+            summary:
+                "panic path in a supervised region (serve handlers, shard workers, exec items)",
+            hint: "supervise the panic with catch_unwind or annotate `// PANIC-OK: <reason>`",
+        },
+        AnalysisRule {
+            id: "D10",
+            summary:
+                "protocol drift: wire tag missing an encoder arm, decoder arm, cap or version note",
+            hint: "keep encoder, decoder, size cap and wire-version note in lockstep per tag",
+        },
+        AnalysisRule {
+            id: "D11",
+            summary: "metric outside the taxonomy, prefix set, or colliding with another signature",
+            hint: "name metrics `<crate>.<subsystem>.<event>` under an INSTRUMENTED_PREFIXES entry",
+        },
+        AnalysisRule {
+            id: "D12",
+            summary: "env-var drift between `CA_*` reads in code and the README env-var table",
+            hint: "keep the README `ca-audit:env-table` rows in lockstep with the code",
+        },
+    ]
+}
+
+/// Every rule id a pragma may name.
+pub fn known_rule_ids() -> Vec<&'static str> {
+    rules()
+        .iter()
+        .map(|r| r.id)
+        .chain(analysis_rules().iter().map(|r| r.id))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -147,6 +203,17 @@ mod tests {
         sorted.dedup();
         assert_eq!(ids, sorted);
         assert_eq!(ids.len(), 7);
+    }
+
+    #[test]
+    fn analysis_rules_extend_the_table() {
+        let ids: Vec<&str> = analysis_rules().iter().map(|r| r.id).collect();
+        assert_eq!(ids, ["D8", "D9", "D10", "D11", "D12"]);
+        assert_eq!(known_rule_ids().len(), 12);
+        for rule in analysis_rules() {
+            assert!(!rule.summary.is_empty(), "{}", rule.id);
+            assert!(!rule.hint.is_empty(), "{}", rule.id);
+        }
     }
 
     #[test]

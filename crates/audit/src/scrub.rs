@@ -1,24 +1,22 @@
-//! Source scrubbing: the lexical half of the auditor.
+//! Source scrubbing: the code-only view the token rules search.
 //!
-//! [`ScrubbedSource`] turns one Rust source file into a "code-only"
-//! view where comments and string/char literals are blanked out (each
-//! byte replaced by a space, newlines preserved), so token searches see
+//! [`ScrubbedSource`] is built on the real lexer ([`crate::lexer`]):
+//! every comment and string/char literal is blanked out of a copy of
+//! the file (byte-for-byte, newlines preserved), so token searches see
 //! code and nothing else. Along the way it collects the pieces the
 //! rules need from the *non*-code text: `// ca-audit: allow(...)`
-//! suppression pragmas, `// SAFETY:` comments, and `#[cfg(test)]`
-//! region line masks.
-//!
-//! The lexer handles line comments, nested block comments, string and
-//! raw-string literals (any `#` depth), byte strings, and char
-//! literals, and tells lifetimes (`'a`) apart from char literals
-//! (`'a'`) by lookahead. That is the entire Rust surface a token-level
-//! audit needs; anything fancier would mean depending on rustc.
+//! suppression pragmas, `// SAFETY:` / `// PANIC-OK:` comments, and
+//! `#[cfg(test)]` region line masks.
+
+use crate::lexer::{self, Comment, TokKind};
 
 /// One parsed `// ca-audit: allow(rule, reason)` pragma.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AllowPragma {
     /// 1-based line the pragma comment sits on.
     pub line: usize,
+    /// 1-based column of the comment start (span-accurate A1 target).
+    pub col: usize,
     /// Rule id named by the pragma.
     pub rule: String,
     /// Free-text justification (non-empty by construction).
@@ -30,6 +28,8 @@ pub struct AllowPragma {
 pub struct MalformedPragma {
     /// 1-based line.
     pub line: usize,
+    /// 1-based column of the comment start.
+    pub col: usize,
     /// What was wrong.
     pub problem: String,
 }
@@ -42,7 +42,7 @@ pub struct ScrubbedSource {
     line_starts: Vec<usize>,
     /// Per-line flag: inside a `#[cfg(test)]` item.
     test_mask: Vec<bool>,
-    /// Raw lines (for `SAFETY:` lookup).
+    /// Raw lines (for `SAFETY:` / `PANIC-OK:` lookup).
     raw_lines: Vec<String>,
     /// Well-formed suppression pragmas.
     pub allows: Vec<AllowPragma>,
@@ -53,8 +53,30 @@ pub struct ScrubbedSource {
 impl ScrubbedSource {
     /// Lexes `content` into a scrubbed view.
     pub fn new(content: &str) -> ScrubbedSource {
-        let (code, comments) = scrub(content);
-        debug_assert_eq!(code.len(), content.len());
+        let lexed = lexer::lex(content);
+        ScrubbedSource::from_lexed(content, &lexed)
+    }
+
+    /// Builds the scrubbed view from an existing lex (the workspace
+    /// model lexes each file once and shares the result).
+    pub fn from_lexed(content: &str, lexed: &lexer::Lexed) -> ScrubbedSource {
+        let mut code: Vec<u8> = content.as_bytes().to_vec();
+        let blank = |code: &mut [u8], from: usize, len: usize| {
+            for byte in code.iter_mut().skip(from).take(len) {
+                if *byte != b'\n' {
+                    *byte = b' ';
+                }
+            }
+        };
+        for c in &lexed.comments {
+            blank(&mut code, c.pos, c.raw_len);
+        }
+        for t in &lexed.toks {
+            if matches!(t.kind, TokKind::Str | TokKind::Char) {
+                blank(&mut code, t.pos, t.raw_len);
+            }
+        }
+        let code = String::from_utf8_lossy(&code).into_owned();
         let mut line_starts = vec![0usize];
         for (i, b) in code.bytes().enumerate() {
             if b == b'\n' {
@@ -62,7 +84,7 @@ impl ScrubbedSource {
             }
         }
         let raw_lines: Vec<String> = content.lines().map(|l| l.to_string()).collect();
-        let (allows, malformed_pragmas) = parse_pragmas(&comments);
+        let (allows, malformed_pragmas) = parse_pragmas(&lexed.comments);
         let test_mask = test_line_mask(&code, &line_starts);
         ScrubbedSource {
             code,
@@ -93,7 +115,16 @@ impl ScrubbedSource {
     /// Lines (1-based, ascending, deduplicated) where `token` occurs in
     /// code with identifier boundaries respected on both sides.
     pub fn token_lines(&self, token: &str) -> Vec<usize> {
-        let mut lines = Vec::new();
+        self.token_sites(token)
+            .into_iter()
+            .map(|(l, _)| l)
+            .collect()
+    }
+
+    /// `(line, col)` sites (1-based, ascending, one per line) where
+    /// `token` occurs in code with identifier boundaries respected.
+    pub fn token_sites(&self, token: &str) -> Vec<(usize, usize)> {
+        let mut sites: Vec<(usize, usize)> = Vec::new();
         let bytes = self.code.as_bytes();
         let tok = token.as_bytes();
         let ident = |b: u8| b.is_ascii_alphanumeric() || b == b'_';
@@ -111,19 +142,30 @@ impl ScrubbedSource {
                 }
             }
             let line = self.line_of(found);
-            if lines.last() != Some(&line) {
-                lines.push(line);
+            if sites.last().map(|&(l, _)| l) != Some(line) {
+                let col = found - self.line_starts[line - 1] + 1;
+                sites.push((line, col));
             }
         }
-        lines
+        sites
     }
 
     /// Whether `line` or one of the 3 lines above it carries a
     /// `SAFETY:` comment (rule D6).
     pub fn has_safety_comment(&self, line: usize) -> bool {
+        self.has_marker_comment(line, "SAFETY:")
+    }
+
+    /// Whether `line` or one of the 3 lines above it carries a
+    /// `PANIC-OK:` annotation (rule D9).
+    pub fn has_panic_ok(&self, line: usize) -> bool {
+        self.has_marker_comment(line, "PANIC-OK:")
+    }
+
+    fn has_marker_comment(&self, line: usize, marker: &str) -> bool {
         let hi = line.min(self.raw_lines.len());
-        let lo = hi.saturating_sub(4);
-        self.raw_lines[lo..hi].iter().any(|l| l.contains("SAFETY:"))
+        let lo = line.saturating_sub(4);
+        lo < hi && self.raw_lines[lo..hi].iter().any(|l| l.contains(marker))
     }
 
     /// If an allow pragma for `rule` covers `line` (same line or the
@@ -140,160 +182,20 @@ fn find_from(haystack: &str, needle: &str, from: usize) -> Option<usize> {
     haystack.get(from..)?.find(needle).map(|i| i + from)
 }
 
-/// Blanks comments and string/char literals, preserving length and
-/// newlines. Also returns each line comment as `(1-based line, text)`
-/// — the only place suppression pragmas are honored.
-fn scrub(content: &str) -> (String, Vec<(usize, String)>) {
-    let b = content.as_bytes();
-    let mut out: Vec<u8> = Vec::with_capacity(b.len());
-    let mut comments: Vec<(usize, String)> = Vec::new();
-    let mut line = 1usize;
-    let mut i = 0;
-    let blank = |out: &mut Vec<u8>, b: &[u8], from: usize, to: usize, line: &mut usize| {
-        for &byte in &b[from..to] {
-            if byte == b'\n' {
-                *line += 1;
-            }
-            out.push(if byte == b'\n' { b'\n' } else { b' ' });
-        }
-    };
-    while i < b.len() {
-        // Line comment (captured for pragma parsing).
-        if b[i] == b'/' && b.get(i + 1) == Some(&b'/') {
-            let end = memchr_newline(b, i);
-            comments.push((line, String::from_utf8_lossy(&b[i..end]).into_owned()));
-            blank(&mut out, b, i, end, &mut line);
-            i = end;
-        // Block comment (nested).
-        } else if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
-            let mut depth = 1;
-            let mut j = i + 2;
-            while j < b.len() && depth > 0 {
-                if b[j] == b'/' && b.get(j + 1) == Some(&b'*') {
-                    depth += 1;
-                    j += 2;
-                } else if b[j] == b'*' && b.get(j + 1) == Some(&b'/') {
-                    depth -= 1;
-                    j += 2;
-                } else {
-                    j += 1;
-                }
-            }
-            blank(&mut out, b, i, j, &mut line);
-            i = j;
-        // Raw (byte) string: r"..", r#".."#, br#".."# etc.
-        } else if let Some(len) = raw_string_len(b, i) {
-            blank(&mut out, b, i, i + len, &mut line);
-            i += len;
-        // Plain (byte) string.
-        } else if b[i] == b'"' || (b[i] == b'b' && b.get(i + 1) == Some(&b'"')) {
-            let open = if b[i] == b'"' { i } else { i + 1 };
-            let mut j = open + 1;
-            while j < b.len() {
-                match b[j] {
-                    b'\\' => j += 2,
-                    b'"' => {
-                        j += 1;
-                        break;
-                    }
-                    _ => j += 1,
-                }
-            }
-            let j = j.min(b.len());
-            blank(&mut out, b, i, j, &mut line);
-            i = j;
-        // Char literal vs lifetime: 'x' / '\n' are literals, 'a is not.
-        } else if b[i] == b'\'' {
-            let is_char = matches!(
-                (b.get(i + 1), b.get(i + 2)),
-                (Some(b'\\'), _) | (Some(_), Some(b'\''))
-            );
-            if is_char {
-                let mut j = i + 1;
-                if b.get(j) == Some(&b'\\') {
-                    j += 2;
-                    // Skip to the closing quote (covers \u{...}).
-                    while j < b.len() && b[j] != b'\'' {
-                        j += 1;
-                    }
-                } else {
-                    j += 1;
-                }
-                let j = (j + 1).min(b.len());
-                blank(&mut out, b, i, j, &mut line);
-                i = j;
-            } else {
-                out.push(b[i]);
-                i += 1;
-            }
-        } else {
-            if b[i] == b'\n' {
-                line += 1;
-            }
-            out.push(b[i]);
-            i += 1;
-        }
-    }
-    // No unsafe needed: `out` is built byte-for-byte from valid UTF-8
-    // where every replaced byte is ASCII, so it remains valid UTF-8.
-    (String::from_utf8(out).unwrap_or_default(), comments)
-}
-
-fn memchr_newline(b: &[u8], from: usize) -> usize {
-    b[from..]
-        .iter()
-        .position(|&c| c == b'\n')
-        .map_or(b.len(), |p| from + p)
-}
-
-/// Length of a raw-string token starting at `i`, if one starts there.
-fn raw_string_len(b: &[u8], i: usize) -> Option<usize> {
-    let mut j = i;
-    if b.get(j) == Some(&b'b') {
-        j += 1;
-    }
-    if b.get(j) != Some(&b'r') {
-        return None;
-    }
-    j += 1;
-    let mut hashes = 0;
-    while b.get(j) == Some(&b'#') {
-        hashes += 1;
-        j += 1;
-    }
-    if b.get(j) != Some(&b'"') {
-        return None;
-    }
-    j += 1;
-    // Scan for `"` followed by `hashes` hash marks.
-    while j < b.len() {
-        if b[j] == b'"' {
-            let mut k = 0;
-            while k < hashes && b.get(j + 1 + k) == Some(&b'#') {
-                k += 1;
-            }
-            if k == hashes {
-                return Some(j + 1 + hashes - i);
-            }
-        }
-        j += 1;
-    }
-    Some(b.len() - i)
-}
-
-/// Parses `// ca-audit: allow(rule, reason)` pragmas out of the line
-/// comments the lexer collected. Only plain `//` comments count: doc
-/// comments (`///`, `//!`) merely *describe* pragmas, and string
+/// Parses `// ca-audit: allow(rule, reason)` pragmas out of line
+/// comments. Only plain `//` comments count: doc comments (`///`,
+/// `//!`) merely *describe* pragmas, block comments and string
 /// literals never reach here at all.
-fn parse_pragmas(comments: &[(usize, String)]) -> (Vec<AllowPragma>, Vec<MalformedPragma>) {
+fn parse_pragmas(comments: &[Comment]) -> (Vec<AllowPragma>, Vec<MalformedPragma>) {
     let mut allows = Vec::new();
     let mut malformed = Vec::new();
-    for (line, text) in comments {
-        let line = *line;
-        let body = text.trim_start_matches('/');
-        if text.starts_with("///") || text.starts_with("//!") {
+    for comment in comments {
+        let text = &comment.text;
+        if !text.starts_with("//") || text.starts_with("///") || text.starts_with("//!") {
             continue;
         }
+        let (line, col) = (comment.line, comment.col);
+        let body = text.trim_start_matches('/');
         let Some(pos) = body.find("ca-audit:") else {
             continue;
         };
@@ -306,6 +208,7 @@ fn parse_pragmas(comments: &[(usize, String)]) -> (Vec<AllowPragma>, Vec<Malform
         let Some(args) = rest.strip_prefix("allow(") else {
             malformed.push(MalformedPragma {
                 line,
+                col,
                 problem: format!("expected `allow(...)`, found `{}`", rest.trim()),
             });
             continue;
@@ -313,6 +216,7 @@ fn parse_pragmas(comments: &[(usize, String)]) -> (Vec<AllowPragma>, Vec<Malform
         let Some(close) = args.find(')') else {
             malformed.push(MalformedPragma {
                 line,
+                col,
                 problem: "missing closing `)`".into(),
             });
             continue;
@@ -321,6 +225,7 @@ fn parse_pragmas(comments: &[(usize, String)]) -> (Vec<AllowPragma>, Vec<Malform
         let Some((rule, reason)) = inner.split_once(',') else {
             malformed.push(MalformedPragma {
                 line,
+                col,
                 problem: "missing reason: write `allow(rule, reason)`".into(),
             });
             continue;
@@ -329,6 +234,7 @@ fn parse_pragmas(comments: &[(usize, String)]) -> (Vec<AllowPragma>, Vec<Malform
         if rule.is_empty() || reason.is_empty() {
             malformed.push(MalformedPragma {
                 line,
+                col,
                 problem: "rule id and reason must both be non-empty".into(),
             });
             continue;
@@ -338,12 +244,14 @@ fn parse_pragmas(comments: &[(usize, String)]) -> (Vec<AllowPragma>, Vec<Malform
         if !args[close + 1..].trim().is_empty() {
             malformed.push(MalformedPragma {
                 line,
+                col,
                 problem: "trailing text after `)`".into(),
             });
             continue;
         }
         allows.push(AllowPragma {
             line,
+            col,
             rule: rule.to_string(),
             reason: reason.to_string(),
         });
@@ -455,6 +363,12 @@ mod tests {
     }
 
     #[test]
+    fn token_sites_carry_columns() {
+        let src = ScrubbedSource::new("fn f() { let t = Instant::now(); }\n");
+        assert_eq!(src.token_sites("Instant::now"), vec![(1, 18)]);
+    }
+
+    #[test]
     fn cfg_test_mask_covers_mod_block() {
         let src = ScrubbedSource::new(
             "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn live2() {}\n",
@@ -474,6 +388,7 @@ mod tests {
         );
         assert_eq!(src.allows.len(), 1);
         assert_eq!(src.allows[0].rule, "D4");
+        assert_eq!(src.allows[0].col, 1);
         assert_eq!(src.allow_covering(2, "D4"), Some(1));
         assert_eq!(src.allow_covering(3, "D4"), None);
         assert_eq!(src.allow_covering(2, "D1"), None);
@@ -492,5 +407,12 @@ mod tests {
         );
         assert!(src.has_safety_comment(2));
         assert!(!src.has_safety_comment(7));
+    }
+
+    #[test]
+    fn panic_ok_lookup() {
+        let src = ScrubbedSource::new("// PANIC-OK: checked above\nx.unwrap();\n");
+        assert!(src.has_panic_ok(2));
+        assert!(!src.has_panic_ok(5));
     }
 }

@@ -1,0 +1,468 @@
+//! Fire/quiet fixture self-tests for the analysis rules (D8–D12) and
+//! the pragma-hygiene span regression (A1). Each fire fixture seeds
+//! exactly one violation and pins the finding's span; each quiet
+//! fixture shows the audited way to write the same code.
+
+use ca_audit::{audit_sources, Severity, SourceFile, SourceSet};
+
+fn set(files: &[(&str, &str, &str)]) -> SourceSet {
+    SourceSet {
+        files: files
+            .iter()
+            .map(|(c, l, s)| SourceFile {
+                crate_name: c.to_string(),
+                label: l.to_string(),
+                content: s.to_string(),
+            })
+            .collect(),
+        readme: None,
+    }
+}
+
+fn rule<'a>(findings: &'a [ca_audit::Finding], id: &str) -> Vec<&'a ca_audit::Finding> {
+    findings.iter().filter(|f| f.rule == id).collect()
+}
+
+// --------------------------------------------------------------- D8
+
+/// Seeded lock-order inversion: two functions nest the same pair of
+/// mutexes in opposite orders. Both nesting sites carry an audited
+/// pragma, so the only surviving finding is the (non-suppressible)
+/// cycle error — exactly one, at the first inverted acquisition.
+const D8_INVERSION: &str = r#"
+use std::sync::Mutex;
+
+pub struct Admission { pub q: Mutex<u32> }
+pub struct Engine { pub jobs: Mutex<u32> }
+
+pub struct Server { pub adm: Admission, pub eng: Engine }
+
+impl Server {
+    pub fn submit(&self) {
+        let q = self.adm.q.lock().unwrap();
+        // ca-audit: allow(D8, fixture: audited admission-then-engine nesting)
+        let j = self.eng.jobs.lock().unwrap();
+        drop(j);
+        drop(q);
+    }
+    pub fn drain(&self) {
+        let j = self.eng.jobs.lock().unwrap();
+        // ca-audit: allow(D8, fixture: audited engine-then-admission nesting)
+        let q = self.adm.q.lock().unwrap();
+        drop(q);
+        drop(j);
+    }
+}
+"#;
+
+#[test]
+fn d8_fires_on_seeded_lock_inversion() {
+    let findings = audit_sources(&set(&[(
+        "ca-serve",
+        "crates/serve/src/fix.rs",
+        D8_INVERSION,
+    )]));
+    let d8 = rule(&findings, "D8");
+    assert_eq!(d8.len(), 1, "want exactly the cycle error: {findings:?}");
+    let f = d8[0];
+    assert_eq!(f.severity, Severity::Error);
+    assert!(f.message.contains("lock-order cycle"), "{f}");
+    assert!(
+        f.message.contains("ca-serve/Admission.q") && f.message.contains("ca-serve/Engine.jobs"),
+        "{f}"
+    );
+    // Span-accurate: the first inverted acquisition is the `jobs`
+    // receiver on line 13 of the fixture.
+    assert_eq!(
+        (f.file.as_str(), f.line),
+        ("crates/serve/src/fix.rs", 13),
+        "{f}"
+    );
+    assert!(f.col > 1, "column must be real, got {f}");
+    // The two nesting pragmas suppressed real findings, so no A1.
+    assert!(rule(&findings, "A1").is_empty(), "{findings:?}");
+}
+
+#[test]
+fn d8_fires_on_unaudited_cross_class_nesting() {
+    let src = r#"
+use std::sync::Mutex;
+pub struct A { pub first: Mutex<u32> }
+pub struct B { pub second: Mutex<u32> }
+pub struct S { pub a: A, pub b: B }
+impl S {
+    pub fn nested(&self) {
+        let g = self.a.first.lock().unwrap();
+        let h = self.b.second.lock().unwrap();
+        drop(h);
+        drop(g);
+    }
+}
+"#;
+    let findings = audit_sources(&set(&[("ca-core", "crates/core/src/fix.rs", src)]));
+    let d8 = rule(&findings, "D8");
+    assert_eq!(d8.len(), 1, "{findings:?}");
+    assert!(d8[0].message.contains("acquired while"), "{}", d8[0]);
+}
+
+#[test]
+fn d8_quiet_on_consistent_order_and_dropped_guards() {
+    let src = r#"
+use std::sync::Mutex;
+pub struct A { pub first: Mutex<u32> }
+pub struct B { pub second: Mutex<u32> }
+pub struct S { pub a: A, pub b: B }
+impl S {
+    pub fn forward(&self) {
+        let g = self.a.first.lock().unwrap();
+        // ca-audit: allow(D8, documented a-before-b order)
+        let h = self.b.second.lock().unwrap();
+        drop(h);
+        drop(g);
+    }
+    pub fn sequential(&self) {
+        let g = self.a.first.lock().unwrap();
+        drop(g);
+        let h = self.b.second.lock().unwrap();
+        drop(h);
+    }
+}
+"#;
+    let findings = audit_sources(&set(&[("ca-core", "crates/core/src/fix.rs", src)]));
+    assert!(rule(&findings, "D8").is_empty(), "{findings:?}");
+}
+
+/// The inversion must also be seen when the two acquisitions live in
+/// different functions connected by a call while a lock is held.
+#[test]
+fn d8_fires_across_call_graph() {
+    let src = r#"
+use std::sync::Mutex;
+pub struct A { pub first: Mutex<u32> }
+pub struct B { pub second: Mutex<u32> }
+pub struct S { pub a: A, pub b: B }
+impl S {
+    fn inner_second(&self) {
+        let h = self.b.second.lock().unwrap();
+        drop(h);
+    }
+    fn inner_first(&self) {
+        let g = self.a.first.lock().unwrap();
+        drop(g);
+    }
+    pub fn ab(&self) {
+        let g = self.a.first.lock().unwrap();
+        self.inner_second();
+        drop(g);
+    }
+    pub fn ba(&self) {
+        let h = self.b.second.lock().unwrap();
+        self.inner_first();
+        drop(h);
+    }
+}
+"#;
+    let findings = audit_sources(&set(&[("ca-exec", "crates/exec/src/fix.rs", src)]));
+    let d8 = rule(&findings, "D8");
+    assert_eq!(d8.len(), 1, "{findings:?}");
+    assert!(d8[0].message.contains("lock-order cycle"), "{}", d8[0]);
+}
+
+// --------------------------------------------------------------- D9
+
+#[test]
+fn d9_fires_on_unwrap_and_indexing_in_supervised_crate() {
+    let src = r#"
+pub fn handler(xs: &[u32]) -> u32 {
+    let v = xs.first().unwrap();
+    *v + xs[0]
+}
+"#;
+    let findings = audit_sources(&set(&[("ca-serve", "crates/serve/src/fix.rs", src)]));
+    let d9 = rule(&findings, "D9");
+    assert_eq!(d9.len(), 2, "{findings:?}");
+    assert!(d9[0].message.contains("`.unwrap()` may panic"), "{}", d9[0]);
+    assert_eq!((d9[0].line, d9[1].line), (3, 4));
+    assert!(d9.iter().all(|f| f.severity == Severity::Warning));
+}
+
+#[test]
+fn d9_quiet_under_catch_unwind_panic_ok_and_patterns() {
+    let src = r#"
+pub fn handler(xs: &[u32]) -> u32 {
+    let caught = std::panic::catch_unwind(|| xs.first().unwrap() + xs[0]);
+    // PANIC-OK: fixture — xs is checked non-empty by the caller.
+    let head = xs[0];
+    let [a, b] = xs[..] else { return head };
+    let tail = &xs[1..];
+    caught.unwrap_or(0) + a + b + tail.len() as u32
+}
+"#;
+    let findings = audit_sources(&set(&[("ca-shard", "crates/shard/src/fix.rs", src)]));
+    assert!(rule(&findings, "D9").is_empty(), "{findings:?}");
+}
+
+#[test]
+fn d9_quiet_outside_supervised_crates() {
+    let src = "pub fn f(xs: &[u32]) -> u32 { xs.first().unwrap() + xs[0] }\n";
+    let findings = audit_sources(&set(&[("ca-netlist", "crates/netlist/src/fix.rs", src)]));
+    assert!(rule(&findings, "D9").is_empty(), "{findings:?}");
+}
+
+// --------------------------------------------------------------- D10
+
+/// A complete, drift-free codec: every tag has an encoder arm, a
+/// decoder arm, a wire-version note, and the caps const is referenced.
+const D10_CLEAN: &str = r#"
+pub const MAX_FRAME_PAYLOAD: u32 = 1 << 16;
+
+pub enum Frame {
+    /// Liveness probe (wire v1).
+    Ping,
+    /// Payload frame (wire v2) — version-guarded in the decoder.
+    Data(Vec<u8>),
+}
+
+pub fn encode_frame(f: &Frame, out: &mut Vec<u8>) {
+    match f {
+        Frame::Ping => out.push(1),
+        Frame::Data(d) => {
+            out.push(2);
+            assert!(d.len() <= MAX_FRAME_PAYLOAD as usize);
+            out.extend_from_slice(d);
+        }
+    }
+}
+
+pub fn decode_frame(version: u8, payload: &[u8]) -> Result<Frame, String> {
+    if payload.len() > MAX_FRAME_PAYLOAD as usize {
+        return Err("oversized".to_string());
+    }
+    match payload.first().copied().ok_or("empty")? {
+        1 => Ok(Frame::Ping),
+        2 if version >= 2 => Ok(Frame::Data(payload[1..].to_vec())),
+        t => Err(format!("bad tag {t}")),
+    }
+}
+"#;
+
+#[test]
+fn d10_quiet_on_complete_codec() {
+    let findings = audit_sources(&set(&[("ca-serve", "crates/serve/src/fix.rs", D10_CLEAN)]));
+    assert!(rule(&findings, "D10").is_empty(), "{findings:?}");
+}
+
+#[test]
+fn d10_fires_on_seeded_missing_decoder_arm() {
+    // Remove tag 2's decoder arm from the clean codec: exactly one
+    // error, at the encoder's push site for the now-orphaned tag.
+    let src = D10_CLEAN.replace(
+        "        2 if version >= 2 => Ok(Frame::Data(payload[1..].to_vec())),\n",
+        "",
+    );
+    let findings = audit_sources(&set(&[("ca-serve", "crates/serve/src/fix.rs", &src)]));
+    let d10 = rule(&findings, "D10");
+    assert_eq!(d10.len(), 1, "{findings:?}");
+    let f = d10[0];
+    assert_eq!(f.severity, Severity::Error);
+    assert!(
+        f.message
+            .contains("`Data` (tag 2) is encoded but has no decoder arm"),
+        "{f}"
+    );
+    // Span-accurate: the `2` literal of `out.push(2)` on line 15.
+    assert_eq!((f.line, f.col), (15, 22), "{f}");
+}
+
+#[test]
+fn d10_fires_on_variant_mismatch_and_missing_wildcard() {
+    let src = D10_CLEAN
+        .replace("1 => Ok(Frame::Ping),", "1 => Ok(Frame::Data(Vec::new())),")
+        .replace("        t => Err(format!(\"bad tag {t}\")),\n", "");
+    let findings = audit_sources(&set(&[("ca-serve", "crates/serve/src/fix.rs", &src)]));
+    let d10 = rule(&findings, "D10");
+    assert!(
+        d10.iter().any(|f| f
+            .message
+            .contains("tag 1 encodes `Ping` but decodes `Data`")),
+        "{findings:?}"
+    );
+    assert!(
+        d10.iter().any(|f| f.message.contains("no wildcard arm")),
+        "{findings:?}"
+    );
+}
+
+#[test]
+fn d10_fires_on_missing_version_guard_and_cap() {
+    let src = D10_CLEAN.replace("2 if version >= 2 =>", "2 =>").replace(
+        "pub fn decode_frame(version: u8,",
+        "pub fn decode_frame(_version: u8,",
+    );
+    let findings = audit_sources(&set(&[("ca-serve", "crates/serve/src/fix.rs", &src)]));
+    assert!(
+        rule(&findings, "D10")
+            .iter()
+            .any(|f| f.message.contains("decoded without a version guard")),
+        "{findings:?}"
+    );
+
+    let src = D10_CLEAN.replace("MAX_FRAME_PAYLOAD", "FRAME_LIMIT");
+    let findings = audit_sources(&set(&[("ca-serve", "crates/serve/src/fix.rs", &src)]));
+    assert!(
+        rule(&findings, "D10")
+            .iter()
+            .any(|f| f.message.contains("no referenced `MAX_FRAME*` size cap")),
+        "{findings:?}"
+    );
+}
+
+// --------------------------------------------------------------- D11
+
+const D11_PREFIXES: &str = r#"
+pub const INSTRUMENTED_PREFIXES: [&str; 2] = ["ca_core.", "ca_sim."];
+"#;
+
+#[test]
+fn d11_fires_on_foreign_prefix_taxonomy_and_collision() {
+    let core = r#"
+pub fn work() {
+    counter!("ca_core.items.done", Outcome).inc();
+    counter!("ca_serve.items.done", Outcome).inc();
+    counter!("ca_core.BadName", Outcome).inc();
+    histogram!("ca_core.items.done", Work, &[1, 2]).observe(1);
+}
+"#;
+    let findings = audit_sources(&set(&[
+        ("ca-obs", "crates/obs/src/profile.rs", D11_PREFIXES),
+        ("ca-core", "crates/core/src/fix.rs", core),
+    ]));
+    let d11 = rule(&findings, "D11");
+    assert!(
+        d11.iter().any(|f| f
+            .message
+            .contains("prefix `ca_serve.` is not in INSTRUMENTED_PREFIXES")),
+        "{findings:?}"
+    );
+    assert!(
+        d11.iter()
+            .any(|f| f.message.contains("does not parse into the taxonomy")),
+        "{findings:?}"
+    );
+    assert!(
+        d11.iter()
+            .any(|f| f.severity == Severity::Error && f.message.contains("ca_core.items.done")),
+        "collision between counter and histogram signatures: {findings:?}"
+    );
+}
+
+#[test]
+fn d11_quiet_on_well_formed_metrics() {
+    let core = r#"
+pub fn work() {
+    counter!("ca_core.items.done", Outcome).inc();
+    timer!("ca_core.items.latency").start();
+}
+"#;
+    let sim = r#"
+pub fn eval() {
+    histogram!("ca_sim.eval.batch", Work, &[1, 2]).observe(1);
+}
+"#;
+    let findings = audit_sources(&set(&[
+        ("ca-obs", "crates/obs/src/profile.rs", D11_PREFIXES),
+        ("ca-core", "crates/core/src/fix.rs", core),
+        ("ca-sim", "crates/sim/src/fix.rs", sim),
+    ]));
+    assert!(rule(&findings, "D11").is_empty(), "{findings:?}");
+}
+
+// --------------------------------------------------------------- D12
+
+fn readme(body: &str) -> Option<(String, String)> {
+    Some(("README.md".to_string(), body.to_string()))
+}
+
+const D12_SRC: &str = r#"
+pub fn threads() -> Option<String> {
+    std::env::var("CA_THREADS").ok()
+}
+"#;
+
+#[test]
+fn d12_fires_on_undocumented_read_and_readerless_row() {
+    let mut s = set(&[("ca-exec", "crates/exec/src/fix.rs", D12_SRC)]);
+    s.readme = readme(
+        "# fixture\n\n<!-- ca-audit:env-table -->\n\n| Variable | Meaning |\n|---|---|\n| `CA_GHOST` | documented but never read |\n",
+    );
+    let findings = audit_sources(&s);
+    let d12 = rule(&findings, "D12");
+    assert!(
+        d12.iter().any(|f| f.file == "crates/exec/src/fix.rs"
+            && f.message.contains("`CA_THREADS` is read here but missing")),
+        "{findings:?}"
+    );
+    assert!(
+        d12.iter().any(|f| f.file == "README.md"
+            && f.line == 7
+            && f.message.contains("`CA_GHOST` has no reader")),
+        "{findings:?}"
+    );
+}
+
+#[test]
+fn d12_fires_on_missing_sentinel() {
+    let mut s = set(&[("ca-exec", "crates/exec/src/fix.rs", D12_SRC)]);
+    s.readme = readme("# fixture with no table\n");
+    let findings = audit_sources(&s);
+    assert!(
+        rule(&findings, "D12")
+            .iter()
+            .any(|f| f.message.contains("no `ca-audit:env-table` sentinel")),
+        "{findings:?}"
+    );
+}
+
+#[test]
+fn d12_quiet_when_table_matches_reads() {
+    let mut s = set(&[("ca-exec", "crates/exec/src/fix.rs", D12_SRC)]);
+    s.readme = readme(
+        "# fixture\n\n<!-- ca-audit:env-table -->\n\n| Variable | Meaning |\n|---|---|\n| `CA_THREADS` | worker count |\n",
+    );
+    let findings = audit_sources(&s);
+    assert!(rule(&findings, "D12").is_empty(), "{findings:?}");
+}
+
+// --------------------------------------------------------------- A1
+
+/// Regression: an unused pragma is reported at the pragma's own
+/// file:line:col, not at whatever site the rule last visited — also
+/// across files, where the ledger is global.
+#[test]
+fn a1_points_at_the_pragma_itself() {
+    let used = r#"
+pub fn handler(xs: &[u32]) -> u32 {
+    // ca-audit: allow(D9, fixture: suppresses the unwrap below)
+    xs.first().unwrap() + 1
+}
+"#;
+    let unused = r#"
+pub fn quiet() -> u32 {
+    // ca-audit: allow(D9, fixture: nothing here can fire)
+    7
+}
+"#;
+    let findings = audit_sources(&set(&[
+        ("ca-serve", "crates/serve/src/used.rs", used),
+        ("ca-serve", "crates/serve/src/unused.rs", unused),
+    ]));
+    assert!(rule(&findings, "D9").is_empty(), "{findings:?}");
+    let a1 = rule(&findings, "A1");
+    assert_eq!(a1.len(), 1, "{findings:?}");
+    let f = a1[0];
+    assert_eq!(
+        (f.file.as_str(), f.line, f.col),
+        ("crates/serve/src/unused.rs", 3, 5),
+        "A1 must carry the pragma's own span: {f}"
+    );
+}

@@ -305,9 +305,24 @@ fn main() {
     }
     if command == "profile-check" {
         matched = true;
+        // Required coverage comes from the ca-audit metric inventory
+        // (falling back to the baked-in prefixes outside the repo);
+        // inventory drift fails the gate before the profile is read.
+        let prefixes = match ca_bench::profiling::required_prefixes(std::path::Path::new(".")) {
+            Ok(p) => p,
+            Err(e) => die(&e),
+        };
+        let prefix_refs: Vec<&str> = prefixes.iter().map(String::as_str).collect();
         match std::fs::read_to_string(&check_path) {
-            Ok(text) => match ca_obs::validate_profile_json(&text) {
-                Ok(()) => ca_obs::info_status("ca_bench", &format!("{check_path} is valid"), &[]),
+            Ok(text) => match ca_obs::validate_profile_json_with(&text, &prefix_refs) {
+                Ok(()) => ca_obs::info_status(
+                    "ca_bench",
+                    &format!(
+                        "{check_path} is valid ({} required prefixes)",
+                        prefixes.len()
+                    ),
+                    &[],
+                ),
                 Err(e) => die(&format!("{check_path} invalid: {e}")),
             },
             Err(e) => die(&format!("cannot read {check_path}: {e}")),

@@ -1,0 +1,53 @@
+//! The D11 contract: the metric inventory `ca-audit` extracts from
+//! the workspace sources is exactly what `ca-bench profile-check`
+//! validates profiles against — same prefixes, byte for byte.
+
+use std::path::Path;
+
+fn workspace_root() -> &'static Path {
+    Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."))
+}
+
+#[test]
+fn profile_check_prefixes_byte_match_the_extracted_inventory() {
+    let root = workspace_root();
+    let required = ca_bench::profiling::required_prefixes(root).expect("no inventory drift");
+
+    let inv = ca_audit::metric_inventory(root).expect("inventory I/O");
+    let extracted = ca_audit::inventory_prefixes(&inv);
+    assert_eq!(
+        required, extracted,
+        "profile-check must consume the extracted inventory verbatim"
+    );
+
+    let mut baked: Vec<String> = ca_obs::INSTRUMENTED_PREFIXES
+        .iter()
+        .map(|s| (*s).to_string())
+        .collect();
+    baked.sort();
+    assert_eq!(
+        extracted, baked,
+        "sources and INSTRUMENTED_PREFIXES drifted; update the const or the metrics"
+    );
+
+    // Byte-level determinism of the inventory rendering itself.
+    let a = ca_audit::render_metric_inventory(&inv);
+    let b = ca_audit::render_metric_inventory(&ca_audit::metric_inventory(root).expect("re-read"));
+    assert_eq!(a, b);
+    assert!(a.lines().count() >= 50, "inventory implausibly small:\n{a}");
+}
+
+#[test]
+fn required_prefixes_fall_back_outside_the_repo() {
+    // A directory without `crates/` (an installed-binary run) uses the
+    // baked-in prefixes instead of failing.
+    let dir = std::env::temp_dir().join("ca_bench_prefix_fallback");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let got = ca_bench::profiling::required_prefixes(&dir).expect("fallback");
+    let mut baked: Vec<String> = ca_obs::INSTRUMENTED_PREFIXES
+        .iter()
+        .map(|s| (*s).to_string())
+        .collect();
+    baked.sort();
+    assert_eq!(got, baked);
+}

@@ -58,16 +58,17 @@ pub enum FaultPolicy {
     RetryWithReducedBudget(u32),
 }
 
-/// Pipeline stage at which a quarantined cell failed.
+/// Pipeline stage at which a quarantined cell failed. The discriminant
+/// is persisted in the session journal (see `session::encode_phase`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FailurePhase {
-    /// Structural lint pre-flight.
+    /// Structural lint pre-flight (journal wire v1 tag 0).
     Lint,
-    /// Defect-free (golden) sanity simulation.
+    /// Defect-free (golden) sanity simulation (journal wire v1 tag 1).
     Golden,
-    /// Activation extraction / canonicalization.
+    /// Activation extraction / canonicalization (journal wire v1 tag 2).
     Prepare,
-    /// Budgeted model generation.
+    /// Budgeted model generation (journal wire v1 tag 3).
     Characterize,
 }
 

@@ -691,6 +691,7 @@ fn encode_phase(phase: FailurePhase) -> u8 {
     }
 }
 
+// ca-audit: allow(D10, phase is a one-byte journal tag with no payload to cap)
 pub(crate) fn decode_phase(byte: u8) -> Option<FailurePhase> {
     match byte {
         0 => Some(FailurePhase::Lint),

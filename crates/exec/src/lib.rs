@@ -257,6 +257,8 @@ impl Executor {
         let mut slots: Vec<Option<Result<R, _>>> = (0..items.len()).map(|_| None).collect();
         for part in &mut parts {
             for (i, result) in part.drain(..) {
+                // PANIC-OK: `i` is an item index the worker received from
+                // this function; `slots` spans every item index.
                 slots[i] = Some(result);
             }
         }

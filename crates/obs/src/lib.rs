@@ -53,8 +53,8 @@ pub use event::{
 };
 pub use json::{escape_json, parse as parse_json, JsonValue};
 pub use profile::{
-    cpu_time_s, validate_profile_json, FlowProfile, StageProfile, INSTRUMENTED_PREFIXES,
-    PROFILE_SCHEMA,
+    cpu_time_s, validate_profile_json, validate_profile_json_with, FlowProfile, StageProfile,
+    INSTRUMENTED_PREFIXES, PROFILE_SCHEMA,
 };
 pub use recovery::emit_recovery;
 pub use registry::{

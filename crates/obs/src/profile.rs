@@ -375,7 +375,11 @@ pub fn validate_profile_json(text: &str) -> Result<(), String> {
     validate_profile_json_with(text, &INSTRUMENTED_PREFIXES)
 }
 
-fn validate_profile_json_with(text: &str, required_prefixes: &[&str]) -> Result<(), String> {
+/// Validates like [`validate_profile_json`] but against an explicit
+/// prefix list — `ca-bench profile-check` passes the prefixes of the
+/// statically-extracted metric inventory so the gate and the sources
+/// can never drift apart.
+pub fn validate_profile_json_with(text: &str, required_prefixes: &[&str]) -> Result<(), String> {
     let doc = crate::json::parse(text)?;
     let obj = doc.as_object().ok_or("top level must be an object")?;
     match obj.get("schema").and_then(JsonValue::as_str) {

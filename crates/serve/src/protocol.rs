@@ -48,9 +48,10 @@ pub enum Target {
 /// A client-to-server message.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Request {
-    /// Liveness probe; echoed back in [`Response::Pong`].
+    /// Liveness probe; echoed back in [`Response::Pong`] (wire v1).
     Ping { token: u64 },
-    /// Characterize one cell under an optional deadline.
+    /// Characterize one cell under an optional deadline (wire v1;
+    /// the trace context rides only on v2+ frames).
     Characterize {
         /// Client identity for per-client quotas.
         client: String,
@@ -62,11 +63,12 @@ pub enum Request {
         /// the request span parents under the client's span.
         trace: Option<TraceContext>,
     },
-    /// Snapshot-isolated read of a journaled record; no simulation.
+    /// Snapshot-isolated read of a journaled record; no simulation
+    /// (wire v1).
     Lookup { name: String },
-    /// Server counters, queue depths and session report.
+    /// Server counters, queue depths and session report (wire v1).
     Stats,
-    /// Ask the server to stop admitting and drain.
+    /// Ask the server to stop admitting and drain (wire v1).
     Drain,
     /// Full metric-registry snapshot as machine-readable JSON (wire
     /// v2+) — the scrapeable form of [`Request::Stats`].
@@ -126,9 +128,10 @@ pub enum ErrorKind {
 /// A server-to-client message.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Response {
-    /// Echo of [`Request::Ping`].
+    /// Echo of [`Request::Ping`] (wire v1).
     Pong { token: u64 },
-    /// A characterized (or journaled) model.
+    /// A characterized (or journaled) model (wire v1; the timing
+    /// breakdown rides only on v2+ frames).
     Model {
         /// Canonical cell name.
         cell: String,
@@ -141,11 +144,11 @@ pub enum Response {
         /// Server-side timing breakdown (wire v2+; zeros from v1).
         timing: Timing,
     },
-    /// A structured failure; never a dropped connection.
+    /// A structured failure; never a dropped connection (wire v1).
     Error { kind: ErrorKind, detail: String },
-    /// Rendered server counters.
+    /// Rendered server counters (wire v1).
     Stats { body: String },
-    /// Acknowledgement of [`Request::Drain`].
+    /// Acknowledgement of [`Request::Drain`] (wire v1).
     Draining,
     /// Registry snapshot as JSON (schema `ca-obs-metrics/1`), answering
     /// [`Request::MetricsSnapshot`] (wire v2+).

@@ -38,6 +38,7 @@ impl ShardPlan {
         let shards = shards.max(1);
         let mut plan = vec![Vec::new(); shards];
         for (i, lc) in library.cells.iter().enumerate() {
+            // PANIC-OK: shard_of reduces modulo `shards` == plan.len().
             plan[shard_of(lc.cell.name(), shards)].push(i);
         }
         ShardPlan { shards: plan }
@@ -49,9 +50,17 @@ impl ShardPlan {
     }
 
     /// The sub-library of shard `index` (cells cloned in library order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is not a shard of this plan or if `library` is
+    /// not the library the plan partitioned.
     pub fn shard_library(&self, library: &Library, index: usize) -> Library {
         Library {
             technology: library.technology,
+            // PANIC-OK: documented contract — `index` names a shard of
+            // this plan.
+            // PANIC-OK: plan entries index the partitioned library.
             cells: self.shards[index]
                 .iter()
                 .map(|&i| library.cells[i].clone())

@@ -338,6 +338,7 @@ pub fn run_campaign(
 
     let plan = ShardPlan::partition(&shardable, config.shards);
     let indices: Vec<usize> = (0..plan.shards.len())
+        // PANIC-OK: `i` ranges over the plan's own shard indices.
         .filter(|&i| !plan.shards[i].is_empty())
         .collect();
     ca_obs::global()
@@ -353,6 +354,8 @@ pub fn run_campaign(
     // Supervise shards concurrently.
     let pool = Executor::with_threads(config.concurrency.max(1));
     let shard_reports: Vec<ShardReport> = pool.map(&indices, |_, &i| {
+        // PANIC-OK: `i` comes from `indices` (plan shard indices).
+        // PANIC-OK: plan entries index the `shardable` library it split.
         let cells: Vec<String> = plan.shards[i]
             .iter()
             .map(|&c| shardable.cells[c].cell.name().to_string())
@@ -525,6 +528,7 @@ fn supervise_shard(
             &[
                 ("shard", &index.to_string()),
                 ("attempt", &attempt.to_string()),
+                // PANIC-OK: this attempt's outcome was pushed just above.
                 ("outcome", &format!("{:?}", attempts[attempts.len() - 1])),
             ],
         );

@@ -92,20 +92,24 @@ echo "==> cargo clippy (ca-serve, standalone gate)"
 cargo clippy -p ca-serve --all-targets --offline -- -D warnings
 
 # The auditor is the machine-checked form of the determinism /
-# durability / observability conventions (DESIGN.md §10); it must never
+# durability / observability conventions (DESIGN.md §10) plus the
+# cross-crate analysis rules D8–D12 (DESIGN.md §15); it must never
 # itself carry clippy debt, and the workspace must audit clean with
 # warnings denied — suppressions are allowed only at the documented
-# ca-store sites.
+# (crate, rule) sites, and no --baseline file is passed here: ratchet
+# files are for in-flight migrations, merged code audits clean as-is.
 echo "==> cargo clippy (ca-audit, standalone gate)"
 cargo clippy -p ca-audit --all-targets --offline -- -D warnings
 
-echo "==> ca-audit --deny warn (workspace invariant audit)"
+echo "==> ca-audit --deny warn (workspace invariant audit, D1-D12)"
 cargo run -q --release --offline -p ca-audit -- --deny warn
 
-# Opt-in Miri smoke over the store's journal framing: undefined
-# behaviour in the byte-level record codec would silently corrupt every
-# durability guarantee. Miri needs a nightly component that hermetic
-# containers may not carry, so the gate only runs when asked for.
+# Opt-in Miri smoke over the byte-level codecs: undefined behaviour in
+# the store's journal framing would silently corrupt every durability
+# guarantee, and UB in the serve wire codec would turn hostile bytes
+# into memory corruption instead of structured errors. Miri needs a
+# nightly component that hermetic containers may not carry, so the
+# gate only runs when asked for.
 if [[ "${CA_CI_MIRI:-0}" == "1" ]]; then
     if rustup component list --installed 2>/dev/null | grep -q miri; then
         echo "==> cargo miri test (ca-store journal framing, opt-in)"
@@ -113,8 +117,32 @@ if [[ "${CA_CI_MIRI:-0}" == "1" ]]; then
         # rejection paths. The file-backed tests need a real filesystem
         # and stay out of the interpreter.
         cargo miri test -p ca-store --lib -- crc32 decode_rejects
+        echo "==> cargo miri test (ca-serve protocol codec fuzz, opt-in)"
+        # The protocol fuzz suite: exhaustive truncation and bit-flip
+        # sweeps over framed requests/responses must yield structured
+        # errors, never UB. Socket-backed tests stay out.
+        cargo miri test -p ca-serve --lib -- \
+            protocol::tests::every_truncation_is_a_structured_error \
+            protocol::tests::every_bit_flip_in_a_framed_request_is_contained
     else
         echo "==> CA_CI_MIRI=1 but the miri component is not installed; skipping" >&2
+        exit 1
+    fi
+fi
+
+# Opt-in ThreadSanitizer smoke over the lock-heavy crates: the D8
+# lock-order rule proves ordering statically, TSan checks the dynamic
+# half (data races) on the real test binaries. Needs the nightly
+# toolchain with rust-src for -Zbuild-std, so it only runs when asked.
+if [[ "${CA_CI_TSAN:-0}" == "1" ]]; then
+    if rustup toolchain list 2>/dev/null | grep -q nightly; then
+        echo "==> cargo test with ThreadSanitizer (ca-exec + ca-serve, opt-in)"
+        TSAN_TARGET="$(rustc -vV | sed -n 's/^host: //p')"
+        RUSTFLAGS="-Zsanitizer=thread" \
+            cargo +nightly test -Zbuild-std --target "$TSAN_TARGET" \
+            -p ca-exec -p ca-serve --lib
+    else
+        echo "==> CA_CI_TSAN=1 but no nightly toolchain is installed; skipping" >&2
         exit 1
     fi
 fi
